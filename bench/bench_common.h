@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mcs.h"
+
+/// Shared helpers for the experiment binaries (bench/exp_*).
+///
+/// Each binary regenerates one table/figure from DESIGN.md §4 and prints a
+/// self-describing table to stdout.  All runs are seeded and reproducible;
+/// pass --seed / --reps / size flags to vary.
+namespace mcs::bench {
+
+/// Uniform deployment at a fixed node density (nodes per unit area),
+/// so that Delta stays roughly constant across n (E2/E3 sweeps).
+inline Network uniformAtDensity(int n, double density, std::uint64_t seed, Tuning tuning = {}) {
+  Rng rng(seed);
+  const double side = std::sqrt(static_cast<double>(n) / density);
+  auto pts = deployUniformSquare(n, side, rng);
+  return Network(std::move(pts), SinrParams{}, tuning);
+}
+
+/// Dense square deployment (cluster sizes >> log n: the Delta/F regime).
+inline Network densePatch(int n, double side, std::uint64_t seed, Tuning tuning = {}) {
+  Rng rng(seed);
+  auto pts = deployUniformSquare(n, side, rng);
+  return Network(std::move(pts), SinrParams{}, tuning);
+}
+
+inline std::vector<double> randomValues(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(static_cast<std::size_t>(n));
+  for (double& x : values) x = rng.uniform();
+  return values;
+}
+
+/// printf-style row helper keeping tables readable in a terminal.
+template <class... Ts>
+void row(const char* fmt, Ts... args) {
+  std::printf(fmt, args...);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+inline void header(const std::string& title, const std::string& claim) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("paper claim: %s\n\n", claim.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace mcs::bench

@@ -1,0 +1,54 @@
+// E1 ("Fig. 1"): linear speedup of data aggregation in the number of
+// channels F (Theorem 22: O(D + Delta/F + log n log log n)).
+//
+// Dense deployment (cluster sizes >> log n) so the Delta/F term dominates.
+// Baseline: the single-channel direct-to-dominator ALOHA aggregation
+// ([24]-class, O(D + Delta)) on the same clustering substrate.
+
+#include "bench_common.h"
+
+using namespace mcs;
+using namespace mcs::bench;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const int n = static_cast<int>(args.getInt("n", 3500));
+  const double side = args.getDouble("side", 0.65);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+  header("E1: aggregation slots vs number of channels F",
+         "Thm 22: O(D + Delta/F + log n log log n) -> near-linear speedup in F "
+         "until the additive log-terms (and f_v = |C|/(c1 ln n)) saturate");
+
+  Network net = densePatch(n, side, seed);
+  row("n=%d side=%.2f Delta=%d D~%d", n, side, net.maxDegree(),
+      net.graph().diameterEstimate());
+  const auto values = randomValues(n, seed + 99);
+
+  row("%-8s %12s %12s %12s %12s %8s", "F", "uplink", "agg-total", "structure", "speedup(up)",
+      "ok");
+  double uplink1 = 0;
+  for (const int channels : {1, 2, 4, 8, 16, 32}) {
+    Simulator sim(net, channels, seed + 7);
+    const AggregationStructure s = buildStructure(sim);
+    const AggregateRun run = runAggregation(sim, s, values, AggKind::Max);
+    if (channels == 1) uplink1 = static_cast<double>(run.costs.uplink);
+    row("%-8d %12llu %12llu %12llu %12.2f %8s", channels,
+        static_cast<unsigned long long>(run.costs.uplink),
+        static_cast<unsigned long long>(run.costs.aggregationTotal()),
+        static_cast<unsigned long long>(s.costs.structureTotal()),
+        uplink1 / static_cast<double>(run.costs.uplink), run.delivered ? "yes" : "NO");
+  }
+
+  // Baseline: single-channel direct uplink on the same structure.
+  {
+    Simulator sim(net, 1, seed + 7);
+    const AggregationStructure s = buildStructure(sim);
+    const AggregateRun aloha = runAlohaAggregation(sim, s, values, AggKind::Max);
+    row("%-8s %12llu %12llu %12s %12.2f %8s", "aloha",
+        static_cast<unsigned long long>(aloha.costs.uplink),
+        static_cast<unsigned long long>(aloha.costs.aggregationTotal()), "-",
+        uplink1 / static_cast<double>(aloha.costs.uplink), aloha.delivered ? "yes" : "NO");
+  }
+  return 0;
+}

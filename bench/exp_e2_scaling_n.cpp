@@ -1,0 +1,41 @@
+// E2 ("Fig. 2"): aggregation cost as the network grows at fixed density
+// and fixed F (Theorem 22 in n: the Delta/F term is constant here, so the
+// cost should grow no faster than D + log n log log n).
+
+#include "bench_common.h"
+
+using namespace mcs;
+using namespace mcs::bench;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const double density = args.getDouble("density", 900.0);
+  const int channels = static_cast<int>(args.getInt("F", 8));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.getInt("seed", 2));
+
+  header("E2: aggregation slots vs n (fixed density, fixed F)",
+         "Thm 22: with Delta ~ const, total grows like D + log n log log n "
+         "(slowly); slots normalized by the predicted shape stay ~flat");
+
+  row("%-8s %6s %6s %12s %12s %12s %10s %6s", "n", "Delta", "D", "structure", "agg", "total",
+      "agg/shape", "ok");
+  for (const int n : {250, 500, 1000, 2000, 4000}) {
+    Network net = uniformAtDensity(n, density, seed);
+    const int delta = net.maxDegree();
+    const int diam = net.graph().diameterEstimate();
+    Simulator sim(net, channels, seed + 5);
+    const AggregationStructure s = buildStructure(sim);
+    const auto values = randomValues(n, seed + n);
+    const AggregateRun run = runAggregation(sim, s, values, AggKind::Max);
+    const double lnn = std::log(static_cast<double>(n));
+    const double shape =
+        diam + static_cast<double>(delta) / channels + lnn * std::log(lnn);
+    row("%-8d %6d %6d %12llu %12llu %12llu %10.1f %6s", n, delta, diam,
+        static_cast<unsigned long long>(s.costs.structureTotal()),
+        static_cast<unsigned long long>(run.costs.aggregationTotal()),
+        static_cast<unsigned long long>(s.costs.total() + run.costs.aggregationTotal()),
+        static_cast<double>(run.costs.aggregationTotal()) / shape,
+        run.delivered ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E3 ("Table 1"): cost of building the aggregation structure (Theorem 10 /
+// Lemmas 7, 8, 14): dominating set and coloring are O(log n); CSA is the
+// O(log^2 n) bottleneck (naive DeltaHat = n); everything normalized by
+// log^2 n should stay bounded.
+
+#include "bench_common.h"
+
+using namespace mcs;
+using namespace mcs::bench;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const double density = args.getDouble("density", 900.0);
+  const int channels = static_cast<int>(args.getInt("F", 8));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.getInt("seed", 3));
+
+  header("E3: structure construction cost per stage vs n",
+         "Thm 10: O(log^2 n) total; Lemma 7/8: dominating set + coloring "
+         "O(log n); Lemma 14: CSA O(log^2 n) with naive DeltaHat = n");
+
+  row("%-8s %8s %10s %10s %10s %10s %12s %12s", "n", "doms", "domset", "coloring", "csa",
+      "reporters", "total", "tot/log^2 n");
+  for (const int n : {250, 500, 1000, 2000, 4000}) {
+    Network net = uniformAtDensity(n, density, seed);
+    Simulator sim(net, channels, seed + 11);
+    const AggregationStructure s = buildStructure(sim);
+    const double lnn = std::log(static_cast<double>(n));
+    row("%-8d %8zu %10llu %10llu %10llu %10llu %12llu %12.1f", n,
+        s.clustering.dominators.size(),
+        static_cast<unsigned long long>(s.costs.dominatingSet),
+        static_cast<unsigned long long>(s.costs.clusterColoring),
+        static_cast<unsigned long long>(s.costs.csa),
+        static_cast<unsigned long long>(s.costs.reporters),
+        static_cast<unsigned long long>(s.costs.structureTotal()),
+        static_cast<double>(s.costs.structureTotal()) / (lnn * lnn));
+  }
+
+  row("%s", "");
+  row("%s", "With a tight DeltaHat (log^O(1) n-approximation of Delta known):");
+  row("%-8s %12s %12s", "n", "csa(naive)", "csa(tight)");
+  for (const int n : {500, 1000, 2000}) {
+    Network net = uniformAtDensity(n, density, seed);
+    Simulator simA(net, channels, seed + 13);
+    StructureOptions naive;
+    const AggregationStructure sa = buildStructure(simA, naive);
+    Simulator simB(net, channels, seed + 13);
+    StructureOptions tight;
+    tight.deltaHat = 2 * net.maxDegree();
+    const AggregationStructure sb = buildStructure(simB, tight);
+    row("%-8d %12llu %12llu", n, static_cast<unsigned long long>(sa.costs.csa),
+        static_cast<unsigned long long>(sb.costs.csa));
+  }
+  return 0;
+}

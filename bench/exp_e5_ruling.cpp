@@ -1,0 +1,73 @@
+// E5 ("Table 2"): the (r, 2r)-ruling set (Lemma 6): O(log n) rounds whp,
+// r-independence, 2r-domination, constant density.
+
+#include "bench_common.h"
+
+#include "proto/ruling_set.h"
+
+using namespace mcs;
+using namespace mcs::bench;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const double density = args.getDouble("density", 900.0);
+  const int reps = static_cast<int>(args.getInt("reps", 3));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.getInt("seed", 5));
+
+  header("E5: ruling set rounds and quality vs n",
+         "Lemma 6: a (r, 2r)-ruling set in O(log n) rounds whp "
+         "(rounds / ln n ~ flat); members r-independent, all nodes bound "
+         "within 2r, constant density");
+
+  row("%-8s %10s %10s %10s %10s %10s %10s", "n", "members", "rounds", "rnds/ln n", "indepViol",
+      "unbound", "maxDens");
+  for (const int n : {250, 500, 1000, 2000, 4000}) {
+    OnlineStats rounds, members, viol, unbound, dens;
+    for (int r = 0; r < reps; ++r) {
+      Network net = uniformAtDensity(n, density, seed + static_cast<std::uint64_t>(r));
+      Simulator sim(net, 1, seed + 100 + static_cast<std::uint64_t>(r));
+      RulingSetConfig cfg;
+      cfg.radius = net.rc();
+      cfg.capProb = 1.0 / (2.0 * net.tuning().muDensity);
+      cfg.initialProb = std::min(cfg.capProb, 0.5 / n);
+      cfg.epochRounds = net.tuning().domEpochRounds;
+      cfg.cycleProb = true;
+      cfg.totalRounds = 40 + net.tuning().lnRounds(4.0, n);
+      std::vector<char> everyone(static_cast<std::size_t>(n), 1);
+      const RulingSetResult rs = runRulingSet(sim, everyone, cfg);
+
+      std::vector<NodeId> mem;
+      int unboundCount = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (rs.inSet[vi]) {
+          mem.push_back(v);
+        } else if (rs.dominator[vi] == kNoNode ||
+                   net.distance(v, rs.dominator[vi]) > 2 * cfg.radius) {
+          ++unboundCount;
+        }
+      }
+      int violations = 0;
+      int maxDensity = 0;
+      for (std::size_t i = 0; i < mem.size(); ++i) {
+        int inBall = 0;
+        for (std::size_t j = 0; j < mem.size(); ++j) {
+          if (net.distance(mem[i], mem[j]) <= cfg.radius) {
+            ++inBall;
+            if (j > i) ++violations;
+          }
+        }
+        maxDensity = std::max(maxDensity, inBall);
+      }
+      rounds.add(rs.roundsRun);
+      members.add(static_cast<double>(mem.size()));
+      viol.add(violations);
+      unbound.add(unboundCount);
+      dens.add(maxDensity);
+    }
+    row("%-8d %10.0f %10.0f %10.2f %10.1f %10.1f %10.1f", n, members.mean(), rounds.mean(),
+        rounds.mean() / std::log(static_cast<double>(n)), viol.mean(), unbound.mean(),
+        dens.mean());
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// E6 ("Fig. 4"): cluster-size approximation (Lemmas 12-14): the large
+// variant costs O(log DeltaHat log n); the channel-parallel small variant
+// costs O(log n log log n) when DeltaHat <= F polylog n; both produce
+// constant-factor estimates.
+
+#include "bench_common.h"
+
+#include "proto/cluster_coloring.h"
+#include "proto/csa.h"
+#include "proto/dominating_set.h"
+
+using namespace mcs;
+using namespace mcs::bench;
+
+namespace {
+
+double worstRatio(const Network& net, const Clustering& cl, const std::vector<double>& est) {
+  std::vector<int> size(static_cast<std::size_t>(net.size()), 0);
+  for (NodeId v = 0; v < net.size(); ++v) {
+    const NodeId d = cl.dominatorOf[static_cast<std::size_t>(v)];
+    if (d != kNoNode && d != v) ++size[static_cast<std::size_t>(d)];
+  }
+  double worst = 1.0;
+  for (const NodeId d : cl.dominators) {
+    const auto di = static_cast<std::size_t>(d);
+    const double got = est[di] + 1.0;
+    const double want = size[di] + 1.0;
+    worst = std::max(worst, std::max(got / want, want / got));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const int n = static_cast<int>(args.getInt("n", 1200));
+  const double side = args.getDouble("side", 1.1);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.getInt("seed", 6));
+
+  header("E6: CSA variants: slots and estimate quality",
+         "Lemma 12: large = O(log DeltaHat log n); Lemma 13: small = "
+         "O(log n log log n) for DeltaHat <= F polylog n; estimates within a "
+         "constant factor; Lemma 14 picks the cheaper one");
+
+  Network net = densePatch(n, side, seed);
+  Simulator sim0(net, 8, seed + 31);
+  DominatingSetResult ds = buildDominatingSet(sim0);
+  Clustering cl = std::move(ds.clustering);
+  colorClusters(sim0, cl);
+  int maxCluster = 1;
+  {
+    std::vector<int> size(static_cast<std::size_t>(n), 0);
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId d = cl.dominatorOf[static_cast<std::size_t>(v)];
+      if (d != kNoNode && d != v) ++size[static_cast<std::size_t>(d)];
+    }
+    for (const int s : size) maxCluster = std::max(maxCluster, s);
+  }
+  row("n=%d maxCluster=%d colors=%d", n, maxCluster, cl.numColors);
+
+  row("%-10s %6s %10s %12s %10s", "variant", "F", "deltaHat", "slots", "worstRatio");
+  for (const int channels : {2, 8, 32}) {
+    for (const int deltaHat : {2 * maxCluster, n}) {
+      Simulator simL(net, channels, seed + 41);
+      const CsaResult large = runCsaLarge(simL, cl, deltaHat);
+      row("%-10s %6d %10d %12llu %10.2f", "large", channels, deltaHat,
+          static_cast<unsigned long long>(large.slotsUsed), worstRatio(net, cl, large.estimateOfNode));
+      Simulator simS(net, channels, seed + 41);
+      const CsaResult small = runCsaSmall(simS, cl, deltaHat);
+      row("%-10s %6d %10d %12llu %10.2f", "small", channels, deltaHat,
+          static_cast<unsigned long long>(small.slotsUsed), worstRatio(net, cl, small.estimateOfNode));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// E8 ("Fig. 5"): robustness to SINR parameters and to parameter
+// *uncertainty* (§2: nodes know only [min, max] ranges for alpha, beta, N).
+
+#include "bench_common.h"
+
+using namespace mcs;
+using namespace mcs::bench;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const int n = static_cast<int>(args.getInt("n", 800));
+  const double side = args.getDouble("side", 1.0);
+  const int channels = static_cast<int>(args.getInt("F", 8));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.getInt("seed", 8));
+
+  header("E8: aggregation across SINR parameters and knowledge uncertainty",
+         "section 2: the algorithms assume only bounds on alpha/beta/N; "
+         "correctness must hold across the physical range, with graceful "
+         "slot-count degradation");
+
+  row("%-8s %-8s %12s %12s %8s", "alpha", "beta", "structure", "agg", "ok");
+  for (const double alpha : {2.5, 3.0, 4.0}) {
+    for (const double beta : {1.2, 1.5, 3.0}) {
+      SinrParams p;
+      p.alpha = alpha;
+      p.beta = beta;
+      p = p.withRange(1.0);
+      Rng rng(seed);
+      auto pts = deployUniformSquare(n, side, rng);
+      Network net(std::move(pts), p);
+      Simulator sim(net, channels, seed + 3);
+      const AggregationStructure s = buildStructure(sim);
+      const auto values = randomValues(n, seed + 17);
+      const AggregateRun run = runAggregation(sim, s, values, AggKind::Max);
+      row("%-8.1f %-8.1f %12llu %12llu %8s", alpha, beta,
+          static_cast<unsigned long long>(s.costs.structureTotal()),
+          static_cast<unsigned long long>(run.costs.aggregationTotal()),
+          run.delivered ? "yes" : "NO");
+    }
+  }
+
+  row("%s", "");
+  row("%s", "Uncertain knowledge (relative range width around true params):");
+  row("%-8s %12s %12s %8s", "width", "structure", "agg", "ok");
+  for (const double width : {0.0, 0.1, 0.2, 0.4}) {
+    const SinrParams truth{};
+    const SinrBounds bounds = SinrBounds::around(truth, width);
+    Rng rng(seed);
+    auto pts = deployUniformSquare(n, side, rng);
+    Network net(std::move(pts), truth, Tuning{}, &bounds);
+    Simulator sim(net, channels, seed + 3);
+    const AggregationStructure s = buildStructure(sim);
+    const auto values = randomValues(n, seed + 17);
+    const AggregateRun run = runAggregation(sim, s, values, AggKind::Max);
+    row("%-8.2f %12llu %12llu %8s", width,
+        static_cast<unsigned long long>(s.costs.structureTotal()),
+        static_cast<unsigned long long>(run.costs.aggregationTotal()),
+        run.delivered ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Channel scan: answer a deployment question with the library — "how many
+// channels are worth licensing for THIS deployment?"  Runs the full
+// pipeline at increasing F on the user's topology and prints the marginal
+// benefit, including the single-channel ALOHA baseline.
+//
+//   ./channel_scan [--n=1500] [--side=0.8] [--maxF=16] [--seed=3]
+
+#include <cstdio>
+
+#include "mcs.h"
+
+int main(int argc, char** argv) {
+  const mcs::Args args(argc, argv);
+  const int n = static_cast<int>(args.getInt("n", 1500));
+  const double side = args.getDouble("side", 0.8);
+  const int maxF = static_cast<int>(args.getInt("maxF", 16));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 3));
+
+  mcs::Rng rng(seed);
+  auto positions = mcs::deployUniformSquare(n, side, rng);
+  mcs::Network net(std::move(positions), mcs::SinrParams{});
+  std::printf("deployment: n=%d Delta=%d D=%d\n", net.size(), net.maxDegree(),
+              net.graph().diameterEstimate());
+
+  std::vector<double> values(static_cast<std::size_t>(n));
+  for (auto& x : values) x = rng.uniform();
+
+  std::printf("%-8s %14s %14s %10s\n", "F", "agg slots", "vs F=1", "ok");
+  double base = 0.0;
+  for (int channels = 1; channels <= maxF; channels *= 2) {
+    mcs::Simulator sim(net, channels, seed + 5);
+    const mcs::AggregationStructure s = mcs::buildStructure(sim);
+    const mcs::AggregateRun run = mcs::runAggregation(sim, s, values, mcs::AggKind::Max);
+    const auto slots = static_cast<double>(run.costs.aggregationTotal());
+    if (channels == 1) base = slots;
+    std::printf("%-8d %14.0f %13.2fx %10s\n", channels, slots, base / slots,
+                run.delivered ? "yes" : "NO");
+  }
+
+  // Baseline for the same deployment.
+  mcs::Simulator sim(net, 1, seed + 5);
+  const mcs::AggregationStructure s = mcs::buildStructure(sim);
+  const mcs::AggregateRun aloha = mcs::runAlohaAggregation(sim, s, values, mcs::AggKind::Max);
+  std::printf("%-8s %14llu %13.2fx %10s\n", "aloha",
+              static_cast<unsigned long long>(aloha.costs.aggregationTotal()),
+              base / static_cast<double>(aloha.costs.aggregationTotal()),
+              aloha.delivered ? "yes" : "NO");
+  return 0;
+}

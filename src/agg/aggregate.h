@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+
+#include "agg/inter.h"
+#include "agg/intra.h"
+#include "agg/structure.h"
+
+/// The end-to-end data aggregation pipeline (§6, Theorem 22): every node
+/// contributes a value; every node learns the aggregate.
+namespace mcs {
+
+struct AggregateRun {
+  /// Final value at every node after the cluster broadcast.
+  std::vector<double> valueAtNode;
+  /// Aggregation-phase slot costs (structure costs live on the structure).
+  StageCosts costs;
+  UplinkMetrics uplink;
+  /// True iff the uplink, tree, backbone and broadcast all completed and
+  /// every node holds the correct aggregate (validated by the harness).
+  bool delivered = true;
+};
+
+/// Runs aggregation on an already-built structure.  Max/Min ride the
+/// gossip backbone (O(D + log n)); Sum uses the exact backbone tree.
+AggregateRun runAggregation(Simulator& sim, const AggregationStructure& s,
+                            std::span<const double> values, AggKind kind);
+
+/// Convenience: builds the structure, then aggregates.  The structure's
+/// stage costs are merged into the returned costs.
+AggregateRun buildAndAggregate(Simulator& sim, std::span<const double> values, AggKind kind,
+                               const StructureOptions& opts = {});
+
+/// Ground-truth aggregate of `values` (for validation).
+[[nodiscard]] double aggregateGroundTruth(std::span<const double> values, AggKind kind);
+
+}  // namespace mcs

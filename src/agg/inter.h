@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/intra.h"
+#include "proto/clustering.h"
+#include "sim/simulator.h"
+
+/// Inter-cluster aggregation on the constant-density dominator backbone
+/// (§6, substituting for Bodlaender-Halldórsson-Mitra [2], Thm 3; see
+/// DESIGN.md §3.2).
+///
+/// Backbone edges connect dominators at distance <= R_{eps/2}; this graph
+/// is connected whenever the communication graph is, because
+/// R_eps + 2 r_c <= R_{eps/2}.  Two modes:
+///  * gossipAggregate — pipelined flooding for idempotent aggregates
+///    (Max/Min), O(D + log n) rounds;
+///  * treeAggregate — sink-rooted BFS tree with level-windowed
+///    convergecast and a flooded downcast; exact for Sum.
+namespace mcs {
+
+struct InterResult {
+  /// Per node id; meaningful at dominators (the agreed global aggregate).
+  std::vector<double> valueAtDominator;
+  std::uint64_t slots = 0;
+  /// True iff every dominator reached the correct global value.
+  bool converged = true;
+};
+
+/// `initial[d]` (dominator ids) holds each cluster's aggregate.
+InterResult gossipAggregate(Simulator& sim, const Clustering& cl, const TdmaSchedule& tdma,
+                            const std::vector<double>& initial, AggKind kind);
+
+InterResult treeAggregate(Simulator& sim, const Clustering& cl, const TdmaSchedule& tdma,
+                          const std::vector<double>& initial, AggKind kind);
+
+/// Dominators broadcast `values[dominator]` to their clusters; on return
+/// `values[v]` holds every node's received copy.  Returns slots used.
+std::uint64_t broadcastToClusters(Simulator& sim, const Clustering& cl, const TdmaSchedule& tdma,
+                                  std::vector<double>& values, int repeats = 2);
+
+/// Ground-truth backbone diameter (hop count at radius R_{eps/2} among
+/// dominators); used for round caps and by the experiment harness.
+[[nodiscard]] int backboneDiameter(const Network& net, const Clustering& cl);
+
+}  // namespace mcs

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "agg/structure.h"
+#include "sim/simulator.h"
+
+/// Intra-cluster aggregation (§6): the phased follower -> reporter uplink
+/// with dominator-driven backoff (Lemmas 18-21) and the deterministic
+/// reporter-tree convergecast (Lemma 16).
+namespace mcs {
+
+/// Aggregate functions.  Max/Min are idempotent (gossip-able on the
+/// backbone); Sum requires exact tree aggregation.
+enum class AggKind { Max, Min, Sum };
+
+[[nodiscard]] double aggIdentity(AggKind kind) noexcept;
+[[nodiscard]] double aggCombine(AggKind kind, double a, double b) noexcept;
+
+struct UplinkMetrics {
+  std::uint64_t slots = 0;
+  /// Phase counts across all clusters (Lemma 20/21 shape checks).
+  int increasingPhases = 0;
+  int unchangingPhases = 0;
+  int maxPhasesAnyCluster = 0;
+  /// Ground-truth max over (cluster, phase) of contention / f_v; Lemma 19
+  /// says this stays <= lambda whp.
+  double maxContentionRatio = 0.0;
+  bool allDelivered = true;
+  /// Followers whose message was never acknowledged (empty on success).
+  std::vector<NodeId> undelivered;
+};
+
+/// Runs the uplink until every follower's message is acknowledged by a
+/// reporter of its cluster (or the phase cap is hit).
+///
+/// `makeMsg(v)` builds follower v's payload (type/a are overwritten with
+/// Data/cluster-id).  `onDeliver(reporter, msg)` fires exactly once per
+/// follower, at the acknowledging reporter (acks dedupe retransmissions).
+/// If `reporterChannelOfFollower` is non-null it receives, per follower,
+/// the channel of the reporter that acknowledged it (kNoChannel if none) —
+/// the acks carry it for the coloring's procedure 4 (§7).
+UplinkMetrics runFollowerUplink(Simulator& sim, const AggregationStructure& s,
+                                const std::function<Message(NodeId)>& makeMsg,
+                                const std::function<void(NodeId, const Message&)>& onDeliver,
+                                std::vector<ChannelId>* reporterChannelOfFollower = nullptr);
+
+struct IntraResult {
+  /// Per dominator id: the aggregate of its whole cluster.
+  std::vector<double> clusterValue;
+  UplinkMetrics uplink;
+  std::uint64_t treeSlots = 0;
+  bool treeComplete = true;
+};
+
+/// Full intra-cluster aggregation of `values` (one per node): uplink to
+/// reporters, then convergecast over the reporter tree to the dominator.
+IntraResult aggregateIntra(Simulator& sim, const AggregationStructure& s,
+                           std::span<const double> values, AggKind kind);
+
+}  // namespace mcs

@@ -1,0 +1,39 @@
+#include "agg/structure.h"
+
+#include <utility>
+
+#include "proto/cluster_coloring.h"
+#include "proto/csa.h"
+#include "proto/dominating_set.h"
+
+namespace mcs {
+
+AggregationStructure buildStructure(Simulator& sim, const StructureOptions& opts) {
+  AggregationStructure s;
+
+  DominatingSetResult ds = buildDominatingSet(sim);
+  s.clustering = std::move(ds.clustering);
+  s.costs.dominatingSet = ds.slotsUsed;
+
+  ClusterColoringResult cc = colorClusters(sim, s.clustering);
+  s.costs.clusterColoring = cc.slotsUsed;
+  s.tdma = TdmaSchedule::from(s.clustering);
+
+  CsaResult csa;
+  switch (opts.csa) {
+    case CsaVariant::Large: csa = runCsaLarge(sim, s.clustering, opts.deltaHat); break;
+    case CsaVariant::Small: csa = runCsaSmall(sim, s.clustering, opts.deltaHat); break;
+    case CsaVariant::Auto: csa = runCsa(sim, s.clustering, opts.deltaHat); break;
+  }
+  s.sizeEstimate = std::move(csa.estimateOfNode);
+  s.costs.csa = csa.slotsUsed;
+
+  ReporterSetup rep = electReporters(sim, s.clustering, s.sizeEstimate);
+  s.fvOfNode = std::move(rep.fvOfNode);
+  s.reporterChannel = std::move(rep.channelOfNode);
+  s.isReporter = std::move(rep.isReporter);
+  s.costs.reporters = rep.slotsUsed;
+  return s;
+}
+
+}  // namespace mcs

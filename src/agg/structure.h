@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/clustering.h"
+#include "proto/reporter.h"
+#include "sim/simulator.h"
+
+/// The hierarchical aggregation structure of §5 (Theorem 10): dominating
+/// set -> cluster coloring/TDMA -> cluster-size approximation -> reporter
+/// election -> reporter tree.
+namespace mcs {
+
+/// Slot costs per pipeline stage (all values are medium slots).
+struct StageCosts {
+  std::uint64_t dominatingSet = 0;
+  std::uint64_t clusterColoring = 0;
+  std::uint64_t csa = 0;
+  std::uint64_t reporters = 0;
+  std::uint64_t uplink = 0;
+  std::uint64_t tree = 0;
+  std::uint64_t inter = 0;
+  std::uint64_t broadcast = 0;
+
+  [[nodiscard]] std::uint64_t structureTotal() const noexcept {
+    return dominatingSet + clusterColoring + csa + reporters;
+  }
+  [[nodiscard]] std::uint64_t aggregationTotal() const noexcept {
+    return uplink + tree + inter + broadcast;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return structureTotal() + aggregationTotal();
+  }
+};
+
+struct AggregationStructure {
+  Clustering clustering;
+  TdmaSchedule tdma;
+  /// Per node: CSA estimate of its cluster's dominatee count.
+  std::vector<double> sizeEstimate;
+  /// Per node: f_v, the number of channels its cluster uses.
+  std::vector<int> fvOfNode;
+  /// Per dominatee: its election channel (reporters: their own channel).
+  std::vector<ChannelId> reporterChannel;
+  std::vector<char> isReporter;
+  StageCosts costs;
+
+  [[nodiscard]] bool isFollower(NodeId v) const {
+    const auto vi = static_cast<std::size_t>(v);
+    return !clustering.isDominator[vi] && !isReporter[vi];
+  }
+};
+
+enum class CsaVariant { Auto, Large, Small };
+
+struct StructureOptions {
+  /// Known upper bound DeltaHat on cluster size (<= 0: use n).
+  int deltaHat = -1;
+  CsaVariant csa = CsaVariant::Auto;
+};
+
+/// Runs the full §5 construction on `sim`.  Costs are recorded per stage.
+AggregationStructure buildStructure(Simulator& sim, const StructureOptions& opts = {});
+
+}  // namespace mcs

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "sim/simulator.h"
+
+/// Single-channel baseline: direct follower -> dominator aggregation.
+///
+/// This is the classic uniform-power cluster aggregation in the style of
+/// Li et al. [24] (O(D + Delta) class): every dominatee transmits its
+/// value straight to its dominator on channel 0 with an adaptive
+/// (doubling, backoff-capped) probability, the dominator acknowledges one
+/// node per round.  It uses the same clustering/TDMA substrate as the
+/// multi-channel algorithm, so the comparison in experiment E1 isolates
+/// exactly the contribution of the paper: reporters + channel parallelism.
+namespace mcs {
+
+struct AlohaUplinkResult {
+  /// Per dominator id: cluster aggregate.
+  std::vector<double> clusterValue;
+  std::uint64_t slots = 0;
+  bool allDelivered = true;
+};
+
+AlohaUplinkResult alohaClusterUplink(Simulator& sim, const Clustering& cl,
+                                     const TdmaSchedule& tdma,
+                                     std::span<const double> values,
+                                     std::span<const double> sizeEstimate, AggKind kind);
+
+/// Full single-channel pipeline: direct uplink, then the same backbone
+/// (gossip or exact tree) and cluster broadcast as the main algorithm.
+AggregateRun runAlohaAggregation(Simulator& sim, const AggregationStructure& s,
+                                 std::span<const double> values, AggKind kind);
+
+}  // namespace mcs

@@ -1,0 +1,59 @@
+#include "baseline/chain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "sim/simulator.h"
+
+namespace mcs {
+
+double chainBetaThreshold(double alpha) noexcept { return std::pow(2.0, 1.0 / alpha); }
+
+ChainSlotStats chainConcurrency(const Network& net, int numChannels, int trials,
+                                std::uint64_t seed) {
+  ChainSlotStats stats;
+  stats.trials = trials;
+  Simulator sim(net, numChannels, seed);
+  const int n = net.size();
+
+  long totalSuccesses = 0;
+  long totalDescending = 0;
+  std::set<NodeId> descendingSenders;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<char> tx(static_cast<std::size_t>(n), 0);
+    int successes = 0;
+    sim.step(
+        [&](NodeId v) -> Intent {
+          const auto c = static_cast<ChannelId>(v % numChannels);
+          if (sim.rng(v).bernoulli(0.5)) {
+            tx[static_cast<std::size_t>(v)] = 1;
+            Message m;
+            m.type = MsgType::Data;
+            m.src = v;
+            return Intent::transmit(c, m);
+          }
+          return Intent::listen(c);
+        },
+        [&](NodeId v, const Reception& r) {
+          if (!r.received) return;
+          ++successes;
+          if (net.position(v).x < net.position(r.msg.src).x) {
+            descendingSenders.insert(r.msg.src);
+          }
+        });
+    const int descending = static_cast<int>(descendingSenders.size());
+    descendingSenders.clear();
+    totalSuccesses += successes;
+    totalDescending += descending;
+    stats.maxConcurrentSuccesses = std::max(stats.maxConcurrentSuccesses, successes);
+    stats.maxDescendingSuccesses = std::max(stats.maxDescendingSuccesses, descending);
+  }
+  if (trials > 0) {
+    stats.meanSuccesses = static_cast<double>(totalSuccesses) / trials;
+    stats.meanDescendingSuccesses = static_cast<double>(totalDescending) / trials;
+  }
+  return stats;
+}
+
+}  // namespace mcs

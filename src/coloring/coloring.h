@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/structure.h"
+#include "sim/simulator.h"
+
+/// Distributed node coloring on the aggregation structure (§7, Thm 24):
+/// O(Delta) colors in O(Delta/F + log n log log n) rounds.
+///
+/// Colors are laid out as  color = clusterColor + phi * k  where k is a
+/// per-cluster index (dominator k = 0), so clusters whose dominators are
+/// within R_{eps/2} use disjoint color sets.
+///
+/// Four procedures, exactly as in the paper:
+///  1. followers report their IDs to reporters (follower uplink);
+///  2. subtree sizes flow up the reporter tree;
+///  3. disjoint color ranges flow back down;
+///  4. each reporter assigns and announces one color per follower.
+namespace mcs {
+
+struct ColoringResult {
+  /// Per node: assigned color (>= 0), or -1 if the node was missed
+  /// (complete == false in that case).
+  std::vector<int> colorOf;
+  /// Number of distinct colors used.
+  int colorsUsed = 0;
+  /// Slot costs: uplink = P1, tree = P2 + P3, broadcast = P4.
+  StageCosts costs;
+  bool complete = true;
+};
+
+ColoringResult runColoring(Simulator& sim, const AggregationStructure& s);
+
+/// Ground-truth check: number of communication-graph edges whose
+/// endpoints share a color (0 = proper).
+[[nodiscard]] int countColoringViolations(const Network& net, const std::vector<int>& colorOf);
+
+}  // namespace mcs

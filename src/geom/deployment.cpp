@@ -1,0 +1,101 @@
+#include "geom/deployment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mcs {
+
+std::vector<Vec2> deployUniformSquare(int n, double side, Rng& rng) {
+  assert(n >= 0 && side > 0.0);
+  std::vector<Vec2> pts(static_cast<std::size_t>(n));
+  for (Vec2& p : pts) p = {rng.uniform(0.0, side), rng.uniform(0.0, side)};
+  return pts;
+}
+
+std::vector<Vec2> deployUniformDisk(int n, double radius, Rng& rng) {
+  assert(n >= 0 && radius > 0.0);
+  std::vector<Vec2> pts(static_cast<std::size_t>(n));
+  for (Vec2& p : pts) {
+    const double r = radius * std::sqrt(rng.uniform());
+    const double theta = rng.uniform(0.0, 2.0 * M_PI);
+    p = {r * std::cos(theta), r * std::sin(theta)};
+  }
+  return pts;
+}
+
+std::vector<Vec2> deployPerturbedGrid(int n, double side, double jitter, Rng& rng) {
+  assert(n >= 0 && side > 0.0);
+  const int cols = std::max(1, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))));
+  const double pitch = side / cols;
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int cx = i % cols;
+    const int cy = i / cols;
+    const double jx = rng.uniform(-jitter, jitter) * pitch;
+    const double jy = rng.uniform(-jitter, jitter) * pitch;
+    pts.push_back({(cx + 0.5) * pitch + jx, (cy + 0.5) * pitch + jy});
+  }
+  return pts;
+}
+
+std::vector<Vec2> deployClustered(int n, int k, double side, double spread, Rng& rng) {
+  assert(n >= 0 && k > 0 && side > 0.0 && spread > 0.0);
+  std::vector<Vec2> centers = deployUniformSquare(k, side, rng);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Vec2 c = centers[static_cast<std::size_t>(i % k)];
+    // Box-Muller for a 2-D Gaussian offset.
+    const double u1 = std::max(rng.uniform(), 1e-300);
+    const double u2 = rng.uniform();
+    const double mag = spread * std::sqrt(-2.0 * std::log(u1));
+    pts.push_back({c.x + mag * std::cos(2.0 * M_PI * u2), c.y + mag * std::sin(2.0 * M_PI * u2)});
+  }
+  return pts;
+}
+
+std::vector<Vec2> deployCorridor(int n, double length, double width, Rng& rng) {
+  assert(n >= 0 && length > 0.0 && width > 0.0);
+  std::vector<Vec2> pts(static_cast<std::size_t>(n));
+  for (Vec2& p : pts) p = {rng.uniform(0.0, length), rng.uniform(0.0, width)};
+  return pts;
+}
+
+std::vector<Vec2> deployExponentialChain(int n, double base, double maxGap) {
+  assert(n >= 1 && base > 1.0 && maxGap > 0.0);
+  std::vector<Vec2> pts(static_cast<std::size_t>(n));
+  // Raw positions base^i; the largest gap is base^n - base^(n-1).
+  const double largestGap = std::pow(base, n) - std::pow(base, n - 1);
+  const double scale = maxGap / largestGap;
+  for (int i = 0; i < n; ++i) {
+    pts[static_cast<std::size_t>(i)] = {scale * std::pow(base, i + 1), 0.0};
+  }
+  return pts;
+}
+
+std::vector<Vec2> dedupePositions(std::vector<Vec2> points, double epsilon, Rng& rng) {
+  assert(epsilon > 0.0);
+  // Sort indices by the ORIGINAL coordinates so whole runs of duplicates
+  // are detected even as earlier members of the run get perturbed.
+  const std::vector<Vec2> original = points;
+  std::vector<std::size_t> order(points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (original[a].x != original[b].x) return original[a].x < original[b].x;
+    return original[a].y < original[b].y;
+  });
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (original[order[i]] == original[order[i - 1]]) {
+      const double theta = rng.uniform(0.0, 2.0 * M_PI);
+      // Distinct radii guarantee distinctness within the run as well.
+      const double r = epsilon * (1.0 + 0.5 * rng.uniform());
+      points[order[i]].x += r * std::cos(theta);
+      points[order[i]].y += r * std::sin(theta);
+    }
+  }
+  return points;
+}
+
+}  // namespace mcs

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.h"
+#include "util/rng.h"
+
+/// Deployment generators: the workloads the experiments run on.
+///
+/// All generators take an explicit Rng so deployments are reproducible.
+/// Distances are in units of the transmission range R_T (the library's
+/// default SINR parameters are normalized so R_T = 1).
+namespace mcs {
+
+/// n points i.i.d. uniform in the axis-aligned square [0, side]^2.
+[[nodiscard]] std::vector<Vec2> deployUniformSquare(int n, double side, Rng& rng);
+
+/// n points i.i.d. uniform in the disk of radius `radius` centered at origin.
+[[nodiscard]] std::vector<Vec2> deployUniformDisk(int n, double radius, Rng& rng);
+
+/// ~n points on a jittered sqrt(n) x sqrt(n) grid filling [0, side]^2.
+/// `jitter` is the maximal per-axis offset as a fraction of grid pitch.
+[[nodiscard]] std::vector<Vec2> deployPerturbedGrid(int n, double side, double jitter, Rng& rng);
+
+/// k cluster centers uniform in [0, side]^2; n points split evenly across
+/// clusters, Gaussian around their center with std deviation `spread`.
+[[nodiscard]] std::vector<Vec2> deployClustered(int n, int k, double side, double spread,
+                                                Rng& rng);
+
+/// n points uniform in a corridor [0, length] x [0, width]: a multi-hop
+/// "sensor line" deployment with large diameter.
+[[nodiscard]] std::vector<Vec2> deployCorridor(int n, double length, double width, Rng& rng);
+
+/// The exponential chain lower-bound instance (§1): point i at x = base^i,
+/// scaled so the largest gap equals `maxGap`.  With uniform power and
+/// beta >= 2^(1/alpha), at most one transmission per slot per channel can
+/// succeed on this instance.
+[[nodiscard]] std::vector<Vec2> deployExponentialChain(int n, double base, double maxGap);
+
+/// Returns a copy of `points` with exact duplicates perturbed by `epsilon`
+/// so all positions are distinct (the SINR model needs d(u,v) > 0).
+[[nodiscard]] std::vector<Vec2> dedupePositions(std::vector<Vec2> points, double epsilon,
+                                                Rng& rng);
+
+}  // namespace mcs

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "util/ids.h"
+
+/// Uniform-grid spatial index over a fixed point set.
+///
+/// Used to build the communication graph and to answer "all points within
+/// radius r of p" queries in O(points in the neighborhood) time.  The cell
+/// size is chosen at build time (typically the query radius).
+namespace mcs {
+
+class GridIndex {
+ public:
+  GridIndex() = default;
+
+  /// Builds an index over `points` with cells of side `cellSize` (> 0).
+  GridIndex(std::span<const Vec2> points, double cellSize);
+
+  /// Appends the ids of all points within distance `radius` of `center`
+  /// (inclusive) to `out`.  `out` is cleared first.
+  void queryBall(Vec2 center, double radius, std::vector<NodeId>& out) const;
+
+  /// Convenience wrapper returning a fresh vector.
+  [[nodiscard]] std::vector<NodeId> ball(Vec2 center, double radius) const;
+
+  /// Calls `fn(id)` for every point within `radius` of `center`.
+  template <class Fn>
+  void forEachInBall(Vec2 center, double radius, Fn&& fn) const {
+    if (cells_ == 0) return;
+    const double r2 = radius * radius;
+    const auto [cxLo, cyLo] = cellOf({center.x - radius, center.y - radius});
+    const auto [cxHi, cyHi] = cellOf({center.x + radius, center.y + radius});
+    for (long cy = cyLo; cy <= cyHi; ++cy) {
+      for (long cx = cxLo; cx <= cxHi; ++cx) {
+        const long cell = cellIndex(cx, cy);
+        if (cell < 0) continue;
+        for (std::size_t i = start_[static_cast<std::size_t>(cell)];
+             i < start_[static_cast<std::size_t>(cell) + 1]; ++i) {
+          const NodeId id = ids_[i];
+          if (dist2(points_[static_cast<std::size_t>(id)], center) <= r2) fn(id);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] double cellSize() const noexcept { return cellSize_; }
+
+ private:
+  [[nodiscard]] std::pair<long, long> cellOf(Vec2 p) const noexcept;
+  /// Flat cell index, or -1 when outside the indexed bounding box.
+  [[nodiscard]] long cellIndex(long cx, long cy) const noexcept;
+
+  std::vector<Vec2> points_;
+  std::vector<NodeId> ids_;         // point ids sorted by cell
+  std::vector<std::size_t> start_;  // CSR offsets per cell, size cells_+1
+  double cellSize_ = 0.0;
+  double minX_ = 0.0, minY_ = 0.0;
+  long nx_ = 0, ny_ = 0;
+  std::size_t cells_ = 0;
+};
+
+}  // namespace mcs

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cmath>
+
+/// 2-D Euclidean geometry primitives.  Node positions live in the plane
+/// (paper §2); fading-metric generalizations would swap this type out.
+namespace mcs {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr bool operator==(const Vec2&) const noexcept = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+  [[nodiscard]] constexpr double norm2() const noexcept { return x * x + y * y; }
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(norm2()); }
+};
+
+/// Squared Euclidean distance (avoids the sqrt when comparing radii).
+[[nodiscard]] constexpr double dist2(Vec2 a, Vec2 b) noexcept { return (a - b).norm2(); }
+
+/// Euclidean distance d(u, v).
+[[nodiscard]] inline double dist(Vec2 a, Vec2 b) noexcept { return std::sqrt(dist2(a, b)); }
+
+}  // namespace mcs

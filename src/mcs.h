@@ -1,0 +1,48 @@
+#pragma once
+
+/// Umbrella header for the mcsinr library: a from-scratch C++20
+/// implementation of "Leveraging Multiple Channels in Ad Hoc Networks"
+/// (Halldórsson, Wang, Yu; PODC 2015), including the SINR multi-channel
+/// simulator it runs on and the single-channel baselines it compares to.
+///
+/// Typical use (see examples/quickstart.cpp):
+///
+///   mcs::Rng rng(1);
+///   auto pts = mcs::deployUniformSquare(1000, 1.5, rng);
+///   mcs::Network net(std::move(pts), mcs::SinrParams{});
+///   mcs::Simulator sim(net, /*channels=*/8, /*seed=*/42);
+///   std::vector<double> values = ...;  // one per node
+///   auto run = mcs::buildAndAggregate(sim, values, mcs::AggKind::Max);
+///   // run.valueAtNode[v] == max(values) at every node; run.costs has the
+///   // per-stage slot counts.
+
+#include "agg/aggregate.h"
+#include "agg/inter.h"
+#include "agg/intra.h"
+#include "agg/structure.h"
+#include "baseline/aloha_agg.h"
+#include "baseline/chain.h"
+#include "coloring/coloring.h"
+#include "geom/deployment.h"
+#include "geom/grid_index.h"
+#include "geom/vec2.h"
+#include "proto/cluster_coloring.h"
+#include "proto/clustering.h"
+#include "proto/csa.h"
+#include "proto/dominating_set.h"
+#include "proto/heap_tree.h"
+#include "proto/reporter.h"
+#include "proto/ruling_set.h"
+#include "sim/comm_graph.h"
+#include "sim/message.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/tuning.h"
+#include "sinr/medium.h"
+#include "sinr/params.h"
+#include "util/args.h"
+#include "util/csv.h"
+#include "util/ids.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/stats.h"

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+#include "proto/clustering.h"
+#include "sim/simulator.h"
+
+/// Cluster coloring and the TDMA scheme (§5.1.2, Lemma 8).
+///
+/// Dominators within distance R_{eps/2} receive different colors, so that
+/// when only clusters of one color transmit, concurrent clusters are
+/// spatially well separated (Lemma 9).  The algorithm repeatedly computes
+/// an (R_{eps/2}, R_eps)-ruling set among the still-uncolored dominators;
+/// phase i's ruling set gets color i.
+namespace mcs {
+
+struct ClusterColoringResult {
+  std::uint64_t slotsUsed = 0;
+  int phases = 0;
+};
+
+/// Colors `clustering`'s dominators in place (fills colorOfCluster and
+/// numColors).  Throws if the phase safety cap is exceeded.
+ClusterColoringResult colorClusters(Simulator& sim, Clustering& clustering);
+
+}  // namespace mcs

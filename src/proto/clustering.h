@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "util/ids.h"
+
+/// Shared clustering state produced by §5.1 and consumed by everything
+/// downstream (CSA, reporters, aggregation, coloring).
+namespace mcs {
+
+/// The backbone clustering: a constant-density set of dominators, a
+/// binding of every node to a dominator within r_c, and a coloring of
+/// clusters such that dominators within R_{eps/2} get different colors.
+struct Clustering {
+  /// isDominator[v] != 0 iff v heads a cluster.
+  std::vector<char> isDominator;
+  /// dominatorOf[v]: the dominator v is bound to (v itself for dominators).
+  std::vector<NodeId> dominatorOf;
+  /// All dominator ids, ascending.
+  std::vector<NodeId> dominators;
+  /// colorOfCluster[d]: TDMA color of the cluster headed by dominator d
+  /// (-1 for non-dominators).  Empty until cluster coloring runs.
+  std::vector<int> colorOfCluster;
+  /// Number of TDMA colors phi (0 until cluster coloring runs).
+  int numColors = 0;
+
+  [[nodiscard]] int clusterColorOf(NodeId v) const {
+    return colorOfCluster[static_cast<std::size_t>(dominatorOf[static_cast<std::size_t>(v)])];
+  }
+};
+
+/// The cluster-TDMA scheme of §5.1.2: in global round r, exactly the
+/// clusters with color (r mod phi) are allowed to transmit.
+struct TdmaSchedule {
+  int period = 1;
+  /// Per-node color (the color of the node's cluster).
+  std::vector<int> colorOfNode;
+
+  [[nodiscard]] static TdmaSchedule from(const Clustering& cl) {
+    TdmaSchedule t;
+    t.period = cl.numColors > 0 ? cl.numColors : 1;
+    t.colorOfNode.resize(cl.dominatorOf.size());
+    for (std::size_t v = 0; v < cl.dominatorOf.size(); ++v) {
+      const NodeId d = cl.dominatorOf[v];
+      t.colorOfNode[v] = d == kNoNode ? 0 : cl.colorOfCluster[static_cast<std::size_t>(d)];
+    }
+    return t;
+  }
+
+  /// May node v transmit in global round `round`?
+  [[nodiscard]] bool active(NodeId v, long round) const noexcept {
+    if (period <= 1) return true;
+    return colorOfNode[static_cast<std::size_t>(v)] ==
+           static_cast<int>(round % static_cast<long>(period));
+  }
+};
+
+/// Conservative bound on the number of pairwise r-independent points that
+/// fit in a ball of radius R (area packing argument).
+[[nodiscard]] inline int packingBound(double R, double r) noexcept {
+  if (r <= 0.0) return 1;
+  const double ratio = 2.0 * R / r + 1.0;
+  return static_cast<int>(ratio * ratio) + 1;
+}
+
+}  // namespace mcs

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/clustering.h"
+#include "sim/simulator.h"
+
+/// Cluster-Size Approximation (§5.2.1 and Appendix A, Lemmas 12-14).
+///
+/// Every node learns a constant-factor approximation of the number of
+/// dominatees in its cluster.  Two variants:
+///  * runCsaLarge — the single-channel doubling-probability estimator
+///    (O(log DeltaHat * log n) rounds, Lemma 12);
+///  * runCsaSmall — dominatees spread over all F channels, elect a
+///    per-channel leader, estimate per channel in parallel and aggregate
+///    over a binary tree with auxiliary-role fallback
+///    (O(log n log log n) rounds for DeltaHat <= F polylog n, Lemma 13);
+///  * runCsa — picks between them per Lemma 14.
+namespace mcs {
+
+struct CsaResult {
+  /// Per node: estimated number of dominatees in its cluster (the node's
+  /// own view after the final broadcast; consistent cluster-wide whp).
+  std::vector<double> estimateOfNode;
+  std::uint64_t slotsUsed = 0;
+  /// Highest phase index any cluster reached (large variant).
+  int phasesMax = 0;
+  /// True iff every cluster terminated explicitly (no fallback estimate).
+  bool allTerminated = true;
+};
+
+/// Single-channel CSA.  `deltaHat` is the known upper bound on cluster
+/// size (<= 0 selects n, the naive bound).
+CsaResult runCsaLarge(Simulator& sim, const Clustering& cl, int deltaHat = -1);
+
+/// Channel-parallel CSA (Appendix A); requires deltaHat <= F * polylog n
+/// for its bound but is correct for any input.
+CsaResult runCsaSmall(Simulator& sim, const Clustering& cl, int deltaHat = -1);
+
+/// Lemma 14 combination: small variant when deltaHat/F <= log^2 n,
+/// large otherwise.
+CsaResult runCsa(Simulator& sim, const Clustering& cl, int deltaHat = -1);
+
+}  // namespace mcs

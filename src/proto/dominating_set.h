@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "proto/clustering.h"
+#include "sim/simulator.h"
+
+/// Computing the r_c-dominating set and the clustering function (§5.1.1,
+/// Lemma 7).
+///
+/// The paper adapts Scheideler et al. [28]; we obtain the same interface
+/// guarantees (O(log n) rounds, constant density, every node bound to a
+/// dominator within r_c) from the §4 ruling-set engine run on all nodes
+/// with a doubling probability schedule — see DESIGN.md §3.1.
+namespace mcs {
+
+struct DominatingSetResult {
+  Clustering clustering;  // colorOfCluster left empty (filled by coloring)
+  std::uint64_t slotsUsed = 0;
+  int roundsRun = 0;
+};
+
+/// Builds the clustering on channel 0.  Every node ends either a
+/// dominator or bound to a dominator within r_c (whp).
+DominatingSetResult buildDominatingSet(Simulator& sim);
+
+}  // namespace mcs

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "util/ids.h"
+
+/// The complete binary "reporter tree" layout of §5.2.2 (Lemma 16).
+///
+/// Heap index k = 0 is the dominator (root).  Heap index k >= 1 is the
+/// reporter elected on channel k - 1.  The parent of k is floor(k / 2),
+/// and node k transmits to its parent on the parent's channel.
+namespace mcs {
+
+[[nodiscard]] constexpr int heapParent(int k) noexcept { return k / 2; }
+
+/// Channel the owner of heap index k operates on.  The dominator (k = 0)
+/// listens on channel 0.
+[[nodiscard]] constexpr ChannelId heapChannel(int k) noexcept {
+  return static_cast<ChannelId>(k <= 1 ? 0 : k - 1);
+}
+
+/// Channel on which the owner of heap index k transmits to its parent.
+[[nodiscard]] constexpr ChannelId heapUplinkChannel(int k) noexcept {
+  return heapChannel(heapParent(k));
+}
+
+/// Depth of heap index k: level(1) = 0, level(2..3) = 1, ...
+[[nodiscard]] constexpr int heapLevel(int k) noexcept {
+  int level = 0;
+  while (k > 1) {
+    k >>= 1;
+    ++level;
+  }
+  return level;
+}
+
+/// Deepest level of a heap with indices 1..count.
+[[nodiscard]] constexpr int heapMaxLevel(int count) noexcept {
+  return count >= 1 ? heapLevel(count) : 0;
+}
+
+}  // namespace mcs

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/clustering.h"
+#include "sim/simulator.h"
+
+/// Reporter election (§5.2.2, Lemma 15).
+///
+/// Each cluster C_v uses f_v = min(ceil(|C_v| / (c1 ln n)), F) channels.
+/// Dominatees pick a channel uniformly at random; on each channel the §4
+/// ruling-set protocol with radius 2 r_c (covering the whole cluster)
+/// elects exactly one reporter whp.  The reporters form the complete
+/// binary tree of heap_tree.h.
+namespace mcs {
+
+struct ReporterSetup {
+  /// Per node: the number of channels f_v its cluster uses (its own view,
+  /// derived from its CSA estimate; consistent cluster-wide whp).
+  std::vector<int> fvOfNode;
+  /// Per dominatee: the channel it selected for the election; for
+  /// reporters this is the channel they were elected on.
+  std::vector<ChannelId> channelOfNode;
+  std::vector<char> isReporter;
+  std::uint64_t slotsUsed = 0;
+};
+
+/// `estimateOfNode` is the CSA output (estimated dominatee count of the
+/// node's cluster, per node).
+ReporterSetup electReporters(Simulator& sim, const Clustering& cl,
+                             const std::vector<double>& estimateOfNode);
+
+/// f_v formula shared with tests: min(ceil((est + 1) / (c1 ln n)), F), >= 1.
+[[nodiscard]] int channelsForCluster(double estimate, int n, int numChannels, const Tuning& tun);
+
+}  // namespace mcs

@@ -1,0 +1,218 @@
+#include "proto/ruling_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mcs {
+namespace {
+
+enum class State : char { Out = 0, Active, InSet, Dominated };
+
+}  // namespace
+
+RulingSetResult runRulingSet(Simulator& sim, const std::vector<char>& participants,
+                             const RulingSetConfig& cfg) {
+  const int n = sim.network().size();
+  assert(static_cast<int>(participants.size()) == n);
+  assert(cfg.capProb > 0.0 && cfg.capProb <= 1.0);
+  assert(cfg.totalRounds >= 1);
+
+  const SinrBounds& kb = sim.network().bounds();
+  // Conservative clear-reception threshold (Def. 4) under parameter
+  // uncertainty: use the smallest T_s any in-range parameters give.  The
+  // radius-scaled term P/(4r)^alpha is what actually certifies "no other
+  // 4r-neighbor transmitted"; the paper's N-based form assumes r ~ R_T.
+  double ts = kb.clearThresholdLower();
+  if (cfg.requireClear) {
+    for (const double a : {kb.alphaMin, kb.alphaMax}) {
+      ts = std::max(ts, 0.5 * kb.power / std::pow(4.0 * cfg.radius, a));
+    }
+  }
+
+  RulingSetResult res;
+  res.inSet.assign(static_cast<std::size_t>(n), 0);
+  res.dominator.assign(static_cast<std::size_t>(n), kNoNode);
+
+  std::vector<State> state(static_cast<std::size_t>(n), State::Out);
+  std::vector<double> prob(static_cast<std::size_t>(n), cfg.initialProb);
+  std::vector<int> activeRounds(static_cast<std::size_t>(n), 0);
+  int numActive = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (participants[static_cast<std::size_t>(v)]) {
+      state[static_cast<std::size_t>(v)] = State::Active;
+      ++numActive;
+    }
+  }
+
+  const auto channel = [&](NodeId v) -> ChannelId {
+    return cfg.channelOf.empty() ? ChannelId{0} : cfg.channelOf[static_cast<std::size_t>(v)];
+  };
+  const auto group = [&](NodeId v) -> NodeId {
+    return cfg.groupOf.empty() ? kNoNode : cfg.groupOf[static_cast<std::size_t>(v)];
+  };
+
+  // Per-round scratch.
+  std::vector<char> gated(static_cast<std::size_t>(n), 0);
+  std::vector<char> sentHello(static_cast<std::size_t>(n), 0);
+  std::vector<NodeId> clearHelloFrom(static_cast<std::size_t>(n), kNoNode);
+  std::vector<char> gotAck(static_cast<std::size_t>(n), 0);
+
+  long round = cfg.roundOffset;
+
+  // ---- Slot 3 (IN) behavior, also reused by the resolution tail ---------
+  // Joiners announce; members re-announce (and otherwise listen, so two
+  // members elected in the same round resolve by id: the larger demotes).
+  // Dominated nodes keep listening and rebind to the smallest-id member
+  // they hear, tracking demotions.
+  const auto inSlotIntent = [&](NodeId v) -> Intent {
+    const auto vi = static_cast<std::size_t>(v);
+    if (!participants[vi] || !cfg.tdma.active(v, round)) return Intent::idle();
+    Message m;
+    m.type = MsgType::In;
+    m.src = v;
+    m.a = group(v);
+    if (state[vi] == State::InSet && sim.rng(v).bernoulli(cfg.reannounceProb)) {
+      return Intent::transmit(channel(v), m);
+    }
+    if (gated[vi] && sentHello[vi] && gotAck[vi]) return Intent::transmit(channel(v), m);
+    return Intent::listen(channel(v));
+  };
+  const auto inSlotReceive = [&](NodeId v, const Reception& r) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (!r.received || r.msg.type != MsgType::In) return;
+    if (r.msg.a != group(v) || !participants[vi]) return;
+    if (kb.distanceUpper(r.signalPower) > cfg.radius) return;
+    switch (state[vi]) {
+      case State::Active:
+        state[vi] = State::Dominated;
+        res.dominator[vi] = r.msg.src;
+        --numActive;
+        break;
+      case State::InSet:
+        if (r.msg.src < v) {  // conflict: yield to the smaller id
+          state[vi] = State::Dominated;
+          res.inSet[vi] = 0;
+          res.dominator[vi] = r.msg.src;
+        }
+        break;
+      case State::Dominated:
+        if (res.dominator[vi] == kNoNode || r.msg.src < res.dominator[vi]) {
+          res.dominator[vi] = r.msg.src;
+        }
+        break;
+      default: break;
+    }
+  };
+
+  int maxActiveRounds = 0;
+  while (numActive > 0 && maxActiveRounds < cfg.totalRounds) {
+    // Recompute the TDMA gate for this round.
+    for (NodeId v = 0; v < n; ++v) {
+      gated[static_cast<std::size_t>(v)] =
+          state[static_cast<std::size_t>(v)] == State::Active && cfg.tdma.active(v, round);
+    }
+
+    // ---- Slot 1: HELLO --------------------------------------------------
+    std::fill(sentHello.begin(), sentHello.end(), 0);
+    std::fill(clearHelloFrom.begin(), clearHelloFrom.end(), kNoNode);
+    sim.step(
+        [&](NodeId v) -> Intent {
+          if (!gated[static_cast<std::size_t>(v)]) return Intent::idle();
+          if (sim.rng(v).bernoulli(prob[static_cast<std::size_t>(v)])) {
+            sentHello[static_cast<std::size_t>(v)] = 1;
+            Message m;
+            m.type = MsgType::Hello;
+            m.src = v;
+            m.a = group(v);
+            return Intent::transmit(channel(v), m);
+          }
+          return Intent::listen(channel(v));
+        },
+        [&](NodeId v, const Reception& r) {
+          if (!r.received || r.msg.type != MsgType::Hello) return;
+          if (r.msg.a != group(v)) return;  // another group's election
+          // r-neighbor check, plus Def. 4's interference bound if enabled.
+          if (kb.distanceUpper(r.signalPower) > cfg.radius) return;
+          if (cfg.requireClear && r.interference() > ts) return;
+          clearHelloFrom[static_cast<std::size_t>(v)] = r.msg.src;
+        });
+
+    // ---- Slot 2: ACK ----------------------------------------------------
+    std::fill(gotAck.begin(), gotAck.end(), 0);
+    sim.step(
+        [&](NodeId v) -> Intent {
+          if (!gated[static_cast<std::size_t>(v)]) return Intent::idle();
+          const NodeId target = clearHelloFrom[static_cast<std::size_t>(v)];
+          if (target != kNoNode && sim.rng(v).bernoulli(cfg.ackProb)) {
+            Message m;
+            m.type = MsgType::Ack;
+            m.src = v;
+            m.dst = target;
+            return Intent::transmit(channel(v), m);
+          }
+          return Intent::listen(channel(v));
+        },
+        [&](NodeId v, const Reception& r) {
+          if (!sentHello[static_cast<std::size_t>(v)]) return;
+          if (!r.received || r.msg.type != MsgType::Ack || r.msg.dst != v) return;
+          if (kb.distanceUpper(r.signalPower) <= cfg.radius) {
+            gotAck[static_cast<std::size_t>(v)] = 1;
+          }
+        });
+
+    // ---- Slot 3: IN -------------------------------------------------------
+    sim.step(inSlotIntent, inSlotReceive);
+
+    // Joiners enter S and halt.
+    for (NodeId v = 0; v < n; ++v) {
+      if (gated[static_cast<std::size_t>(v)] && sentHello[static_cast<std::size_t>(v)] &&
+          gotAck[static_cast<std::size_t>(v)] &&
+          state[static_cast<std::size_t>(v)] == State::Active) {
+        state[static_cast<std::size_t>(v)] = State::InSet;
+        res.inSet[static_cast<std::size_t>(v)] = 1;
+        --numActive;
+      }
+    }
+
+    // Advance per-node active-round counters and the doubling schedule.
+    for (NodeId v = 0; v < n; ++v) {
+      if (!gated[static_cast<std::size_t>(v)]) continue;
+      const auto vi = static_cast<std::size_t>(v);
+      ++activeRounds[vi];
+      maxActiveRounds = std::max(maxActiveRounds, activeRounds[vi]);
+      if (cfg.epochRounds > 0 && activeRounds[vi] % cfg.epochRounds == 0) {
+        if (cfg.cycleProb && prob[vi] >= cfg.capProb) {
+          prob[vi] = cfg.initialProb;  // decay cycle restart
+        } else {
+          prob[vi] = std::min(prob[vi] * 2.0, cfg.capProb);
+        }
+      }
+    }
+    ++round;
+    res.slotsUsed += 3;
+  }
+  res.roundsRun = maxActiveRounds;
+
+  // ---- Resolution tail: settle member conflicts and give stragglers a
+  // last chance to hear a member before survivors self-elect --------------
+  std::fill(sentHello.begin(), sentHello.end(), 0);
+  std::fill(gotAck.begin(), gotAck.end(), 0);
+  const int tailRounds =
+      std::max(12, cfg.totalRounds / 4) * std::max(1, cfg.tdma.period);
+  for (int t = 0; t < tailRounds; ++t) {
+    sim.step(inSlotIntent, inSlotReceive);
+    ++round;
+    ++res.slotsUsed;
+  }
+
+  if (cfg.selfElectSurvivors) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (state[static_cast<std::size_t>(v)] == State::Active) {
+        res.inSet[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace mcs

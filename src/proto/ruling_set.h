@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/clustering.h"
+#include "sim/simulator.h"
+#include "util/ids.h"
+
+/// The (r, 2r)-ruling-set protocol of §4.
+///
+/// Each round has three slots:
+///   1. HELLO  — active nodes transmit with their current probability;
+///   2. ACK    — nodes with a *clear reception* (Def. 4) of a HELLO from an
+///               r-neighbor acknowledge it with probability capProb;
+///   3. IN     — a HELLO sender acknowledged by an r-neighbor joins the
+///               set, announces IN, and halts; listeners that decode an IN
+///               from an r-neighbor halt as dominated.
+///
+/// The engine supports two probability schedules:
+///  * fixed (epochRounds == 0): the paper's §4 algorithm, which assumes a
+///    constant-density participant set and transmits with 1/(2 mu);
+///  * doubling (epochRounds > 0): starts at initialProb and doubles every
+///    epoch up to capProb.  This is our stand-in for the density-reduction
+///    role of Scheideler et al. [28] (DESIGN.md §3.1) and is also used for
+///    per-channel leader election where the local density is unknown.
+namespace mcs {
+
+struct RulingSetConfig {
+  /// Independence radius r.  Members end pairwise > r apart (whp) and
+  /// every halted participant is bound to a member within r.
+  double radius = 0.1;
+  /// Starting per-node transmission probability.
+  double initialProb = 0.125;
+  /// Probability cap on HELLO transmissions (1/(2 mu)).
+  double capProb = 0.125;
+  /// ACK transmission probability.  The paper uses 1/(2 mu), which makes
+  /// pairwise elections succeed only ~1/(2 mu)^2 per round and forces its
+  /// huge gamma; SINR capture lets us ack far more aggressively.
+  double ackProb = 0.4;
+  /// Members of S keep re-announcing IN with this probability after
+  /// joining, so a single jammed IN slot cannot leave r-neighbors unaware
+  /// (they would self-elect duplicates otherwise).
+  double reannounceProb = 0.25;
+  /// Active rounds between probability doublings; 0 = fixed probability.
+  int epochRounds = 0;
+  /// When true, a node whose probability reaches capProb wraps back to
+  /// initialProb (a "decay cycle").  Repeated cycles sweep through every
+  /// contention regime, which replaces the density-reduction role of
+  /// Scheideler et al.'s phase 1 on arbitrary-density inputs.
+  bool cycleProb = false;
+  /// Active (non-gated) rounds each participant runs before the protocol
+  /// ends; survivors then self-elect if selfElectSurvivors.
+  int totalRounds = 100;
+  bool selfElectSurvivors = true;
+  /// Enforce Definition 4's clear reception (interference <= T_s) before
+  /// acknowledging a HELLO.  The paper needs this only on constant-density
+  /// inputs; on raw inputs it is so conservative that it serializes all
+  /// elections, so the default relies on plain SINR decoding — capture
+  /// already prevents two nearby nodes from being heard simultaneously.
+  bool requireClear = false;
+  /// Channel each participant operates on; empty = all on channel 0.
+  std::vector<ChannelId> channelOf;
+  /// Optional group id per participant (e.g. its cluster's dominator).
+  /// HELLO/IN messages carry the sender's group and are ignored across
+  /// groups, so concurrent per-cluster elections cannot dominate each
+  /// other's members.  Empty = one global group.
+  std::vector<NodeId> groupOf;
+  /// Optional cluster-TDMA gate (period 1 = ungated).
+  TdmaSchedule tdma;
+  /// Global-round offset for TDMA alignment when composing protocols.
+  long roundOffset = 0;
+};
+
+struct RulingSetResult {
+  /// Membership in the ruling set S.
+  std::vector<char> inSet;
+  /// For halted participants: the member whose IN they decoded (their
+  /// binding); kNoNode for members and non-participants.
+  std::vector<NodeId> dominator;
+  /// Active rounds executed (max over participants).
+  int roundsRun = 0;
+  /// Total slots consumed (3 per global round).
+  std::uint64_t slotsUsed = 0;
+};
+
+/// Runs the protocol over `participants` (size n mask).  Non-participants
+/// stay idle throughout.  Uses sim.rng(v) for all coin flips.
+RulingSetResult runRulingSet(Simulator& sim, const std::vector<char>& participants,
+                             const RulingSetConfig& cfg);
+
+}  // namespace mcs

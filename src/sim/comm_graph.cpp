@@ -1,0 +1,108 @@
+#include "sim/comm_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "geom/grid_index.h"
+
+namespace mcs {
+
+CommGraph::CommGraph(std::span<const Vec2> positions, double radius)
+    : n_(static_cast<int>(positions.size())), radius_(radius) {
+  assert(radius > 0.0);
+  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  if (n_ == 0) return;
+
+  const GridIndex grid(positions, radius);
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n_));
+  std::vector<NodeId> hits;
+  for (NodeId v = 0; v < n_; ++v) {
+    grid.queryBall(positions[static_cast<std::size_t>(v)], radius, hits);
+    for (const NodeId u : hits) {
+      if (u != v) adj[static_cast<std::size_t>(v)].push_back(u);
+    }
+    std::sort(adj[static_cast<std::size_t>(v)].begin(), adj[static_cast<std::size_t>(v)].end());
+  }
+  std::size_t total = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    total += adj[static_cast<std::size_t>(v)].size();
+    offsets_[static_cast<std::size_t>(v) + 1] = total;
+    maxDegree_ = std::max(maxDegree_, static_cast<int>(adj[static_cast<std::size_t>(v)].size()));
+  }
+  adjacency_.reserve(total);
+  for (NodeId v = 0; v < n_; ++v) {
+    adjacency_.insert(adjacency_.end(), adj[static_cast<std::size_t>(v)].begin(),
+                      adj[static_cast<std::size_t>(v)].end());
+  }
+}
+
+std::vector<int> CommGraph::bfs(NodeId source) const {
+  std::vector<int> depth(static_cast<std::size_t>(n_), -1);
+  if (n_ == 0) return depth;
+  std::queue<NodeId> q;
+  depth[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (const NodeId u : neighbors(v)) {
+      if (depth[static_cast<std::size_t>(u)] < 0) {
+        depth[static_cast<std::size_t>(u)] = depth[static_cast<std::size_t>(v)] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return depth;
+}
+
+bool CommGraph::connected() const { return componentCount() <= 1; }
+
+int CommGraph::componentCount() const {
+  std::vector<char> seen(static_cast<std::size_t>(n_), 0);
+  int components = 0;
+  for (NodeId s = 0; s < n_; ++s) {
+    if (seen[static_cast<std::size_t>(s)]) continue;
+    ++components;
+    std::queue<NodeId> q;
+    q.push(s);
+    seen[static_cast<std::size_t>(s)] = 1;
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (const NodeId u : neighbors(v)) {
+        if (!seen[static_cast<std::size_t>(u)]) {
+          seen[static_cast<std::size_t>(u)] = 1;
+          q.push(u);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+int CommGraph::diameterExact() const {
+  int best = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    const std::vector<int> depth = bfs(v);
+    for (const int d : depth) best = std::max(best, d);
+  }
+  return best;
+}
+
+int CommGraph::diameterEstimate() const {
+  if (n_ == 0) return 0;
+  // Sweep 1: farthest node from node 0 within its component.
+  std::vector<int> depth = bfs(0);
+  NodeId far = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    if (depth[static_cast<std::size_t>(v)] > depth[static_cast<std::size_t>(far)]) far = v;
+  }
+  // Sweep 2: eccentricity of that node.
+  depth = bfs(far);
+  int best = 0;
+  for (const int d : depth) best = std::max(best, d);
+  return best;
+}
+
+}  // namespace mcs

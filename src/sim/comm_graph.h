@@ -1,0 +1,65 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "util/ids.h"
+
+/// The communication graph G(V, E) (paper §2): nodes are connected iff
+/// their distance is at most R_eps = (1 - eps) * R_T.  Stored in CSR form.
+namespace mcs {
+
+class CommGraph {
+ public:
+  CommGraph() = default;
+
+  /// Builds the graph over `positions` with connection radius `radius`.
+  CommGraph(std::span<const Vec2> positions, double radius);
+
+  [[nodiscard]] int size() const noexcept { return n_; }
+  [[nodiscard]] double radius() const noexcept { return radius_; }
+
+  /// Neighbors of v (excluding v itself).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    const auto lo = offsets_[static_cast<std::size_t>(v)];
+    const auto hi = offsets_[static_cast<std::size_t>(v) + 1];
+    return {adjacency_.data() + lo, adjacency_.data() + hi};
+  }
+
+  [[nodiscard]] int degree(NodeId v) const noexcept {
+    return static_cast<int>(offsets_[static_cast<std::size_t>(v) + 1] -
+                            offsets_[static_cast<std::size_t>(v)]);
+  }
+
+  /// Maximum degree Delta.
+  [[nodiscard]] int maxDegree() const noexcept { return maxDegree_; }
+
+  [[nodiscard]] std::size_t edgeCount() const noexcept { return adjacency_.size() / 2; }
+
+  /// Hop distances from `source` (-1 for unreachable nodes).
+  [[nodiscard]] std::vector<int> bfs(NodeId source) const;
+
+  /// True iff the graph is connected (n == 0 counts as connected).
+  [[nodiscard]] bool connected() const;
+
+  /// Number of connected components.
+  [[nodiscard]] int componentCount() const;
+
+  /// Exact diameter (max eccentricity) of the largest component.
+  /// O(n * m): intended for n up to a few thousand.
+  [[nodiscard]] int diameterExact() const;
+
+  /// Double-sweep lower bound on the diameter; cheap and usually tight on
+  /// geometric graphs.
+  [[nodiscard]] int diameterEstimate() const;
+
+ private:
+  int n_ = 0;
+  double radius_ = 0.0;
+  int maxDegree_ = 0;
+  std::vector<std::size_t> offsets_;
+  std::vector<NodeId> adjacency_;
+};
+
+}  // namespace mcs

@@ -1,0 +1,36 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mcs {
+
+Network::Network(std::vector<Vec2> positions, SinrParams sinr, Tuning tuning,
+                 const SinrBounds* bounds)
+    : positions_(std::move(positions)),
+      sinr_(sinr),
+      bounds_(bounds ? *bounds : SinrBounds::exact(sinr)),
+      tuning_(tuning) {
+  assert(sinr_.valid());
+  rT_ = sinr_.transmissionRange();
+  rEps_ = (1.0 - tuning_.eps) * rT_;
+  rEpsHalf_ = (1.0 - tuning_.eps / 2.0) * rT_;
+  if (tuning_.rcFactor > 0.0) {
+    rc_ = tuning_.rcFactor * rT_;
+  } else {
+    // Paper §5.1.1: r_c = min{ t/(2t+2) * R_{eps/2}, eps R_T / 4 } with
+    // t the Lemma-2 separation constant.
+    const double t = sinr_.lemma2Factor();
+    rc_ = std::min(t / (2.0 * t + 2.0) * rEpsHalf_, tuning_.eps * rT_ / 4.0);
+  }
+}
+
+const CommGraph& Network::graph() const {
+  if (!graphBuilt_) {
+    graph_ = CommGraph(positions_, rEps_);
+    graphBuilt_ = true;
+  }
+  return graph_;
+}
+
+}  // namespace mcs

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "sim/comm_graph.h"
+#include "sim/tuning.h"
+#include "sinr/params.h"
+#include "util/ids.h"
+
+/// A deployed network instance: node positions, the SINR environment, and
+/// the derived model geometry (R_T, R_eps, r_c, ...).
+///
+/// The Network is "ground truth" owned by the simulation harness.  The
+/// distributed protocols never read positions or the communication graph;
+/// they only see what the Medium delivers.  Tests and experiment scripts
+/// use the ground truth to validate invariants and compute D and Delta.
+namespace mcs {
+
+class Network {
+ public:
+  /// Builds the network.  `bounds` models the nodes' (possibly
+  /// uncertain) knowledge of the SINR parameters; by default exact.
+  Network(std::vector<Vec2> positions, SinrParams sinr, Tuning tuning = {},
+          const SinrBounds* bounds = nullptr);
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(positions_.size()); }
+  [[nodiscard]] std::span<const Vec2> positions() const noexcept { return positions_; }
+  [[nodiscard]] Vec2 position(NodeId v) const noexcept {
+    return positions_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] const SinrParams& sinr() const noexcept { return sinr_; }
+  [[nodiscard]] const SinrBounds& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] const Tuning& tuning() const noexcept { return tuning_; }
+
+  /// Transmission range R_T (true value).
+  [[nodiscard]] double rT() const noexcept { return rT_; }
+  /// Communication radius R_eps = (1 - eps) R_T.
+  [[nodiscard]] double rEps() const noexcept { return rEps_; }
+  /// Separation radius R_{eps/2} = (1 - eps/2) R_T used by the cluster
+  /// coloring and the backbone.
+  [[nodiscard]] double rEpsHalf() const noexcept { return rEpsHalf_; }
+  /// Cluster radius r_c (§5.1.1); every node is assigned a dominator
+  /// within this distance.
+  [[nodiscard]] double rc() const noexcept { return rc_; }
+
+  /// The communication graph G at radius R_eps (ground truth).
+  [[nodiscard]] const CommGraph& graph() const;
+
+  /// d(u, v): ground-truth distance, for validation only.
+  [[nodiscard]] double distance(NodeId u, NodeId v) const noexcept {
+    return dist(position(u), position(v));
+  }
+
+  /// Maximum degree Delta of G.
+  [[nodiscard]] int maxDegree() const { return graph().maxDegree(); }
+  /// Diameter D of G (exact; largest component).
+  [[nodiscard]] int diameter() const { return graph().diameterExact(); }
+
+ private:
+  std::vector<Vec2> positions_;
+  SinrParams sinr_;
+  SinrBounds bounds_;
+  Tuning tuning_;
+  double rT_ = 0.0;
+  double rEps_ = 0.0;
+  double rEpsHalf_ = 0.0;
+  double rc_ = 0.0;
+  mutable CommGraph graph_;  // built lazily (positions are immutable)
+  mutable bool graphBuilt_ = false;
+};
+
+}  // namespace mcs

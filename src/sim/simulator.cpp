@@ -1,0 +1,14 @@
+#include "sim/simulator.h"
+
+namespace mcs {
+
+Simulator::Simulator(const Network& net, int numChannels, std::uint64_t seed)
+    : net_(&net), medium_(net.sinr(), numChannels), root_(seed) {
+  const auto n = static_cast<std::size_t>(net.size());
+  rngs_.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) rngs_.push_back(root_.fork(v + 1));
+  intents_.resize(n);
+  receptions_.resize(n);
+}
+
+}  // namespace mcs

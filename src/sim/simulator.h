@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/network.h"
+#include "sinr/medium.h"
+#include "util/rng.h"
+
+/// Slot-synchronous execution engine.
+///
+/// A protocol advances the simulation one slot at a time: it supplies an
+/// intent for every node, the Medium resolves all channels under SINR,
+/// and the protocol observes each listener's Reception.  All protocol
+/// randomness must come from `rng(v)` so runs are reproducible.
+namespace mcs {
+
+class Simulator {
+ public:
+  /// `numChannels` is F; `seed` determines every random choice.
+  Simulator(const Network& net, int numChannels, std::uint64_t seed);
+
+  /// Runs one slot.  `intentOf(NodeId) -> Intent` is called for every
+  /// node; `onReception(NodeId, const Reception&)` for every listener.
+  template <class IntentFn, class RecvFn>
+  void step(IntentFn&& intentOf, RecvFn&& onReception) {
+    const int n = net_->size();
+    for (NodeId v = 0; v < n; ++v) {
+      intents_[static_cast<std::size_t>(v)] = intentOf(v);
+    }
+    medium_.resolveSlot(net_->positions(), intents_, receptions_);
+    for (NodeId v = 0; v < n; ++v) {
+      if (intents_[static_cast<std::size_t>(v)].action == Action::Listen) {
+        onReception(v, receptions_[static_cast<std::size_t>(v)]);
+      }
+    }
+    ++slots_;
+    if (slots_ > static_cast<std::uint64_t>(net_->tuning().safetyCapSlots)) {
+      throw std::runtime_error("Simulator: safety slot cap exceeded (protocol stuck?)");
+    }
+  }
+
+  [[nodiscard]] const Network& network() const noexcept { return *net_; }
+  [[nodiscard]] int numChannels() const noexcept { return medium_.numChannels(); }
+  [[nodiscard]] std::uint64_t slots() const noexcept { return slots_; }
+  [[nodiscard]] const MediumStats& mediumStats() const noexcept { return medium_.stats(); }
+
+  /// Per-node deterministic random stream.
+  [[nodiscard]] Rng& rng(NodeId v) noexcept { return rngs_[static_cast<std::size_t>(v)]; }
+  /// Simulation-wide stream (harness-level choices, e.g. channel hashes).
+  [[nodiscard]] Rng& rootRng() noexcept { return root_; }
+
+ private:
+  const Network* net_;
+  Medium medium_;
+  Rng root_;
+  std::vector<Rng> rngs_;
+  std::vector<Intent> intents_;
+  std::vector<Reception> receptions_;
+  std::uint64_t slots_ = 0;
+};
+
+}  // namespace mcs

@@ -1,0 +1,4 @@
+#include "sim/tuning.h"
+
+// Tuning is header-only; anchor translation unit.
+namespace mcs {}

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cmath>
+
+/// All protocol constants in one place.
+///
+/// The paper's constants (gamma = 12 mu^2 / kappa^2, omega_1 = 36,
+/// gamma_2 = 8 omega_2 / kappa_1, c_1 = 24, ...) come from worst-case
+/// union-bound analysis; run literally they blow every phase up to
+/// thousands of rounds without changing any asymptotic behavior.  The
+/// defaults below preserve every structural relationship between the
+/// constants (ratios of thresholds to phase lengths, doubling schedules)
+/// at practical magnitudes.  `paperStrict()` restores the printed values
+/// for fidelity checks.  See DESIGN.md §3.3.
+namespace mcs {
+
+struct Tuning {
+  // ---- Global scaling ------------------------------------------------
+  /// Multiplies every Theta(ln n) round count.
+  double lnFactor = 1.0;
+  /// Hard cap on slots for any single protocol run; exceeding it is a bug
+  /// (tests assert completion well below the cap).
+  long safetyCapSlots = 30'000'000;
+
+  // ---- Geometry (§5.1.1) ---------------------------------------------
+  /// Communication-graph margin epsilon: R_eps = (1 - eps) R_T.
+  double eps = 0.5;
+  /// Cluster radius r_c as a fraction of R_T.  0 selects the paper's
+  /// worst-case formula  min{t/(2t+2) * R_{eps/2}, eps R_T / 4}.
+  /// The default keeps 2 r_c + R_eps <= R_{eps/2} (the Theorem-24
+  /// requirement that adjacent clusters' dominators share an
+  /// R_{eps/2}-ball) while staying large enough for sizeable clusters.
+  double rcFactor = 0.12;
+
+  // ---- Ruling set (§4) -----------------------------------------------
+  /// Rounds = ceil(gammaRuling * lnFactor * ln n).
+  double gammaRuling = 4.0;
+  /// Transmission probability 1/(2 mu); muDensity stands for the density
+  /// bound mu of the constant-density dominating set.
+  double muDensity = 4.0;
+
+  // ---- Dominating set (§5.1.1) -----------------------------------------
+  /// Rounds per doubling epoch in the density-reduction start.
+  int domEpochRounds = 3;
+  /// Tail rounds at the capped probability = ceil(gammaDomTail * ln n).
+  double gammaDomTail = 3.0;
+  /// Association phase rounds = ceil(gammaAssoc * ln n).
+  double gammaAssoc = 3.0;
+
+  // ---- Cluster coloring (§5.1.2) ---------------------------------------
+  /// Safety multiple over the geometric packing bound for phase count.
+  int coloringPhaseSlack = 4;
+
+  // ---- Cluster-size approximation (§5.2.1) -----------------------------
+  /// lambda: contention target (paper: 1/2).
+  double csaLambda = 0.5;
+  /// Rounds per CSA phase = ceil(gamma1 * ln n) (paper gamma_1 ~ 10^3).
+  double csaGamma1 = 8.0;
+  /// Termination threshold = ceil(omega1 * ln n) messages (paper 36 ln n).
+  double csaOmega1 = 1.0;
+  /// Assumed per-transmission success probability kappa (Lemma 3) used to
+  /// invert the message count into a size estimate.
+  double csaKappaHat = 0.7;
+
+  // ---- Reporters (§5.2.2) ----------------------------------------------
+  /// fv = min(ceil(|Cv| / (c1 * ln n)), F)   (paper c_1 = 24).
+  double c1 = 2.0;
+
+  // ---- Intra-cluster aggregation (§6) -----------------------------------
+  /// Phase length Gamma = ceil(gamma2 * ln n)  (paper gamma_2 = 8 w_2/k_1).
+  double aggGamma2 = 6.0;
+  /// Backoff threshold Omega = ceil(omega2 * ln n) messages on channel 1.
+  double aggOmega2 = 1.0;
+  /// Initial follower probability factor lambda (p_u = lambda f_v/|C_v|).
+  double aggLambda = 0.5;
+  /// Cap on phases (safety; Lemma 21 gives O(Delta/(F log n) + log log n)).
+  int aggMaxPhases = 150;
+
+  // ---- Inter-cluster aggregation (§6, [2] substitute) --------------------
+  /// Per-round transmit probability of backbone dominators.
+  double interTxProb = 0.2;
+  /// Gossip/beacon runs for ceil(interSlack * (D_bb + gammaInter*ln n)) rounds.
+  double gammaInter = 2.0;
+  double interSlack = 3.0;
+  /// Convergecast window per backbone level = ceil(interLevelWindow * ln n).
+  double interLevelWindow = 2.0;
+
+  /// ceil(gamma * lnFactor * ln(max(n,2))), at least `atLeast`.
+  [[nodiscard]] int lnRounds(double gamma, int n, int atLeast = 1) const noexcept {
+    const double lnn = std::log(static_cast<double>(n < 2 ? 2 : n));
+    const double r = std::ceil(gamma * lnFactor * lnn);
+    return r < atLeast ? atLeast : static_cast<int>(r);
+  }
+
+  /// The constants as printed in the paper (very slow; fidelity runs only).
+  [[nodiscard]] static Tuning paperStrict() noexcept {
+    Tuning t;
+    t.rcFactor = 0.0;  // paper's worst-case r_c formula
+    t.muDensity = 8.0;
+    t.gammaRuling = 48.0;  // gamma = 12 mu^2 / kappa^2 with kappa ~ mu/2...
+    t.csaGamma1 = 288.0;   // gamma_1 = 2 * omega_1 * 2/(kappa lambda), kappa ~ 0.5
+    t.csaOmega1 = 36.0;
+    t.c1 = 24.0;
+    t.aggGamma2 = 768.0;  // gamma_2 = 8 omega_2 / kappa_1, omega_2 = 96/kappa_1
+    t.aggOmega2 = 96.0;
+    t.safetyCapSlots = 400'000'000;
+    return t;
+  }
+};
+
+}  // namespace mcs

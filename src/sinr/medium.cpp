@@ -1,0 +1,98 @@
+#include "sinr/medium.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mcs {
+
+Medium::Medium(SinrParams params, int numChannels)
+    : params_(params), numChannels_(numChannels) {
+  assert(params_.valid());
+  assert(numChannels_ >= 1);
+  txByChannelStart_.assign(static_cast<std::size_t>(numChannels_) + 1, 0);
+}
+
+void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent> intents,
+                         std::vector<Reception>& out) {
+  const std::size_t n = positions.size();
+  assert(intents.size() == n);
+  out.assign(n, Reception{});
+  ++stats_.slots;
+
+  // Bucket transmitters by channel (counting sort) and collect listeners.
+  txByChannelStart_.assign(static_cast<std::size_t>(numChannels_) + 1, 0);
+  listeners_.clear();
+  std::size_t txTotal = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const Intent& it = intents[v];
+    if (it.action == Action::Idle) continue;
+    assert(it.channel >= 0 && it.channel < numChannels_);
+    if (it.action == Action::Transmit) {
+      ++txByChannelStart_[static_cast<std::size_t>(it.channel) + 1];
+      ++txTotal;
+    } else {
+      listeners_.push_back(static_cast<NodeId>(v));
+    }
+  }
+  stats_.transmissions += txTotal;
+  stats_.listens += listeners_.size();
+  if (listeners_.empty()) return;
+
+  for (int c = 0; c < numChannels_; ++c) {
+    txByChannelStart_[static_cast<std::size_t>(c) + 1] +=
+        txByChannelStart_[static_cast<std::size_t>(c)];
+  }
+  txByChannel_.resize(txTotal);
+  {
+    std::vector<std::int32_t> cursor(txByChannelStart_.begin(), txByChannelStart_.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      const Intent& it = intents[v];
+      if (it.action != Action::Transmit) continue;
+      txByChannel_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(it.channel)]++)] =
+          static_cast<NodeId>(v);
+    }
+  }
+
+  const double alpha = params_.alpha;
+  const double beta = params_.beta;
+  const double noise = params_.noise;
+  const double power = params_.power;
+
+  for (const NodeId v : listeners_) {
+    const ChannelId c = intents[static_cast<std::size_t>(v)].channel;
+    const std::int32_t lo = txByChannelStart_[static_cast<std::size_t>(c)];
+    const std::int32_t hi = txByChannelStart_[static_cast<std::size_t>(c) + 1];
+    if (lo == hi) continue;  // silent channel
+
+    double total = 0.0;
+    double best = -1.0;
+    NodeId bestTx = kNoNode;
+    const Vec2 pv = positions[static_cast<std::size_t>(v)];
+    for (std::int32_t i = lo; i < hi; ++i) {
+      const NodeId w = txByChannel_[static_cast<std::size_t>(i)];
+      const double d2 = dist2(positions[static_cast<std::size_t>(w)], pv);
+      // Distinct positions are a model requirement; guard nonetheless.
+      const double rx = d2 > 0.0 ? power / std::pow(d2, alpha / 2.0) : 1e300;
+      total += rx;
+      if (rx > best) {
+        best = rx;
+        bestTx = w;
+      }
+    }
+
+    Reception& r = out[static_cast<std::size_t>(v)];
+    r.totalPower = total;
+    // SINR condition (1) for the strongest transmitter.  With beta >= 1 no
+    // weaker transmitter can satisfy it, so checking the strongest suffices.
+    if (bestTx != kNoNode && best >= beta * (noise + (total - best))) {
+      r.received = true;
+      r.msg = intents[static_cast<std::size_t>(bestTx)].msg;
+      r.sinr = best / (noise + (total - best));
+      r.signalPower = best;
+      r.senderDistance = params_.distanceFromPower(best);
+      ++stats_.decodes;
+    }
+  }
+}
+
+}  // namespace mcs

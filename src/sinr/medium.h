@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "sim/message.h"
+#include "sinr/params.h"
+#include "util/ids.h"
+
+/// The shared wireless medium: resolves one slot of simultaneous
+/// transmissions across F non-overlapping channels under the SINR rule.
+namespace mcs {
+
+/// Aggregate counters maintained by the medium (for metrics/benches).
+struct MediumStats {
+  std::uint64_t slots = 0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t listens = 0;
+  std::uint64_t decodes = 0;
+
+  [[nodiscard]] double decodeRate() const noexcept {
+    return listens ? static_cast<double>(decodes) / static_cast<double>(listens) : 0.0;
+  }
+};
+
+class Medium {
+ public:
+  Medium(SinrParams params, int numChannels);
+
+  /// Resolves one slot.  `intents[v]` is node v's declared behavior;
+  /// `out[v]` is filled for every listener (and cleared for everyone
+  /// else).  Transmitters observe nothing (half-duplex, §2).
+  ///
+  /// Semantics per listener on channel c:
+  ///  - totalPower = sum of P/d(w,v)^alpha over all transmitters w on c;
+  ///  - the strongest transmitter u decodes iff
+  ///      P/d(u,v)^alpha >= beta * (N + totalPower - P/d(u,v)^alpha);
+  ///  - at most one message decodes per slot (beta >= 1 makes the
+  ///    strongest the only candidate).
+  void resolveSlot(std::span<const Vec2> positions, std::span<const Intent> intents,
+                   std::vector<Reception>& out);
+
+  [[nodiscard]] const SinrParams& params() const noexcept { return params_; }
+  [[nodiscard]] int numChannels() const noexcept { return numChannels_; }
+  [[nodiscard]] const MediumStats& stats() const noexcept { return stats_; }
+  void resetStats() noexcept { stats_ = {}; }
+
+ private:
+  SinrParams params_;
+  int numChannels_;
+  MediumStats stats_;
+
+  // Scratch buffers reused across slots to avoid per-slot allocation.
+  std::vector<std::int32_t> txByChannelStart_;
+  std::vector<NodeId> txByChannel_;
+  std::vector<NodeId> listeners_;
+};
+
+}  // namespace mcs

@@ -1,0 +1,5 @@
+#include "sinr/params.h"
+
+// SinrParams and SinrBounds are header-only; this translation unit exists
+// to anchor the module in the build and to host future non-inline helpers.
+namespace mcs {}

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cmath>
+#include <initializer_list>
+
+/// SINR model parameters and derived quantities (paper §2).
+namespace mcs {
+
+/// Physical-layer parameters: path-loss exponent alpha (> 2), decoding
+/// threshold beta (>= 1), ambient noise N (> 0), uniform transmit power P.
+///
+/// The library default is normalized so the transmission range
+/// R_T = (P / (beta * N))^(1/alpha) equals 1.
+struct SinrParams {
+  double alpha = 3.0;
+  double beta = 1.5;
+  double noise = 1.0 / 1.5;  // => R_T = 1 with power = 1
+  double power = 1.0;
+
+  /// Maximum decodable distance absent interference: (P / (beta N))^(1/alpha).
+  [[nodiscard]] double transmissionRange() const noexcept {
+    return std::pow(power / (beta * noise), 1.0 / alpha);
+  }
+
+  /// Received power at distance d: P / d^alpha.
+  [[nodiscard]] double rxPower(double d) const noexcept {
+    return power / std::pow(d, alpha);
+  }
+
+  /// Inverts rxPower: distance estimate from a measured signal strength.
+  /// This is the RSSI-based ranging the model grants nodes (§2).
+  [[nodiscard]] double distanceFromPower(double signal) const noexcept {
+    return std::pow(power / signal, 1.0 / alpha);
+  }
+
+  /// Clear-reception interference threshold T_s (Definition 4):
+  ///   T_s = N * min{(2^alpha - 1)/2^alpha, beta / 2^alpha}.
+  [[nodiscard]] double clearThreshold() const noexcept {
+    const double p2a = std::pow(2.0, alpha);
+    return noise * std::min((p2a - 1.0) / p2a, beta / p2a);
+  }
+
+  /// The Lemma-2 separation constant t = ((alpha-2)/(48 beta (alpha-1)))^(1/alpha):
+  /// an r1-independent transmitter set is heard by all (t*r1)-neighbors.
+  [[nodiscard]] double lemma2Factor() const noexcept {
+    return std::pow((alpha - 2.0) / (48.0 * beta * (alpha - 1.0)), 1.0 / alpha);
+  }
+
+  /// Validates the model constraints (alpha > 2, beta >= 1, positive N, P).
+  [[nodiscard]] bool valid() const noexcept {
+    return alpha > 2.0 && beta >= 1.0 && noise > 0.0 && power > 0.0;
+  }
+
+  /// Returns parameters rescaled so that transmissionRange() == rt.
+  [[nodiscard]] SinrParams withRange(double rt) const noexcept {
+    SinrParams p = *this;
+    p.noise = p.power / (p.beta * std::pow(rt, p.alpha));
+    return p;
+  }
+};
+
+/// Uncertainty ranges for the SINR parameters (§2 "Knowledge of Nodes").
+/// Protocols only see this struct, never the exact SinrParams; they must
+/// pick the conservative end of each range.
+struct SinrBounds {
+  double alphaMin = 3.0, alphaMax = 3.0;
+  double betaMin = 1.5, betaMax = 1.5;
+  double noiseMin = 1.0 / 1.5, noiseMax = 1.0 / 1.5;
+  double power = 1.0;  // uniform power is known exactly
+
+  /// Exact knowledge of `p` (zero-width ranges).
+  [[nodiscard]] static SinrBounds exact(const SinrParams& p) noexcept {
+    SinrBounds b;
+    b.alphaMin = b.alphaMax = p.alpha;
+    b.betaMin = b.betaMax = p.beta;
+    b.noiseMin = b.noiseMax = p.noise;
+    b.power = p.power;
+    return b;
+  }
+
+  /// Ranges of relative width `rel` centered on `p` (e.g. rel = 0.2 gives
+  /// +-10% around each true value).
+  [[nodiscard]] static SinrBounds around(const SinrParams& p, double rel) noexcept {
+    SinrBounds b;
+    const double lo = 1.0 - rel / 2.0, hi = 1.0 + rel / 2.0;
+    b.alphaMin = std::max(2.0 + 1e-6, p.alpha * lo);
+    b.alphaMax = p.alpha * hi;
+    b.betaMin = std::max(1.0, p.beta * lo);
+    b.betaMax = p.beta * hi;
+    b.noiseMin = p.noise * lo;
+    b.noiseMax = p.noise * hi;
+    b.power = p.power;
+    return b;
+  }
+
+  /// Conservative (smallest guaranteed) transmission range.
+  [[nodiscard]] double rangeLower() const noexcept {
+    SinrParams worst;
+    worst.alpha = alphaMax;
+    worst.beta = betaMax;
+    worst.noise = noiseMax;
+    worst.power = power;
+    const double a = worst.transmissionRange();
+    worst.alpha = alphaMin;
+    return std::min(a, worst.transmissionRange());
+  }
+
+  /// Conservative clear-reception threshold: the smallest T_s over the
+  /// ranges, so that "interference <= T_s" is never declared wrongly.
+  [[nodiscard]] double clearThresholdLower() const noexcept {
+    double best = 1e300;
+    for (double a : {alphaMin, alphaMax}) {
+      SinrParams p;
+      p.alpha = a;
+      p.beta = betaMin;
+      p.noise = noiseMin;
+      p.power = power;
+      best = std::min(best, p.clearThreshold());
+    }
+    return best;
+  }
+
+  /// Conservative distance estimate from RSSI: the largest distance any
+  /// parameter setting in the range could map `signal` to.
+  [[nodiscard]] double distanceUpper(double signal) const noexcept {
+    double d = 0.0;
+    for (double a : {alphaMin, alphaMax}) {
+      d = std::max(d, std::pow(power / signal, 1.0 / a));
+    }
+    return d;
+  }
+};
+
+}  // namespace mcs

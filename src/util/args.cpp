@@ -1,0 +1,53 @@
+#include "util/args.h"
+
+#include <cstdlib>
+
+namespace mcs {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    token.erase(0, 2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      named_[token.substr(0, eq)] = token.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      named_[token] = argv[++i];
+    } else {
+      named_[token] = "1";
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const { return named_.count(name) > 0; }
+
+std::string Args::get(const std::string& name, const std::string& fallback) const {
+  const auto it = named_.find(name);
+  return it == named_.end() ? fallback : it->second;
+}
+
+long Args::getInt(const std::string& name, long fallback) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) return fallback;
+  return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Args::getDouble(const std::string& name, double fallback) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Args::getBool(const std::string& name, bool fallback) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) return fallback;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace mcs

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+/// Minimal command-line flag parser for examples and experiment binaries.
+///
+/// Accepts `--name=value`, `--name value`, and bare `--flag` (value "1").
+/// Anything not starting with `--` is collected as a positional argument.
+namespace mcs {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name, const std::string& fallback = "") const;
+  [[nodiscard]] long getInt(const std::string& name, long fallback) const;
+  [[nodiscard]] double getDouble(const std::string& name, double fallback) const;
+  [[nodiscard]] bool getBool(const std::string& name, bool fallback = false) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> named_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mcs

@@ -1,0 +1,40 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace mcs {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path), toFile_(true) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needsQuote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needsQuote) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::writeLine(const std::vector<std::string>& values) {
+  if (!toFile_) return;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(values[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) { writeLine(names); }
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  writeLine(values);
+  ++rows_;
+}
+
+}  // namespace mcs

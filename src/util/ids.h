@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+/// Core identifier types shared by all mcsinr modules.
+namespace mcs {
+
+/// Index of a node in the network, dense in [0, n).
+using NodeId = std::int32_t;
+/// Sentinel: "no node".
+inline constexpr NodeId kNoNode = -1;
+
+/// Index of a communication channel, dense in [0, F).
+using ChannelId = std::int16_t;
+/// Sentinel: "no channel" (node is idle / off the medium).
+inline constexpr ChannelId kNoChannel = -1;
+
+/// A cluster is identified by the NodeId of its dominator.
+using ClusterId = std::int32_t;
+/// Sentinel: "no cluster".
+inline constexpr ClusterId kNoCluster = -1;
+
+}  // namespace mcs

@@ -1,0 +1,33 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mcs {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel logLevel() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void logMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(logLevel())) return;
+  std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+}
+
+}  // namespace mcs

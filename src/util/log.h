@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+/// Tiny leveled logger.  Protocol code logs at Debug level; benches and
+/// examples raise the level to Info.  All output goes to stderr so that
+/// experiment tables on stdout stay machine-readable.
+namespace mcs {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global log threshold; messages below it are dropped.
+void setLogLevel(LogLevel level) noexcept;
+[[nodiscard]] LogLevel logLevel() noexcept;
+
+/// Writes one log line ("[level] message\n") if `level` passes the threshold.
+void logMessage(LogLevel level, const std::string& message);
+
+inline void logDebug(const std::string& m) { logMessage(LogLevel::Debug, m); }
+inline void logInfo(const std::string& m) { logMessage(LogLevel::Info, m); }
+inline void logWarn(const std::string& m) { logMessage(LogLevel::Warn, m); }
+inline void logError(const std::string& m) { logMessage(LogLevel::Error, m); }
+
+}  // namespace mcs

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// Lightweight statistics helpers used by benches and tests.
+namespace mcs {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the q-quantile (q in [0,1]) of `xs` by linear interpolation.
+/// `xs` is copied and sorted; empty input yields 0.
+[[nodiscard]] double quantile(std::vector<double> xs, double q);
+
+/// Five-number-ish summary of a sample, handy for bench tables.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(const std::vector<double>& xs);
+
+/// Formats `x` with `digits` significant decimals (no trailing zeros mess).
+[[nodiscard]] std::string formatDouble(double x, int digits = 2);
+
+/// Least-squares slope of y against x (both same length, >= 2 points).
+[[nodiscard]] double linearSlope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace mcs

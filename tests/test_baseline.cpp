@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace mcs {
+namespace {
+
+TEST(Chain, BetaThreshold) {
+  EXPECT_NEAR(chainBetaThreshold(3.0), std::pow(2.0, 1.0 / 3.0), 1e-12);
+  EXPECT_LT(chainBetaThreshold(4.0), chainBetaThreshold(2.5));
+}
+
+TEST(Chain, SingleChannelAtMostOneDescendingSuccess) {
+  // The §1 lower-bound instance: at most one *descending* reception per
+  // channel per slot, independent of n (see chain.h for the argument).
+  const SinrParams p;
+  for (const int n : {16, 32, 64}) {
+    auto pts = deployExponentialChain(n, 2.0, 0.9);
+    Network net(std::move(pts), p);
+    const ChainSlotStats stats = chainConcurrency(net, 1, 400, 7);
+    EXPECT_LE(stats.maxDescendingSuccesses, 1) << "n=" << n;
+    EXPECT_GT(stats.meanSuccesses, 0.0);
+  }
+}
+
+TEST(Chain, MultipleChannelsMultiplyDescendingSuccesses) {
+  const SinrParams p;
+  auto pts = deployExponentialChain(32, 2.0, 0.9);
+  Network net(std::move(pts), p);
+  const ChainSlotStats s1 = chainConcurrency(net, 1, 300, 7);
+  const ChainSlotStats s4 = chainConcurrency(net, 4, 300, 7);
+  EXPECT_LE(s1.maxDescendingSuccesses, 1);
+  EXPECT_LE(s4.maxDescendingSuccesses, 4);
+  EXPECT_GT(s4.maxDescendingSuccesses, 1);
+  EXPECT_GT(s4.meanDescendingSuccesses, 1.5 * s1.meanDescendingSuccesses);
+}
+
+class AlohaSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlohaSeeds, CorrectAggregation) {
+  const std::uint64_t seed = GetParam();
+  test::BuiltStructure b(350, 1.2, 4, seed);
+  Rng rng(seed * 3 + 2);
+  std::vector<double> values(static_cast<std::size_t>(b.net.size()));
+  for (double& x : values) x = rng.uniform(-10, 10);
+  const AggregateRun run = runAlohaAggregation(b.sim, b.s, values, AggKind::Max);
+  EXPECT_TRUE(run.delivered);
+  const double truth = aggregateGroundTruth(values, AggKind::Max);
+  for (NodeId v = 0; v < b.net.size(); ++v) {
+    EXPECT_EQ(run.valueAtNode[static_cast<std::size_t>(v)], truth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlohaSeeds, ::testing::Values(1u, 2u));
+
+TEST(Aloha, SumExact) {
+  test::BuiltStructure b(300, 1.2, 4, 5);
+  std::vector<double> ones(static_cast<std::size_t>(b.net.size()), 1.0);
+  const AggregateRun run = runAlohaAggregation(b.sim, b.s, ones, AggKind::Sum);
+  EXPECT_TRUE(run.delivered);
+  EXPECT_NEAR(run.valueAtNode[0], static_cast<double>(b.net.size()), 1e-9);
+}
+
+TEST(Aloha, MultiChannelUplinkBeatsSingleChannelOnDenseClusters) {
+  // The paper's headline comparison at the cluster level.
+  test::BuiltStructure b(900, 0.8, 8, 9);
+  std::vector<double> ones(static_cast<std::size_t>(b.net.size()), 1.0);
+  const AggregateRun multi = runAggregation(b.sim, b.s, ones, AggKind::Max);
+  const AggregateRun single = runAlohaAggregation(b.sim, b.s, ones, AggKind::Max);
+  ASSERT_TRUE(multi.delivered);
+  ASSERT_TRUE(single.delivered);
+  EXPECT_LT(multi.costs.uplink, single.costs.uplink);
+}
+
+TEST(Aloha, UplinkDeliversEveryDominatee) {
+  test::BuiltStructure b(300, 1.2, 2, 11);
+  std::vector<double> ones(static_cast<std::size_t>(b.net.size()), 1.0);
+  const AlohaUplinkResult res = alohaClusterUplink(b.sim, b.s.clustering, b.s.tdma, ones,
+                                                   b.s.sizeEstimate, AggKind::Sum);
+  ASSERT_TRUE(res.allDelivered);
+  const auto sizes = test::trueClusterSizes(b.net, b.s.clustering);
+  for (const NodeId d : b.s.clustering.dominators) {
+    EXPECT_DOUBLE_EQ(res.clusterValue[static_cast<std::size_t>(d)],
+                     sizes[static_cast<std::size_t>(d)] + 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "proto/cluster_coloring.h"
+#include "proto/dominating_set.h"
+#include "test_support.h"
+
+namespace mcs {
+namespace {
+
+class ClusterColoringSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusterColoringSeeds, SeparationAndCompleteness) {
+  const std::uint64_t seed = GetParam();
+  Network net = test::makeUniformNetwork(350, 1.3, seed);
+  Simulator sim(net, 4, seed + 7);
+  DominatingSetResult ds = buildDominatingSet(sim);
+  Clustering& cl = ds.clustering;
+  const ClusterColoringResult cc = colorClusters(sim, cl);
+
+  // Every dominator colored in [0, numColors).
+  for (const NodeId d : cl.dominators) {
+    const int c = cl.colorOfCluster[static_cast<std::size_t>(d)];
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, cl.numColors);
+  }
+  // Non-dominators carry no color.
+  for (NodeId v = 0; v < net.size(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (!cl.isDominator[vi]) EXPECT_EQ(cl.colorOfCluster[vi], -1);
+  }
+  // Same color => farther than R_{eps/2} apart; allow at most one missed
+  // pair (verification is probabilistic).
+  EXPECT_LE(test::colorSeparationViolations(net, cl), 1);
+
+  // Number of colors bounded by the packing bound times slack.
+  EXPECT_LE(cl.numColors, packingBound(net.rEpsHalf(), net.rc()));
+  EXPECT_EQ(cc.phases, cl.numColors);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterColoringSeeds, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(ClusterColoring, SingleClusterOneColor) {
+  Rng rng(3);
+  auto pts = deployUniformDisk(50, 0.04, rng);
+  Network net(std::move(pts), SinrParams{});
+  Simulator sim(net, 1, 4);
+  DominatingSetResult ds = buildDominatingSet(sim);
+  colorClusters(sim, ds.clustering);
+  EXPECT_GE(ds.clustering.numColors, 1);
+  EXPECT_LE(ds.clustering.numColors, 3);
+}
+
+TEST(ClusterColoring, TdmaScheduleFromClustering) {
+  Network net = test::makeUniformNetwork(200, 1.2, 5);
+  Simulator sim(net, 2, 6);
+  DominatingSetResult ds = buildDominatingSet(sim);
+  colorClusters(sim, ds.clustering);
+  const TdmaSchedule tdma = TdmaSchedule::from(ds.clustering);
+  EXPECT_EQ(tdma.period, ds.clustering.numColors);
+  // A node is active exactly once per period.
+  for (NodeId v = 0; v < net.size(); v += 17) {
+    int activeCount = 0;
+    for (long r = 0; r < tdma.period; ++r) activeCount += tdma.active(v, r);
+    EXPECT_EQ(activeCount, 1);
+    // And its active round matches its cluster's color.
+    EXPECT_TRUE(tdma.active(v, ds.clustering.clusterColorOf(v)));
+  }
+}
+
+TEST(ClusterColoring, PackingBoundSanity) {
+  EXPECT_GE(packingBound(1.0, 0.5), 4);
+  EXPECT_GE(packingBound(1.0, 0.1), packingBound(1.0, 0.5));
+  EXPECT_EQ(packingBound(1.0, 0.0), 1);  // degenerate input guarded
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_support.h"
+
+namespace mcs {
+namespace {
+
+class ColoringSeeds : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ColoringSeeds, ProperAndComplete) {
+  const auto [channels, seed] = GetParam();
+  test::BuiltStructure b(350, 1.2, channels, seed);
+  const ColoringResult res = runColoring(b.sim, b.s);
+  EXPECT_TRUE(res.complete);
+  for (NodeId v = 0; v < b.net.size(); ++v) {
+    EXPECT_GE(res.colorOf[static_cast<std::size_t>(v)], 0) << "node " << v << " uncolored";
+  }
+  EXPECT_EQ(countColoringViolations(b.net, res.colorOf), 0);
+  // O(Delta) colors: phi * (max cluster size + 1) distinct classes is the
+  // design bound.  (colorsUsed, the max index, can be inflated by the
+  // rare orphan overflow band without growing the class count.)
+  const auto sizes = test::trueClusterSizes(b.net, b.s.clustering);
+  int maxCluster = 0;
+  for (const int s : sizes) maxCluster = std::max(maxCluster, s);
+  std::set<int> classes;
+  for (const int c : res.colorOf) {
+    if (c >= 0) classes.insert(c);
+  }
+  EXPECT_LE(static_cast<int>(classes.size()), b.s.tdma.period * (maxCluster + 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ColoringSeeds,
+                         ::testing::Combine(::testing::Values(1, 8),
+                                            ::testing::Values(1u, 2u, 3u)));
+
+TEST(Coloring, WithinClusterColorsDistinct) {
+  test::BuiltStructure b(300, 1.2, 4, 7);
+  const ColoringResult res = runColoring(b.sim, b.s);
+  ASSERT_TRUE(res.complete);
+  std::vector<std::set<int>> used(static_cast<std::size_t>(b.net.size()));
+  for (NodeId v = 0; v < b.net.size(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const NodeId d = b.s.clustering.dominatorOf[vi];
+    auto [it, fresh] = used[static_cast<std::size_t>(d)].insert(res.colorOf[vi]);
+    EXPECT_TRUE(fresh) << "duplicate color " << res.colorOf[vi] << " in cluster " << d;
+  }
+}
+
+TEST(Coloring, ColorsEncodeClusterColor) {
+  // color mod phi == the node's cluster TDMA color (the §7 layout).
+  test::BuiltStructure b(300, 1.2, 4, 9);
+  const ColoringResult res = runColoring(b.sim, b.s);
+  ASSERT_TRUE(res.complete);
+  const int phi = b.s.tdma.period;
+  for (NodeId v = 0; v < b.net.size(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    EXPECT_EQ(res.colorOf[vi] % phi, b.s.tdma.colorOfNode[vi]);
+  }
+}
+
+TEST(Coloring, DominatorsTakeBaseColor) {
+  test::BuiltStructure b(250, 1.2, 4, 11);
+  const ColoringResult res = runColoring(b.sim, b.s);
+  for (const NodeId d : b.s.clustering.dominators) {
+    const auto di = static_cast<std::size_t>(d);
+    EXPECT_EQ(res.colorOf[di], b.s.tdma.colorOfNode[di]);
+  }
+}
+
+TEST(Coloring, CostsRecorded) {
+  test::BuiltStructure b(250, 1.2, 4, 13);
+  const ColoringResult res = runColoring(b.sim, b.s);
+  EXPECT_GT(res.costs.uplink, 0u);
+  EXPECT_GT(res.costs.tree, 0u);
+  EXPECT_GT(res.costs.broadcast, 0u);
+}
+
+TEST(Coloring, Deterministic) {
+  const auto run = [] {
+    test::BuiltStructure b(200, 1.2, 4, 15);
+    return runColoring(b.sim, b.s).colorOf;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Coloring, SparseNetworkTrivialColors) {
+  // Isolated nodes: every node is its own dominator, color = cluster color.
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 6; ++i) pts.push_back({2.0 * i, 0.0});
+  Network net(std::move(pts), SinrParams{});
+  Simulator sim(net, 2, 16);
+  const AggregationStructure s = buildStructure(sim);
+  const ColoringResult res = runColoring(sim, s);
+  EXPECT_TRUE(res.complete);
+  EXPECT_EQ(countColoringViolations(net, res.colorOf), 0);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/deployment.h"
+#include "sim/comm_graph.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace mcs {
+namespace {
+
+TEST(CommGraph, MatchesBruteForce) {
+  Rng rng(17);
+  const auto pts = deployUniformSquare(300, 1.5, rng);
+  const double radius = 0.4;
+  const CommGraph g(pts, radius);
+  for (NodeId v = 0; v < g.size(); ++v) {
+    std::vector<NodeId> want;
+    for (NodeId u = 0; u < g.size(); ++u) {
+      if (u != v && dist(pts[static_cast<std::size_t>(u)], pts[static_cast<std::size_t>(v)]) <=
+                        radius) {
+        want.push_back(u);
+      }
+    }
+    const auto nbrs = g.neighbors(v);
+    std::vector<NodeId> got(nbrs.begin(), nbrs.end());
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(g.degree(v), static_cast<int>(want.size()));
+  }
+}
+
+TEST(CommGraph, MaxDegreeAndEdgeCount) {
+  const std::vector<Vec2> pts{{0, 0}, {0.1, 0}, {0.2, 0}, {5, 5}};
+  const CommGraph g(pts, 0.15);
+  EXPECT_EQ(g.maxDegree(), 2);       // middle node sees both ends
+  EXPECT_EQ(g.edgeCount(), 2u);      // 0-1, 1-2
+  EXPECT_EQ(g.degree(3), 0);
+}
+
+TEST(CommGraph, BfsDepths) {
+  // Path graph 0 - 1 - 2 - 3.
+  const std::vector<Vec2> pts{{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  const CommGraph g(pts, 1.1);
+  const auto depth = g.bfs(0);
+  EXPECT_EQ(depth, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(CommGraph, BfsUnreachable) {
+  const std::vector<Vec2> pts{{0, 0}, {10, 0}};
+  const CommGraph g(pts, 1.0);
+  const auto depth = g.bfs(0);
+  EXPECT_EQ(depth[0], 0);
+  EXPECT_EQ(depth[1], -1);
+}
+
+TEST(CommGraph, Connectivity) {
+  const std::vector<Vec2> path{{0, 0}, {0.5, 0}, {1.0, 0}};
+  EXPECT_TRUE(CommGraph(path, 0.6).connected());
+  EXPECT_EQ(CommGraph(path, 0.6).componentCount(), 1);
+  const std::vector<Vec2> split{{0, 0}, {0.5, 0}, {9, 0}, {9.5, 0}};
+  EXPECT_FALSE(CommGraph(split, 0.6).connected());
+  EXPECT_EQ(CommGraph(split, 0.6).componentCount(), 2);
+}
+
+TEST(CommGraph, DiameterPathGraph) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 12; ++i) pts.push_back({0.5 * i, 0.0});
+  const CommGraph g(pts, 0.6);
+  EXPECT_EQ(g.diameterExact(), 11);
+  EXPECT_EQ(g.diameterEstimate(), 11);  // double sweep is exact on paths
+}
+
+TEST(CommGraph, DiameterEstimateIsLowerBound) {
+  Rng rng(23);
+  const auto pts = deployUniformSquare(250, 2.5, rng);
+  const CommGraph g(pts, 0.5);
+  EXPECT_LE(g.diameterEstimate(), g.diameterExact());
+  // On random geometric graphs the double sweep is nearly tight.
+  EXPECT_GE(g.diameterEstimate() + 2, g.diameterExact());
+}
+
+TEST(CommGraph, EmptyAndSingleton) {
+  EXPECT_EQ(CommGraph(std::vector<Vec2>{}, 1.0).diameterExact(), 0);
+  EXPECT_TRUE(CommGraph(std::vector<Vec2>{}, 1.0).connected());
+  const std::vector<Vec2> one{{0, 0}};
+  EXPECT_EQ(CommGraph(one, 1.0).diameterExact(), 0);
+  EXPECT_TRUE(CommGraph(one, 1.0).connected());
+}
+
+TEST(Network, DerivedRadii) {
+  Tuning tun;
+  Network net({{0, 0}, {0.3, 0}}, SinrParams{}, tun);
+  EXPECT_NEAR(net.rT(), 1.0, 1e-12);
+  EXPECT_NEAR(net.rEps(), (1.0 - tun.eps) * net.rT(), 1e-12);
+  EXPECT_NEAR(net.rEpsHalf(), (1.0 - tun.eps / 2.0) * net.rT(), 1e-12);
+  EXPECT_NEAR(net.rc(), tun.rcFactor * net.rT(), 1e-12);
+  // Theorem 24 geometry: adjacent clusters' dominators share an
+  // R_{eps/2}-ball.
+  EXPECT_LE(2.0 * net.rc() + net.rEps(), net.rEpsHalf() + 1e-12);
+}
+
+TEST(Network, PaperRcFormula) {
+  Tuning tun;
+  tun.rcFactor = 0.0;  // paper's worst-case formula
+  Network net({{0, 0}, {0.3, 0}}, SinrParams{}, tun);
+  const double t = SinrParams{}.lemma2Factor();
+  const double expect = std::min(t / (2 * t + 2) * net.rEpsHalf(), tun.eps * net.rT() / 4);
+  EXPECT_NEAR(net.rc(), expect, 1e-12);
+  EXPECT_GT(net.rc(), 0.0);
+}
+
+TEST(Network, GraphUsesREps) {
+  Network net({{0, 0}, {0.45, 0}, {0.6, 0}}, SinrParams{});  // rEps = 0.5
+  EXPECT_EQ(net.graph().degree(0), 1);  // only the 0.45 node
+  EXPECT_EQ(net.maxDegree(), 2);        // middle node
+}
+
+}  // namespace
+}  // namespace mcs

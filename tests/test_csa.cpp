@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "proto/cluster_coloring.h"
+#include "proto/dominating_set.h"
+#include "test_support.h"
+
+namespace mcs {
+namespace {
+
+struct CsaFixture {
+  Network net;
+  Simulator sim;
+  Clustering cl;
+
+  CsaFixture(int n, double side, int channels, std::uint64_t seed)
+      : net(test::makeUniformNetwork(n, side, seed)), sim(net, channels, seed + 13) {
+    DominatingSetResult ds = buildDominatingSet(sim);
+    cl = std::move(ds.clustering);
+    colorClusters(sim, cl);
+  }
+};
+
+void expectConstantFactor(const Network& net, const Clustering& cl,
+                          const std::vector<double>& est, double maxRatio) {
+  const auto trueSize = test::trueClusterSizes(net, cl);
+  for (const NodeId d : cl.dominators) {
+    const auto di = static_cast<std::size_t>(d);
+    const double got = est[di] + 1.0;
+    const double want = trueSize[di] + 1.0;
+    const double ratio = std::max(got / want, want / got);
+    EXPECT_LE(ratio, maxRatio) << "cluster " << d << ": est " << est[di] << " true "
+                               << trueSize[di];
+  }
+}
+
+void expectClusterConsistency(const Network& net, const Clustering& cl,
+                              const std::vector<double>& est) {
+  // After the final broadcast every dominatee should hold its dominator's
+  // estimate; tolerate a few stragglers.
+  int mismatches = 0;
+  for (NodeId v = 0; v < net.size(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const NodeId d = cl.dominatorOf[vi];
+    if (d != kNoNode && est[vi] != est[static_cast<std::size_t>(d)]) ++mismatches;
+  }
+  EXPECT_LE(mismatches, net.size() / 50);
+}
+
+class CsaLargeSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsaLargeSeeds, ConstantFactorEstimates) {
+  CsaFixture f(400, 1.3, 4, GetParam());
+  const CsaResult res = runCsaLarge(f.sim, f.cl);
+  expectConstantFactor(f.net, f.cl, res.estimateOfNode, 8.0);
+  expectClusterConsistency(f.net, f.cl, res.estimateOfNode);
+  EXPECT_GT(res.slotsUsed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsaLargeSeeds, ::testing::Values(1u, 2u, 3u));
+
+class CsaSmallSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsaSmallSeeds, ConstantFactorEstimates) {
+  CsaFixture f(400, 1.3, 8, GetParam());
+  const CsaResult res = runCsaSmall(f.sim, f.cl);
+  expectConstantFactor(f.net, f.cl, res.estimateOfNode, 10.0);
+  expectClusterConsistency(f.net, f.cl, res.estimateOfNode);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsaSmallSeeds, ::testing::Values(1u, 2u, 3u));
+
+TEST(Csa, LargePhasesTrackDeltaHat) {
+  // Fewer phases when a tight DeltaHat is known (Lemma 12's log DeltaHat).
+  CsaFixture f(300, 1.2, 4, 9);
+  const int truthMax = [&] {
+    const auto sizes = test::trueClusterSizes(f.net, f.cl);
+    int m = 1;
+    for (const int s : sizes) m = std::max(m, s);
+    return m;
+  }();
+  Simulator sim2(f.net, 4, 77);
+  const CsaResult tight = runCsaLarge(sim2, f.cl, 4 * truthMax);
+  Simulator sim3(f.net, 4, 77);
+  const CsaResult naive = runCsaLarge(sim3, f.cl, f.net.size() * 8);
+  EXPECT_LT(tight.slotsUsed, naive.slotsUsed);
+  expectConstantFactor(f.net, f.cl, tight.estimateOfNode, 8.0);
+}
+
+TEST(Csa, AutoSelectsSmallForSmallDeltaHat) {
+  CsaFixture f(300, 1.2, 16, 4);
+  // deltaHat <= F log^2 n -> the small variant runs; both must be correct,
+  // and for small deltaHat the small variant is cheaper (Lemma 14).
+  const int deltaHat = 64;
+  Simulator simSmall(f.net, 16, 5);
+  const CsaResult small = runCsaSmall(simSmall, f.cl, deltaHat);
+  Simulator simLarge(f.net, 16, 5);
+  const CsaResult large = runCsaLarge(simLarge, f.cl, f.net.size());
+  EXPECT_LT(small.slotsUsed, large.slotsUsed);
+}
+
+TEST(Csa, EmptyClustersGetZero) {
+  // Nodes far apart: every cluster is a singleton with zero dominatees.
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 6; ++i) pts.push_back({1.5 * i, 0.0});
+  Network net(std::move(pts), SinrParams{});
+  Simulator sim(net, 2, 3);
+  DominatingSetResult ds = buildDominatingSet(sim);
+  colorClusters(sim, ds.clustering);
+  const CsaResult res = runCsa(sim, ds.clustering);
+  for (const NodeId d : ds.clustering.dominators) {
+    EXPECT_EQ(res.estimateOfNode[static_cast<std::size_t>(d)], 0.0);
+  }
+}
+
+TEST(Csa, Deterministic) {
+  const auto run = [] {
+    CsaFixture f(250, 1.2, 4, 21);
+    return runCsaLarge(f.sim, f.cl).estimateOfNode;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace mcs {
+namespace {
+
+class DominatingSetSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DominatingSetSeeds, ClusteringInvariants) {
+  const std::uint64_t seed = GetParam();
+  Network net = test::makeUniformNetwork(400, 1.5, seed);
+  Simulator sim(net, 4, seed + 100);
+  const DominatingSetResult ds = buildDominatingSet(sim);
+  const Clustering& cl = ds.clustering;
+
+  // Every node bound; dominators bound to themselves; binding within 2 r_c
+  // (r_c typically, 2 r_c after a conflict-demotion forward).
+  int beyondRc = 0;
+  for (NodeId v = 0; v < net.size(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const NodeId d = cl.dominatorOf[vi];
+    ASSERT_NE(d, kNoNode);
+    ASSERT_TRUE(cl.isDominator[static_cast<std::size_t>(d)]);
+    if (cl.isDominator[vi]) EXPECT_EQ(d, v);
+    EXPECT_LE(net.distance(v, d), 2 * net.rc() + 1e-12);
+    if (net.distance(v, d) > net.rc() + 1e-12) ++beyondRc;
+  }
+  // Forwarded bindings are the exception, not the rule.
+  EXPECT_LE(beyondRc, net.size() / 10);
+
+  // dominators list is consistent with the mask.
+  int maskCount = 0;
+  for (NodeId v = 0; v < net.size(); ++v) {
+    maskCount += cl.isDominator[static_cast<std::size_t>(v)] != 0;
+  }
+  EXPECT_EQ(maskCount, static_cast<int>(cl.dominators.size()));
+
+  // Near-independence (Lemma 6's whp guarantee, minus the rare
+  // simultaneous-join cases conflict resolution missed).
+  const int violations = test::independenceViolations(net, cl, net.rc());
+  EXPECT_LE(violations, std::max(1, static_cast<int>(cl.dominators.size()) / 20));
+
+  // Constant density: no r_c-ball holds too many dominators.
+  const int bound = packingBound(net.rc(), net.rc());
+  for (const NodeId d : cl.dominators) {
+    int inBall = 0;
+    for (const NodeId e : cl.dominators) {
+      if (net.distance(d, e) <= net.rc()) ++inBall;
+    }
+    EXPECT_LE(inBall, bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominatingSetSeeds, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(DominatingSet, SparseNetworkAllDominators) {
+  // Pairwise distances exceed r_c: everyone must self-elect.
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 8; ++i) pts.push_back({0.5 * i, 0.0});  // r_c = 0.12
+  Network net(std::move(pts), SinrParams{});
+  Simulator sim(net, 1, 3);
+  const DominatingSetResult ds = buildDominatingSet(sim);
+  EXPECT_EQ(ds.clustering.dominators.size(), 8u);
+}
+
+TEST(DominatingSet, DenseBallFewDominators) {
+  Rng rng(5);
+  auto pts = deployUniformDisk(200, 0.05, rng);  // all within one r_c ball
+  Network net(std::move(pts), SinrParams{});
+  Simulator sim(net, 1, 6);
+  const DominatingSetResult ds = buildDominatingSet(sim);
+  EXPECT_LE(ds.clustering.dominators.size(), 4u);
+  EXPECT_GE(ds.clustering.dominators.size(), 1u);
+}
+
+TEST(DominatingSet, RoundsScaleLogarithmically) {
+  // Rounds / ln n stays bounded as n grows (Lemma 7's O(log n)).
+  double worstRatio = 0.0;
+  for (const int n : {100, 200, 400, 800}) {
+    Network net = test::makeUniformNetwork(n, 1.2, 9);
+    Simulator sim(net, 1, 10);
+    const DominatingSetResult ds = buildDominatingSet(sim);
+    const double ratio = static_cast<double>(ds.roundsRun) / std::log(n);
+    worstRatio = std::max(worstRatio, ratio);
+  }
+  EXPECT_LT(worstRatio, 60.0);
+}
+
+TEST(DominatingSet, Deterministic) {
+  const auto run = [] {
+    Network net = test::makeUniformNetwork(250, 1.2, 11);
+    Simulator sim(net, 2, 12);
+    return buildDominatingSet(sim).clustering.dominators;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/deployment.h"
+#include "geom/grid_index.h"
+#include "geom/vec2.h"
+#include "util/rng.h"
+
+namespace mcs {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1, 2}, b{3, -4};
+  EXPECT_EQ((a + b), (Vec2{4, -2}));
+  EXPECT_EQ((a - b), (Vec2{-2, 6}));
+  EXPECT_EQ((a * 2.0), (Vec2{2, 4}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 3 - 8);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(dist({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(dist2({0, 0}, {3, 4}), 25.0);
+}
+
+class GridIndexParam : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(GridIndexParam, MatchesBruteForce) {
+  const auto [n, radius] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 31 + 7);
+  const auto pts = deployUniformSquare(n, 2.0, rng);
+  const GridIndex grid(pts, radius);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Vec2 c{rng.uniform(0.0, 2.0), rng.uniform(0.0, 2.0)};
+    auto got = grid.ball(c, radius);
+    std::vector<NodeId> want;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (dist(pts[i], c) <= radius) want.push_back(static_cast<NodeId>(i));
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GridIndexParam,
+                         ::testing::Combine(::testing::Values(1, 17, 200, 1000),
+                                            ::testing::Values(0.05, 0.3, 1.0)));
+
+TEST(GridIndex, EmptyInput) {
+  const GridIndex grid(std::vector<Vec2>{}, 1.0);
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_TRUE(grid.ball({0, 0}, 10.0).empty());
+}
+
+TEST(GridIndex, QueryOutsideBounds) {
+  const std::vector<Vec2> pts{{0, 0}, {1, 1}};
+  const GridIndex grid(pts, 0.5);
+  EXPECT_TRUE(grid.ball({100, 100}, 0.4).empty());
+  EXPECT_EQ(grid.ball({100, 100}, 200.0).size(), 2u);
+}
+
+TEST(Deploy, UniformSquareBounds) {
+  Rng rng(1);
+  const auto pts = deployUniformSquare(500, 3.0, rng);
+  EXPECT_EQ(pts.size(), 500u);
+  for (const Vec2& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 3.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 3.0);
+  }
+}
+
+TEST(Deploy, UniformDiskBounds) {
+  Rng rng(2);
+  const auto pts = deployUniformDisk(500, 2.0, rng);
+  for (const Vec2& p : pts) EXPECT_LE(p.norm(), 2.0 + 1e-12);
+}
+
+TEST(Deploy, UniformDiskRadialDistribution) {
+  Rng rng(3);
+  const auto pts = deployUniformDisk(20000, 1.0, rng);
+  // Uniform over area: P(r <= 1/2) = 1/4.
+  int inner = 0;
+  for (const Vec2& p : pts) inner += p.norm() <= 0.5;
+  EXPECT_NEAR(static_cast<double>(inner) / pts.size(), 0.25, 0.02);
+}
+
+TEST(Deploy, PerturbedGridCount) {
+  Rng rng(4);
+  const auto pts = deployPerturbedGrid(300, 2.0, 0.3, rng);
+  EXPECT_EQ(pts.size(), 300u);
+}
+
+TEST(Deploy, ClusteredAroundCenters) {
+  Rng rng(5);
+  const auto pts = deployClustered(1000, 5, 10.0, 0.1, rng);
+  EXPECT_EQ(pts.size(), 1000u);
+}
+
+TEST(Deploy, CorridorBounds) {
+  Rng rng(6);
+  const auto pts = deployCorridor(200, 8.0, 0.5, rng);
+  for (const Vec2& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 8.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 0.5);
+  }
+}
+
+TEST(Deploy, ExponentialChainGapsGrow) {
+  const auto pts = deployExponentialChain(10, 2.0, 0.4);
+  ASSERT_EQ(pts.size(), 10u);
+  double prevGap = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double gap = pts[i].x - pts[i - 1].x;
+    EXPECT_GT(gap, prevGap);
+    prevGap = gap;
+  }
+  // Largest gap normalized to maxGap.
+  EXPECT_NEAR(pts[9].x - pts[8].x, 0.4, 1e-12);
+  for (const Vec2& p : pts) EXPECT_EQ(p.y, 0.0);
+}
+
+TEST(Deploy, ExponentialChainBaseControlsRatio) {
+  const auto pts = deployExponentialChain(6, 3.0, 1.0);
+  for (std::size_t i = 2; i < pts.size(); ++i) {
+    const double g1 = pts[i].x - pts[i - 1].x;
+    const double g0 = pts[i - 1].x - pts[i - 2].x;
+    EXPECT_NEAR(g1 / g0, 3.0, 1e-9);
+  }
+}
+
+TEST(Deploy, DedupePositions) {
+  Rng rng(7);
+  std::vector<Vec2> pts{{0, 0}, {0, 0}, {0, 0}, {1, 1}};
+  const auto fixed = dedupePositions(pts, 1e-6, rng);
+  for (std::size_t i = 0; i < fixed.size(); ++i) {
+    for (std::size_t j = i + 1; j < fixed.size(); ++j) {
+      EXPECT_GT(dist(fixed[i], fixed[j]), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcs

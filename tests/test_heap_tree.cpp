@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "proto/heap_tree.h"
+
+namespace mcs {
+namespace {
+
+TEST(HeapTree, ParentChain) {
+  EXPECT_EQ(heapParent(1), 0);
+  EXPECT_EQ(heapParent(2), 1);
+  EXPECT_EQ(heapParent(3), 1);
+  EXPECT_EQ(heapParent(6), 3);
+  EXPECT_EQ(heapParent(7), 3);
+}
+
+TEST(HeapTree, Channels) {
+  // The dominator (k=0) and the first reporter (k=1) share channel 0.
+  EXPECT_EQ(heapChannel(0), 0);
+  EXPECT_EQ(heapChannel(1), 0);
+  EXPECT_EQ(heapChannel(2), 1);
+  EXPECT_EQ(heapChannel(5), 4);
+  // Uplink goes to the parent's channel.
+  EXPECT_EQ(heapUplinkChannel(1), 0);
+  EXPECT_EQ(heapUplinkChannel(2), 0);
+  EXPECT_EQ(heapUplinkChannel(3), 0);
+  EXPECT_EQ(heapUplinkChannel(4), 1);
+  EXPECT_EQ(heapUplinkChannel(5), 1);
+}
+
+TEST(HeapTree, Levels) {
+  EXPECT_EQ(heapLevel(1), 0);
+  EXPECT_EQ(heapLevel(2), 1);
+  EXPECT_EQ(heapLevel(3), 1);
+  EXPECT_EQ(heapLevel(4), 2);
+  EXPECT_EQ(heapLevel(7), 2);
+  EXPECT_EQ(heapLevel(8), 3);
+}
+
+TEST(HeapTree, MaxLevelLogarithmic) {
+  EXPECT_EQ(heapMaxLevel(1), 0);
+  EXPECT_EQ(heapMaxLevel(2), 1);
+  EXPECT_EQ(heapMaxLevel(3), 1);
+  EXPECT_EQ(heapMaxLevel(4), 2);
+  EXPECT_EQ(heapMaxLevel(15), 3);
+  EXPECT_EQ(heapMaxLevel(16), 4);
+}
+
+class HeapTreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeapTreeSweep, StructuralInvariants) {
+  const int k = GetParam();
+  // Parent is strictly shallower; level = level(parent) + 1.
+  EXPECT_EQ(heapLevel(k), heapLevel(heapParent(k)) + (k > 1 ? 1 : 0));
+  // A child transmits on its parent's own channel.
+  EXPECT_EQ(heapUplinkChannel(k), heapChannel(heapParent(k)));
+  // Siblings 2p and 2p+1 have opposite parity (collision-free slots).
+  if (k >= 2) {
+    const int sibling = (k % 2 == 0) ? k + 1 : k - 1;
+    EXPECT_NE(k % 2, sibling % 2);
+    EXPECT_EQ(heapParent(k), heapParent(sibling));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallK, HeapTreeSweep, ::testing::Range(1, 64));
+
+}  // namespace
+}  // namespace mcs

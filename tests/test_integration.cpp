@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+/// Integration and edge-case suite: degenerate topologies, structure
+/// reuse across many aggregations, message-layer helpers, and a smoke run
+/// with the paper's literal constants.
+namespace mcs {
+namespace {
+
+TEST(MessageLayer, IntentHelpers) {
+  const Intent i = Intent::idle();
+  EXPECT_EQ(i.action, Action::Idle);
+  const Intent l = Intent::listen(3);
+  EXPECT_EQ(l.action, Action::Listen);
+  EXPECT_EQ(l.channel, 3);
+  Message m;
+  m.type = MsgType::Data;
+  const Intent t = Intent::transmit(1, m);
+  EXPECT_EQ(t.action, Action::Transmit);
+  EXPECT_EQ(t.msg.type, MsgType::Data);
+}
+
+TEST(MessageLayer, ReceptionInterference) {
+  Reception r;
+  r.received = true;
+  r.signalPower = 3.0;
+  r.totalPower = 5.0;
+  EXPECT_DOUBLE_EQ(r.interference(), 2.0);
+  r.received = false;
+  EXPECT_DOUBLE_EQ(r.interference(), 5.0);
+}
+
+TEST(Integration, SingletonNetwork) {
+  Network net({{0.0, 0.0}}, SinrParams{});
+  Simulator sim(net, 4, 1);
+  const std::vector<double> values{7.5};
+  const AggregateRun run = buildAndAggregate(sim, values, AggKind::Max);
+  EXPECT_TRUE(run.delivered);
+  EXPECT_EQ(run.valueAtNode[0], 7.5);
+}
+
+TEST(Integration, TwoNodesAllKinds) {
+  for (const AggKind kind : {AggKind::Max, AggKind::Min, AggKind::Sum}) {
+    Network net({{0.0, 0.0}, {0.3, 0.0}}, SinrParams{});
+    Simulator sim(net, 2, 5);
+    const std::vector<double> values{2.0, 5.0};
+    const AggregateRun run = buildAndAggregate(sim, values, kind);
+    EXPECT_TRUE(run.delivered);
+    EXPECT_EQ(run.valueAtNode[0], aggregateGroundTruth(values, kind));
+    EXPECT_EQ(run.valueAtNode[1], aggregateGroundTruth(values, kind));
+  }
+}
+
+TEST(Integration, ManyAggregationsReuseOneStructure) {
+  test::BuiltStructure b(250, 1.2, 4, 31);
+  Rng rng(32);
+  for (int i = 0; i < 5; ++i) {
+    std::vector<double> values(static_cast<std::size_t>(b.net.size()));
+    for (double& x : values) x = rng.uniform(-5, 5);
+    const AggKind kind = i % 2 == 0 ? AggKind::Max : AggKind::Sum;
+    const AggregateRun run = runAggregation(b.sim, b.s, values, kind);
+    EXPECT_TRUE(run.delivered) << "round " << i;
+  }
+}
+
+TEST(Integration, ColoringAfterAggregationSameStructure) {
+  test::BuiltStructure b(250, 1.2, 4, 33);
+  std::vector<double> values(static_cast<std::size_t>(b.net.size()), 1.0);
+  const AggregateRun run = runAggregation(b.sim, b.s, values, AggKind::Sum);
+  EXPECT_TRUE(run.delivered);
+  const ColoringResult col = runColoring(b.sim, b.s);
+  EXPECT_TRUE(col.complete);
+  EXPECT_EQ(countColoringViolations(b.net, col.colorOf), 0);
+}
+
+TEST(Integration, DisconnectedComponentsAggregatePerComponent) {
+  // Two far-apart blobs: the backbone cannot bridge them, so global
+  // delivery must fail, but no protocol may hang or throw.
+  Rng rng(35);
+  auto a = deployUniformDisk(60, 0.3, rng);
+  auto c = deployUniformDisk(60, 0.3, rng);
+  for (auto& p : c) p.x += 10.0;
+  a.insert(a.end(), c.begin(), c.end());
+  Network net(std::move(a), SinrParams{});
+  ASSERT_FALSE(net.graph().connected());
+  Simulator sim(net, 4, 36);
+  std::vector<double> values(static_cast<std::size_t>(net.size()));
+  for (double& x : values) x = rng.uniform();
+  const AggregateRun run = buildAndAggregate(sim, values, AggKind::Max);
+  EXPECT_FALSE(run.delivered);  // no channel can cross a 10 R_T gap
+}
+
+TEST(Integration, CollinearDenseLine) {
+  // Degenerate geometry: all nodes on one line.
+  std::vector<Vec2> pts;
+  Rng rng(37);
+  for (int i = 0; i < 150; ++i) pts.push_back({rng.uniform(0.0, 2.0), 0.0});
+  Network net(std::move(pts), SinrParams{});
+  if (!net.graph().connected()) GTEST_SKIP();
+  Simulator sim(net, 4, 38);
+  std::vector<double> values(150, 1.0);
+  const AggregateRun run = buildAndAggregate(sim, values, AggKind::Sum);
+  EXPECT_TRUE(run.delivered);
+  EXPECT_NEAR(run.valueAtNode[0], 150.0, 1e-9);
+}
+
+TEST(Integration, PaperStrictTuningSmoke) {
+  // The literal constants from the paper on a tiny instance: slow but
+  // must behave identically in structure (this exercises the r_c formula
+  // path, rcFactor = 0, and the huge round counts).
+  Tuning strict = Tuning::paperStrict();
+  Rng rng(39);
+  auto pts = deployUniformDisk(30, 0.25, rng);
+  Network net(std::move(pts), SinrParams{}, strict);
+  EXPECT_GT(net.rc(), 0.0);
+  EXPECT_LT(net.rc(), 0.1);  // the worst-case formula is tiny
+  Simulator sim(net, 2, 40);
+  const DominatingSetResult ds = buildDominatingSet(sim);
+  for (NodeId v = 0; v < net.size(); ++v) {
+    EXPECT_NE(ds.clustering.dominatorOf[static_cast<std::size_t>(v)], kNoNode);
+  }
+}
+
+TEST(Integration, HighChannelCountOnTinyNetwork) {
+  // F far larger than any cluster: must degrade gracefully to few used
+  // channels, not break.
+  Network net = test::makeUniformNetwork(80, 0.8, 41);
+  Simulator sim(net, 64, 42);
+  const AggregationStructure s = buildStructure(sim);
+  for (NodeId v = 0; v < net.size(); ++v) {
+    EXPECT_LE(s.fvOfNode[static_cast<std::size_t>(v)], 64);
+  }
+  std::vector<double> values(80, 2.0);
+  const AggregateRun run = runAggregation(sim, s, values, AggKind::Max);
+  EXPECT_TRUE(run.delivered);
+}
+
+TEST(Integration, DedupedCoincidentPositions) {
+  // Users may feed coincident sensor positions; dedupePositions makes the
+  // deployment valid for the SINR model.
+  Rng rng(43);
+  std::vector<Vec2> pts(50, Vec2{0.1, 0.1});
+  auto fixed = dedupePositions(std::move(pts), 1e-4, rng);
+  Network net(std::move(fixed), SinrParams{});
+  Simulator sim(net, 2, 44);
+  std::vector<double> values(50, 3.0);
+  const AggregateRun run = buildAndAggregate(sim, values, AggKind::Max);
+  EXPECT_TRUE(run.delivered);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace mcs {
+namespace {
+
+struct InterFixture {
+  Network net;
+  Simulator sim;
+  Clustering cl;
+  TdmaSchedule tdma;
+
+  InterFixture(int n, double side, std::uint64_t seed)
+      : net(test::makeUniformNetwork(n, side, seed)), sim(net, 2, seed + 3) {
+    DominatingSetResult ds = buildDominatingSet(sim);
+    cl = std::move(ds.clustering);
+    colorClusters(sim, cl);
+    tdma = TdmaSchedule::from(cl);
+  }
+};
+
+TEST(Inter, BackboneConnectedWheneverGraphIs) {
+  // R_eps + 2 r_c <= R_{eps/2} makes the dominator overlay inherit
+  // connectivity (DESIGN.md §3.2).
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    InterFixture f(350, 1.4, seed);
+    if (!f.net.graph().connected()) continue;
+    std::vector<Vec2> pts;
+    for (const NodeId d : f.cl.dominators) pts.push_back(f.net.position(d));
+    const CommGraph bb(pts, f.net.rEpsHalf());
+    EXPECT_TRUE(bb.connected()) << "seed " << seed;
+  }
+}
+
+class GossipSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GossipSeeds, MaxConvergesEverywhere) {
+  InterFixture f(350, 1.4, GetParam());
+  Rng rng(GetParam() * 11 + 5);
+  std::vector<double> initial(static_cast<std::size_t>(f.net.size()), 0.0);
+  double truth = -1.0;
+  for (const NodeId d : f.cl.dominators) {
+    initial[static_cast<std::size_t>(d)] = rng.uniform();
+    truth = std::max(truth, initial[static_cast<std::size_t>(d)]);
+  }
+  const InterResult res = gossipAggregate(f.sim, f.cl, f.tdma, initial, AggKind::Max);
+  ASSERT_TRUE(res.converged);
+  for (const NodeId d : f.cl.dominators) {
+    EXPECT_EQ(res.valueAtDominator[static_cast<std::size_t>(d)], truth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GossipSeeds, ::testing::Values(1u, 2u, 3u));
+
+class TreeSumSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeSumSeeds, SumIsExact) {
+  InterFixture f(350, 1.4, GetParam());
+  Rng rng(GetParam() * 13 + 7);
+  std::vector<double> initial(static_cast<std::size_t>(f.net.size()), 0.0);
+  double truth = 0.0;
+  for (const NodeId d : f.cl.dominators) {
+    initial[static_cast<std::size_t>(d)] = std::floor(rng.uniform(0, 100));
+    truth += initial[static_cast<std::size_t>(d)];
+  }
+  const InterResult res = treeAggregate(f.sim, f.cl, f.tdma, initial, AggKind::Sum);
+  ASSERT_TRUE(res.converged);
+  for (const NodeId d : f.cl.dominators) {
+    EXPECT_DOUBLE_EQ(res.valueAtDominator[static_cast<std::size_t>(d)], truth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeSumSeeds, ::testing::Values(1u, 2u, 3u));
+
+TEST(Inter, SingleDominatorShortCircuits) {
+  Rng rng(5);
+  auto pts = deployUniformDisk(40, 0.04, rng);
+  Network net(std::move(pts), SinrParams{});
+  Simulator sim(net, 1, 6);
+  DominatingSetResult ds = buildDominatingSet(sim);
+  colorClusters(sim, ds.clustering);
+  if (ds.clustering.dominators.size() != 1) GTEST_SKIP() << "needs a single cluster";
+  const TdmaSchedule tdma = TdmaSchedule::from(ds.clustering);
+  std::vector<double> initial(40, 0.0);
+  initial[static_cast<std::size_t>(ds.clustering.dominators[0])] = 7.0;
+  const InterResult g = gossipAggregate(sim, ds.clustering, tdma, initial, AggKind::Max);
+  EXPECT_TRUE(g.converged);
+  EXPECT_EQ(g.slots, 0u);
+  const InterResult t = treeAggregate(sim, ds.clustering, tdma, initial, AggKind::Sum);
+  EXPECT_TRUE(t.converged);
+  EXPECT_EQ(t.valueAtDominator[static_cast<std::size_t>(ds.clustering.dominators[0])], 7.0);
+}
+
+TEST(Inter, BroadcastReachesAllNodes) {
+  InterFixture f(300, 1.2, 9);
+  std::vector<double> values(static_cast<std::size_t>(f.net.size()), -1.0);
+  for (const NodeId d : f.cl.dominators) values[static_cast<std::size_t>(d)] = 42.0;
+  broadcastToClusters(f.sim, f.cl, f.tdma, values, 6);
+  int missed = 0;
+  for (NodeId v = 0; v < f.net.size(); ++v) {
+    if (values[static_cast<std::size_t>(v)] != 42.0) ++missed;
+  }
+  EXPECT_EQ(missed, 0);
+}
+
+TEST(Inter, GossipSlotsScaleWithDiameterNotN) {
+  // Corridor networks: doubling the corridor length (diameter) should not
+  // blow up gossip cost by more than ~proportionally.
+  const auto run = [](double length, int n) {
+    Rng rng(31);
+    auto pts = deployCorridor(n, length, 0.4, rng);
+    Network net(std::move(pts), SinrParams{});
+    Simulator sim(net, 2, 32);
+    DominatingSetResult ds = buildDominatingSet(sim);
+    colorClusters(sim, ds.clustering);
+    const TdmaSchedule tdma = TdmaSchedule::from(ds.clustering);
+    std::vector<double> initial(static_cast<std::size_t>(n), 0.0);
+    for (const NodeId d : ds.clustering.dominators) {
+      initial[static_cast<std::size_t>(d)] = d;
+    }
+    const InterResult res = gossipAggregate(sim, ds.clustering, tdma, initial, AggKind::Max);
+    EXPECT_TRUE(res.converged);
+    return res.slots;
+  };
+  const auto s1 = run(3.0, 300);
+  const auto s2 = run(6.0, 600);
+  EXPECT_LT(s2, s1 * 12);  // roughly linear in D, generous slack
+}
+
+TEST(Inter, BackboneDiameterGroundTruth) {
+  InterFixture f(300, 1.4, 12);
+  const int d = backboneDiameter(f.net, f.cl);
+  EXPECT_GE(d, 0);
+  EXPECT_LT(d, static_cast<int>(f.cl.dominators.size()));
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_support.h"
+
+namespace mcs {
+namespace {
+
+TEST(AggOps, IdentityAndCombine) {
+  EXPECT_EQ(aggCombine(AggKind::Max, aggIdentity(AggKind::Max), 3.0), 3.0);
+  EXPECT_EQ(aggCombine(AggKind::Min, aggIdentity(AggKind::Min), 3.0), 3.0);
+  EXPECT_EQ(aggCombine(AggKind::Sum, aggIdentity(AggKind::Sum), 3.0), 3.0);
+  EXPECT_EQ(aggCombine(AggKind::Max, 2.0, 5.0), 5.0);
+  EXPECT_EQ(aggCombine(AggKind::Min, 2.0, 5.0), 2.0);
+  EXPECT_EQ(aggCombine(AggKind::Sum, 2.0, 5.0), 7.0);
+}
+
+class IntraSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntraSeeds, ClusterValuesExact) {
+  const std::uint64_t seed = GetParam();
+  test::BuiltStructure b(400, 1.2, 8, seed);
+  Rng rng(seed * 5 + 1);
+  std::vector<double> values(static_cast<std::size_t>(b.net.size()));
+  for (double& x : values) x = rng.uniform();
+
+  const IntraResult res = aggregateIntra(b.sim, b.s, values, AggKind::Max);
+  ASSERT_TRUE(res.uplink.allDelivered);
+
+  std::vector<double> want(static_cast<std::size_t>(b.net.size()),
+                           aggIdentity(AggKind::Max));
+  for (NodeId v = 0; v < b.net.size(); ++v) {
+    const NodeId d = b.s.clustering.dominatorOf[static_cast<std::size_t>(v)];
+    want[static_cast<std::size_t>(d)] = std::max(want[static_cast<std::size_t>(d)],
+                                                 values[static_cast<std::size_t>(v)]);
+  }
+  for (const NodeId d : b.s.clustering.dominators) {
+    EXPECT_EQ(res.clusterValue[static_cast<std::size_t>(d)],
+              want[static_cast<std::size_t>(d)])
+        << "cluster " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntraSeeds, ::testing::Values(1u, 2u, 3u));
+
+TEST(Intra, SumCountsEveryNodeOnce) {
+  test::BuiltStructure b(350, 1.2, 4, 11);
+  std::vector<double> ones(static_cast<std::size_t>(b.net.size()), 1.0);
+  const IntraResult res = aggregateIntra(b.sim, b.s, ones, AggKind::Sum);
+  ASSERT_TRUE(res.uplink.allDelivered);
+  const auto sizes = test::trueClusterSizes(b.net, b.s.clustering);
+  for (const NodeId d : b.s.clustering.dominators) {
+    EXPECT_DOUBLE_EQ(res.clusterValue[static_cast<std::size_t>(d)],
+                     sizes[static_cast<std::size_t>(d)] + 1.0)
+        << "cluster " << d;
+  }
+}
+
+TEST(Intra, BoundedContention) {
+  // Lemma 19: the contention-to-f_v ratio stays near lambda; we allow a
+  // small overshoot (one doubling past the backoff trigger).
+  test::BuiltStructure b(500, 1.1, 8, 13);
+  std::vector<double> ones(static_cast<std::size_t>(b.net.size()), 1.0);
+  const IntraResult res = aggregateIntra(b.sim, b.s, ones, AggKind::Max);
+  EXPECT_LE(res.uplink.maxContentionRatio, 4.0 * b.net.tuning().aggLambda);
+}
+
+TEST(Intra, PhaseCountsFollowLemma21) {
+  test::BuiltStructure b(500, 1.1, 8, 17);
+  std::vector<double> ones(static_cast<std::size_t>(b.net.size()), 1.0);
+  const IntraResult res = aggregateIntra(b.sim, b.s, ones, AggKind::Max);
+  // O(log(Delta/F) + log log n) phases for these sizes means "few".
+  EXPECT_LE(res.uplink.maxPhasesAnyCluster, 30);
+  EXPECT_GT(res.uplink.slots, 0u);
+}
+
+TEST(Intra, UplinkDelegateSeesEachFollowerOnce) {
+  test::BuiltStructure b(300, 1.2, 4, 19);
+  std::map<NodeId, int> deliveries;
+  const UplinkMetrics met = runFollowerUplink(
+      b.sim, b.s, [](NodeId) { return Message{}; },
+      [&](NodeId, const Message& m) { ++deliveries[m.src]; });
+  ASSERT_TRUE(met.allDelivered);
+  int followers = 0;
+  for (NodeId v = 0; v < b.net.size(); ++v) followers += b.s.isFollower(v);
+  EXPECT_EQ(static_cast<int>(deliveries.size()), followers);
+  for (const auto& [src, count] : deliveries) {
+    EXPECT_EQ(count, 1) << "follower " << src << " delivered twice";
+    EXPECT_TRUE(b.s.isFollower(src));
+  }
+}
+
+TEST(Intra, ReporterChannelReturnedToFollowers) {
+  test::BuiltStructure b(300, 1.2, 4, 23);
+  std::vector<ChannelId> chan(static_cast<std::size_t>(b.net.size()), kNoChannel);
+  const UplinkMetrics met = runFollowerUplink(
+      b.sim, b.s, [](NodeId) { return Message{}; }, [](NodeId, const Message&) {}, &chan);
+  ASSERT_TRUE(met.allDelivered);
+  for (NodeId v = 0; v < b.net.size(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (b.s.isFollower(v)) {
+      EXPECT_NE(chan[vi], kNoChannel);
+      EXPECT_LT(chan[vi], 8);
+    } else {
+      EXPECT_EQ(chan[vi], kNoChannel);
+    }
+  }
+}
+
+TEST(Intra, MoreChannelsFewerUplinkSlots) {
+  // The headline effect at cluster scale: uplink cost shrinks with F.
+  std::uint64_t slots1 = 0, slots8 = 0;
+  {
+    test::BuiltStructure b(900, 0.8, 1, 31);
+    std::vector<double> ones(static_cast<std::size_t>(b.net.size()), 1.0);
+    slots1 = aggregateIntra(b.sim, b.s, ones, AggKind::Max).uplink.slots;
+  }
+  {
+    test::BuiltStructure b(900, 0.8, 8, 31);
+    std::vector<double> ones(static_cast<std::size_t>(b.net.size()), 1.0);
+    slots8 = aggregateIntra(b.sim, b.s, ones, AggKind::Max).uplink.slots;
+  }
+  EXPECT_LT(slots8, slots1);
+}
+
+}  // namespace
+}  // namespace mcs

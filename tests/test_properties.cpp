@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+/// Cross-cutting property sweeps: the full pipeline on varied topologies,
+/// channel counts, SINR parameters, and seeds.
+namespace mcs {
+namespace {
+
+enum class Topology { Uniform, Corridor, Grid, Clustered };
+
+std::vector<Vec2> deploy(Topology t, int n, Rng& rng) {
+  switch (t) {
+    case Topology::Uniform: return deployUniformSquare(n, 1.2, rng);
+    case Topology::Corridor: return deployCorridor(n, 3.0, 0.4, rng);
+    case Topology::Grid: return deployPerturbedGrid(n, 1.3, 0.3, rng);
+    case Topology::Clustered: return deployClustered(n, 4, 1.0, 0.12, rng);
+  }
+  return {};
+}
+
+class PipelineSweep
+    : public ::testing::TestWithParam<std::tuple<Topology, int, std::uint64_t>> {};
+
+TEST_P(PipelineSweep, AggregationAndColoringHold) {
+  const auto [topology, channels, seed] = GetParam();
+  Rng rng(seed);
+  auto pts = deploy(topology, 300, rng);
+  Network net(std::move(pts), SinrParams{});
+  if (!net.graph().connected()) GTEST_SKIP() << "disconnected instance";
+  Simulator sim(net, channels, seed + 1000);
+  const AggregationStructure s = buildStructure(sim);
+
+  // Structure invariants.
+  for (NodeId v = 0; v < net.size(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    ASSERT_NE(s.clustering.dominatorOf[vi], kNoNode);
+    ASSERT_LE(net.distance(v, s.clustering.dominatorOf[vi]), 2 * net.rc() + 1e-12);
+  }
+  EXPECT_LE(test::colorSeparationViolations(net, s.clustering), 1);
+
+  // Aggregation.
+  std::vector<double> values(static_cast<std::size_t>(net.size()));
+  for (double& x : values) x = rng.uniform(0, 1);
+  const AggregateRun run = runAggregation(sim, s, values, AggKind::Max);
+  EXPECT_TRUE(run.delivered);
+
+  // Coloring.
+  const ColoringResult col = runColoring(sim, s);
+  EXPECT_TRUE(col.complete);
+  EXPECT_EQ(countColoringViolations(net, col.colorOf), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineSweep,
+    ::testing::Combine(::testing::Values(Topology::Uniform, Topology::Corridor,
+                                         Topology::Grid),
+                       ::testing::Values(1, 8), ::testing::Values(1u, 2u)));
+
+class SinrParamSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SinrParamSweep, AggregationWorksAcrossPhysicalParameters) {
+  const auto [alpha, beta] = GetParam();
+  SinrParams params;
+  params.alpha = alpha;
+  params.beta = beta;
+  params = params.withRange(1.0);
+  Rng rng(alpha * 100 + beta * 10);
+  auto pts = deployUniformSquare(250, 1.1, rng);
+  Network net(std::move(pts), params);
+  if (!net.graph().connected()) GTEST_SKIP();
+  Simulator sim(net, 4, 99);
+  std::vector<double> values(static_cast<std::size_t>(net.size()));
+  for (double& x : values) x = rng.uniform(0, 1);
+  const AggregateRun run = buildAndAggregate(sim, values, AggKind::Max);
+  EXPECT_TRUE(run.delivered) << "alpha=" << alpha << " beta=" << beta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SinrParamSweep,
+                         ::testing::Combine(::testing::Values(2.5, 3.0, 4.0),
+                                            ::testing::Values(1.2, 2.0)));
+
+TEST(Properties, TuningLnRounds) {
+  Tuning tun;
+  EXPECT_GE(tun.lnRounds(1.0, 2), 1);
+  EXPECT_EQ(tun.lnRounds(0.0, 100, 5), 5);
+  // Scales linearly with gamma and lnFactor.
+  const int base = tun.lnRounds(2.0, 1000);
+  tun.lnFactor = 2.0;
+  EXPECT_EQ(tun.lnRounds(1.0, 1000), base);
+}
+
+TEST(Properties, PaperStrictPreservesStructure) {
+  const Tuning strict = Tuning::paperStrict();
+  EXPECT_EQ(strict.csaOmega1, 36.0);
+  EXPECT_EQ(strict.c1, 24.0);
+  EXPECT_EQ(strict.rcFactor, 0.0);
+  EXPECT_GT(strict.aggGamma2, Tuning{}.aggGamma2);
+}
+
+TEST(Properties, StageCostsArithmetic) {
+  StageCosts c;
+  c.dominatingSet = 1;
+  c.clusterColoring = 2;
+  c.csa = 3;
+  c.reporters = 4;
+  c.uplink = 5;
+  c.tree = 6;
+  c.inter = 7;
+  c.broadcast = 8;
+  EXPECT_EQ(c.structureTotal(), 10u);
+  EXPECT_EQ(c.aggregationTotal(), 26u);
+  EXPECT_EQ(c.total(), 36u);
+}
+
+}  // namespace
+}  // namespace mcs

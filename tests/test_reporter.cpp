@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace mcs {
+namespace {
+
+TEST(ChannelsForCluster, Formula) {
+  Tuning tun;
+  tun.c1 = 1.0;
+  tun.lnFactor = 1.0;
+  const int n = 1000;
+  const double lnn = std::log(1000.0);
+  // Small cluster -> one channel.
+  EXPECT_EQ(channelsForCluster(0.0, n, 8, tun), 1);
+  EXPECT_EQ(channelsForCluster(2.0, n, 8, tun), 1);
+  // est + 1 just above c1 ln n -> two channels.
+  EXPECT_EQ(channelsForCluster(lnn + 0.5, n, 8, tun), 2);
+  // Capped at F.
+  EXPECT_EQ(channelsForCluster(1e9, n, 8, tun), 8);
+  EXPECT_EQ(channelsForCluster(1e9, n, 3, tun), 3);
+  // Never below one channel.
+  EXPECT_GE(channelsForCluster(-5.0, n, 8, tun), 1);
+}
+
+class ReporterSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReporterSeeds, OneReporterPerNonemptyChannel) {
+  const std::uint64_t seed = GetParam();
+  test::BuiltStructure b(400, 1.2, 8, seed);
+  const auto [good, bad] = test::reporterCensus(b.net, b.s);
+  EXPECT_GT(good, 0);
+  EXPECT_LE(bad, std::max(1, good / 20)) << "duplicate/missing reporters";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReporterSeeds, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Reporter, ChannelsWithinFv) {
+  test::BuiltStructure b(300, 1.2, 8, 5);
+  for (NodeId v = 0; v < b.net.size(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (b.s.clustering.isDominator[vi]) continue;
+    EXPECT_GE(b.s.fvOfNode[vi], 1);
+    EXPECT_LE(b.s.fvOfNode[vi], 8);
+    EXPECT_GE(b.s.reporterChannel[vi], 0);
+    EXPECT_LT(b.s.reporterChannel[vi], b.s.fvOfNode[vi]);
+  }
+}
+
+TEST(Reporter, ReportersAreDominatees) {
+  test::BuiltStructure b(300, 1.2, 4, 6);
+  for (NodeId v = 0; v < b.net.size(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (b.s.isReporter[vi]) {
+      EXPECT_FALSE(b.s.clustering.isDominator[vi]);
+      EXPECT_NE(b.s.clustering.dominatorOf[vi], kNoNode);
+    }
+  }
+}
+
+TEST(Reporter, SingleChannelSingleReporterPerCluster) {
+  test::BuiltStructure b(300, 1.2, 1, 7);
+  std::vector<int> reporters(static_cast<std::size_t>(b.net.size()), 0);
+  for (NodeId v = 0; v < b.net.size(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (b.s.isReporter[vi]) {
+      ++reporters[static_cast<std::size_t>(b.s.clustering.dominatorOf[vi])];
+    }
+  }
+  int bad = 0;
+  const auto sizes = test::trueClusterSizes(b.net, b.s.clustering);
+  for (const NodeId d : b.s.clustering.dominators) {
+    const auto di = static_cast<std::size_t>(d);
+    if (sizes[di] == 0) continue;  // no dominatees, no reporter
+    if (reporters[di] != 1) ++bad;
+  }
+  EXPECT_LE(bad, 1 + static_cast<int>(b.s.clustering.dominators.size()) / 20);
+}
+
+TEST(Reporter, FvGrowsWithClusterSize) {
+  // Denser network -> larger clusters -> more channels used.
+  test::BuiltStructure sparse(200, 1.6, 8, 8);
+  test::BuiltStructure dense(1200, 0.9, 8, 8);
+  const auto maxFv = [](const test::BuiltStructure& b) {
+    int m = 0;
+    for (const int f : b.s.fvOfNode) m = std::max(m, f);
+    return m;
+  };
+  EXPECT_GT(maxFv(dense), maxFv(sparse));
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace mcs {
+namespace {
+
+RulingSetConfig defaultConfig(int n, double radius) {
+  RulingSetConfig cfg;
+  cfg.radius = radius;
+  cfg.capProb = 0.125;
+  cfg.initialProb = std::min(0.125, 0.5 / std::max(2, n));
+  cfg.epochRounds = 3;
+  cfg.cycleProb = true;
+  cfg.totalRounds = 40 + 4 * static_cast<int>(std::log(std::max(2, n)));
+  return cfg;
+}
+
+class RulingSetSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RulingSetSeeds, DominationAndIndependence) {
+  const std::uint64_t seed = GetParam();
+  Network net = test::makeUniformNetwork(300, 1.2, seed);
+  Simulator sim(net, 4, seed * 3 + 1);
+  const double r = net.rc();
+  std::vector<char> everyone(static_cast<std::size_t>(net.size()), 1);
+  const RulingSetResult rs = runRulingSet(sim, everyone, defaultConfig(net.size(), r));
+
+  int members = 0;
+  for (NodeId v = 0; v < net.size(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (rs.inSet[vi]) {
+      ++members;
+      continue;
+    }
+    // Every non-member is bound to a member within r (the binding may have
+    // been forwarded once after a conflict demotion: allow 2r).
+    const NodeId d = rs.dominator[vi];
+    ASSERT_NE(d, kNoNode) << "node " << v << " unbound";
+    EXPECT_LE(net.distance(v, d), 2 * r + 1e-12);
+  }
+  EXPECT_GT(members, 0);
+  EXPECT_LT(members, net.size());
+
+  // Independence: members pairwise > r apart, with a tiny tolerance for
+  // same-round joins the conflict resolution did not catch.
+  int violations = 0;
+  std::vector<NodeId> mem;
+  for (NodeId v = 0; v < net.size(); ++v) {
+    if (rs.inSet[static_cast<std::size_t>(v)]) mem.push_back(v);
+  }
+  for (std::size_t i = 0; i < mem.size(); ++i) {
+    for (std::size_t j = i + 1; j < mem.size(); ++j) {
+      if (net.distance(mem[i], mem[j]) <= r) ++violations;
+    }
+  }
+  // The bare engine (one channel, global contention, practical round
+  // counts) resolves most but not all simultaneous joins; the §5 pipeline
+  // layers re-association and verification on top (see those tests for
+  // the tighter bounds).
+  EXPECT_LE(violations, std::max(2, members / 10))
+      << members << " members, " << violations << " close pairs";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RulingSetSeeds, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(RulingSet, SingletonSelfElects) {
+  Network net({{0, 0}}, SinrParams{});
+  Simulator sim(net, 1, 1);
+  std::vector<char> everyone{1};
+  auto cfg = defaultConfig(1, 0.12);
+  const RulingSetResult rs = runRulingSet(sim, everyone, cfg);
+  EXPECT_TRUE(rs.inSet[0]);
+}
+
+TEST(RulingSet, IsolatedNodesAllJoin) {
+  // Nodes far apart: everyone is isolated and must self-elect.
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 5; ++i) pts.push_back({3.0 * i, 0.0});
+  Network net(std::move(pts), SinrParams{});
+  Simulator sim(net, 1, 2);
+  std::vector<char> everyone(5, 1);
+  const RulingSetResult rs = runRulingSet(sim, everyone, defaultConfig(5, 0.12));
+  for (int v = 0; v < 5; ++v) EXPECT_TRUE(rs.inSet[static_cast<std::size_t>(v)]);
+}
+
+TEST(RulingSet, NonParticipantsUntouched) {
+  Network net = test::makeUniformNetwork(100, 1.0, 5);
+  Simulator sim(net, 1, 6);
+  std::vector<char> participants(100, 0);
+  for (int v = 0; v < 50; ++v) participants[static_cast<std::size_t>(v)] = 1;
+  const RulingSetResult rs = runRulingSet(sim, participants, defaultConfig(100, net.rc()));
+  for (int v = 50; v < 100; ++v) {
+    EXPECT_FALSE(rs.inSet[static_cast<std::size_t>(v)]);
+    EXPECT_EQ(rs.dominator[static_cast<std::size_t>(v)], kNoNode);
+  }
+  // Participants are all resolved.
+  for (int v = 0; v < 50; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    EXPECT_TRUE(rs.inSet[vi] || rs.dominator[vi] != kNoNode);
+  }
+}
+
+TEST(RulingSet, GroupsAreScoped) {
+  // Two interleaved groups in the same small area: members of one group
+  // must never be dominated by the other group's members.
+  Network net = test::makeUniformNetwork(120, 0.5, 8);
+  Simulator sim(net, 1, 9);
+  std::vector<char> everyone(120, 1);
+  auto cfg = defaultConfig(120, 0.4);
+  cfg.groupOf.assign(120, 0);
+  for (NodeId v = 0; v < 120; ++v) cfg.groupOf[static_cast<std::size_t>(v)] = v % 2;
+  const RulingSetResult rs = runRulingSet(sim, everyone, cfg);
+  for (NodeId v = 0; v < 120; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (rs.dominator[vi] != kNoNode) {
+      EXPECT_EQ(v % 2, rs.dominator[vi] % 2) << "cross-group binding";
+    }
+  }
+}
+
+TEST(RulingSet, ChannelPartitionIndependentElections) {
+  // All nodes in one tight ball, split over 4 channels: one member per
+  // channel expected.
+  Rng rng(11);
+  auto pts = deployUniformDisk(40, 0.05, rng);
+  Network net(std::move(pts), SinrParams{});
+  Simulator sim(net, 4, 12);
+  std::vector<char> everyone(40, 1);
+  auto cfg = defaultConfig(40, 0.2);
+  cfg.channelOf.assign(40, 0);
+  for (NodeId v = 0; v < 40; ++v) {
+    cfg.channelOf[static_cast<std::size_t>(v)] = static_cast<ChannelId>(v % 4);
+  }
+  const RulingSetResult rs = runRulingSet(sim, everyone, cfg);
+  std::vector<int> perChannel(4, 0);
+  for (NodeId v = 0; v < 40; ++v) {
+    if (rs.inSet[static_cast<std::size_t>(v)]) ++perChannel[static_cast<std::size_t>(v % 4)];
+  }
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(perChannel[static_cast<std::size_t>(c)], 1);
+}
+
+TEST(RulingSet, Determinism) {
+  const auto run = [] {
+    Network net = test::makeUniformNetwork(150, 1.0, 4);
+    Simulator sim(net, 2, 77);
+    std::vector<char> everyone(150, 1);
+    const RulingSetResult rs = runRulingSet(sim, everyone, defaultConfig(150, net.rc()));
+    return rs.inSet;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(RulingSet, SlotsMatchThreePerRound) {
+  Network net = test::makeUniformNetwork(60, 1.0, 6);
+  Simulator sim(net, 1, 7);
+  std::vector<char> everyone(60, 1);
+  const std::uint64_t before = sim.slots();
+  const RulingSetResult rs = runRulingSet(sim, everyone, defaultConfig(60, net.rc()));
+  EXPECT_EQ(sim.slots() - before, rs.slotsUsed);
+  EXPECT_GT(rs.slotsUsed, 0u);
+}
+
+}  // namespace
+}  // namespace mcs

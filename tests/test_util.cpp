@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/args.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mcs {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng root(7);
+  Rng a = root.fork(1);
+  Rng b = root.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b();
+  EXPECT_LT(equal, 3);
+  // Forks are deterministic: the same root seed and stream id reproduce
+  // the same stream.
+  Rng root2(7);
+  Rng c = root.fork(3);
+  Rng c2 = root2.fork(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c(), c2());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 5.0);
+    ASSERT_GE(x, -2.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BelowBounds) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t x = rng.below(7);
+    ASSERT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, BelowOneIsZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t x = rng.between(-3, 3);
+    ASSERT_GE(x, -3);
+    ASSERT_LE(x, 3);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownValues) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Quantile, Basics) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Quantile, Interpolates) {
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.75), 7.5);
+}
+
+TEST(Summary, Summarize) {
+  const Summary s = summarize({1, 2, 3, 4, 100});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 22.0);
+}
+
+TEST(LinearSlope, ExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + 7.0);
+  }
+  EXPECT_NEAR(linearSlope(x, y), 3.0, 1e-12);
+}
+
+TEST(LinearSlope, Degenerate) {
+  EXPECT_EQ(linearSlope({1.0}, {2.0}), 0.0);
+  EXPECT_EQ(linearSlope({1.0, 1.0}, {2.0, 5.0}), 0.0);  // zero x-variance
+}
+
+TEST(Csv, Escape) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RowCounting) {
+  CsvWriter w;  // in-memory, no file
+  w.header({"a", "b"});
+  w.row({"1", "2"});
+  w.row({"3", "4"});
+  EXPECT_EQ(w.rows(), 2u);
+}
+
+TEST(Args, NamedAndPositional) {
+  // Note: a bare `--flag` followed by a non-flag token consumes that token
+  // as its value, so boolean flags should use `--flag=1` or come last.
+  const char* argv[] = {"prog", "--n=100", "--flag=1", "pos1", "--side", "2.5", "pos2"};
+  Args args(7, argv);
+  EXPECT_EQ(args.getInt("n", 0), 100);
+  EXPECT_TRUE(args.getBool("flag"));
+  EXPECT_DOUBLE_EQ(args.getDouble("side", 0.0), 2.5);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.positional()[1], "pos2");
+}
+
+TEST(Args, BareTrailingFlag) {
+  const char* argv[] = {"prog", "--verbose"};
+  Args args(2, argv);
+  EXPECT_TRUE(args.getBool("verbose"));
+}
+
+TEST(Args, Fallbacks) {
+  const char* argv[] = {"prog"};
+  Args args(1, argv);
+  EXPECT_EQ(args.getInt("missing", 7), 7);
+  EXPECT_EQ(args.get("missing", "x"), "x");
+  EXPECT_FALSE(args.getBool("missing"));
+  EXPECT_TRUE(args.getBool("missing", true));
+}
+
+TEST(Args, BoolSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=off"};
+  Args args(5, argv);
+  EXPECT_TRUE(args.getBool("a"));
+  EXPECT_FALSE(args.getBool("b"));
+  EXPECT_TRUE(args.getBool("c"));
+  EXPECT_FALSE(args.getBool("d"));
+}
+
+}  // namespace
+}  // namespace mcs
