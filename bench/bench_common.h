@@ -1,17 +1,161 @@
 #pragma once
 
+#include <charconv>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mcs.h"
 
 /// Shared helpers for the experiment binaries (bench/exp_*).
 ///
-/// Each binary regenerates one table/figure from DESIGN.md §4 and prints a
-/// self-describing table to stdout.  All runs are seeded and reproducible;
-/// pass --seed / --reps / size flags to vary.
+/// Each binary regenerates one table/figure from DESIGN.md §4, prints a
+/// self-describing table to stdout, AND records the same numbers through a
+/// BenchReport, which writes machine-readable BENCH_<name>.json so future
+/// changes can diff perf and results across commits.  All runs are seeded
+/// and reproducible; pass --seed / --reps / size flags to vary.
 namespace mcs::bench {
+
+/// Monotonic wall-clock seconds (for throughput measurements).
+inline double now() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Accumulates experiment output as ordered key -> (number | string) rows
+/// plus run-level metadata, and serializes to BENCH_<name>.json:
+///
+///   {"name": "...", "meta": {...}, "rows": [{...}, ...]}
+///
+/// Numbers use shortest round-trip formatting; NaN/inf serialize as null.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  BenchReport& meta(const std::string& key, double v) { return put(meta_, key, v); }
+  BenchReport& meta(const std::string& key, const std::string& v) { return put(meta_, key, v); }
+
+  /// Starts a new row; follow with col() calls.
+  BenchReport& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  BenchReport& col(const std::string& key, double v) { return put(currentRow(), key, v); }
+  BenchReport& col(const std::string& key, const std::string& v) {
+    return put(currentRow(), key, v);
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] std::string json() const {
+    std::string out = "{\"name\": ";
+    appendString(out, name_);
+    out += ", \"meta\": ";
+    appendObject(out, meta_);
+    out += ", \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out += ", ";
+      appendObject(out, rows_[i]);
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json into `dir` and reports the path on stdout.
+  /// Returns false (after reporting on stderr) when the write failed, so
+  /// binaries can propagate the failure to their exit code.
+  [[nodiscard]] bool write(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream f(path);
+    f << json();
+    f.flush();
+    if (!f.good()) {
+      std::fprintf(stderr, "FAILED to write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    std::fflush(stdout);
+    return true;
+  }
+
+ private:
+  struct Value {
+    bool isNumber = false;
+    double number = 0.0;
+    std::string text;
+  };
+  using Object = std::vector<std::pair<std::string, Value>>;
+
+  /// col() before any row() starts one implicitly rather than hitting
+  /// undefined behavior on an empty vector.
+  Object& currentRow() {
+    if (rows_.empty()) rows_.emplace_back();
+    return rows_.back();
+  }
+
+  BenchReport& put(Object& obj, const std::string& key, double v) {
+    obj.push_back({key, Value{true, v, {}}});
+    return *this;
+  }
+  BenchReport& put(Object& obj, const std::string& key, const std::string& v) {
+    obj.push_back({key, Value{false, 0.0, v}});
+    return *this;
+  }
+
+  static void appendString(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+
+  static void appendNumber(std::string& out, double v) {
+    if (!std::isfinite(v)) {
+      out += "null";
+      return;
+    }
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    out.append(buf, res.ptr);
+  }
+
+  static void appendObject(std::string& out, const Object& obj) {
+    out += '{';
+    for (std::size_t i = 0; i < obj.size(); ++i) {
+      if (i > 0) out += ", ";
+      appendString(out, obj[i].first);
+      out += ": ";
+      if (obj[i].second.isNumber) {
+        appendNumber(out, obj[i].second.number);
+      } else {
+        appendString(out, obj[i].second.text);
+      }
+    }
+    out += '}';
+  }
+
+  std::string name_;
+  Object meta_;
+  std::vector<Object> rows_;
+};
 
 /// Uniform deployment at a fixed node density (nodes per unit area),
 /// so that Delta stays roughly constant across n (E2/E3 sweeps).

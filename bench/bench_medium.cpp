@@ -1,0 +1,221 @@
+// M2: SINR medium regression bench.  Measures slot-resolution throughput
+// (slots/sec, decodes/sec) across n and channel counts for:
+//   - pow:     the original per-pair std::pow kernel (reference replica)
+//   - fast:    the alpha-specialized PowerKernel, exact summation (default)
+//   - nearfar: grid-batched far-field approximation (MediumMode::NearFar)
+//   - threads: exact summation with the per-listener loop parallelized
+// Writes BENCH_medium.json so future changes can diff the perf trajectory.
+
+#include <thread>
+
+#include "bench_common.h"
+
+namespace mcs {
+namespace {
+
+/// Replica of the seed Medium::resolveSlot inner loop: per-pair
+/// std::pow(d2, alpha/2) with the 1e300 co-location sentinel.  Kept here
+/// as the fixed baseline the fast kernels are measured against.
+struct PowReference {
+  SinrParams params;
+  int numChannels;
+  std::uint64_t decodes = 0;
+  std::vector<std::int32_t> start;
+  std::vector<NodeId> tx;
+  std::vector<NodeId> listeners;
+
+  void resolveSlot(std::span<const Vec2> positions, std::span<const Intent> intents,
+                   std::vector<Reception>& out) {
+    const std::size_t n = positions.size();
+    out.assign(n, Reception{});
+    start.assign(static_cast<std::size_t>(numChannels) + 1, 0);
+    listeners.clear();
+    std::size_t txTotal = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const Intent& it = intents[v];
+      if (it.action == Action::Idle) continue;
+      if (it.action == Action::Transmit) {
+        ++start[static_cast<std::size_t>(it.channel) + 1];
+        ++txTotal;
+      } else {
+        listeners.push_back(static_cast<NodeId>(v));
+      }
+    }
+    if (listeners.empty()) return;
+    for (int c = 0; c < numChannels; ++c) {
+      start[static_cast<std::size_t>(c) + 1] += start[static_cast<std::size_t>(c)];
+    }
+    tx.resize(txTotal);
+    std::vector<std::int32_t> cursor(start.begin(), start.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (intents[v].action != Action::Transmit) continue;
+      tx[static_cast<std::size_t>(cursor[static_cast<std::size_t>(intents[v].channel)]++)] =
+          static_cast<NodeId>(v);
+    }
+    const double alpha = params.alpha;
+    const double beta = params.beta;
+    const double noise = params.noise;
+    const double power = params.power;
+    for (const NodeId v : listeners) {
+      const ChannelId c = intents[static_cast<std::size_t>(v)].channel;
+      const std::int32_t lo = start[static_cast<std::size_t>(c)];
+      const std::int32_t hi = start[static_cast<std::size_t>(c) + 1];
+      if (lo == hi) continue;
+      double total = 0.0;
+      double best = -1.0;
+      NodeId bestTx = kNoNode;
+      const Vec2 pv = positions[static_cast<std::size_t>(v)];
+      for (std::int32_t i = lo; i < hi; ++i) {
+        const NodeId w = tx[static_cast<std::size_t>(i)];
+        const double d2 = dist2(positions[static_cast<std::size_t>(w)], pv);
+        const double rx = d2 > 0.0 ? power / std::pow(d2, alpha / 2.0) : 1e300;
+        total += rx;
+        if (rx > best) {
+          best = rx;
+          bestTx = w;
+        }
+      }
+      Reception& r = out[static_cast<std::size_t>(v)];
+      r.totalPower = total;
+      if (bestTx != kNoNode && best >= beta * (noise + (total - best))) {
+        r.received = true;
+        r.msg = intents[static_cast<std::size_t>(bestTx)].msg;
+        r.sinr = best / (noise + (total - best));
+        r.signalPower = best;
+        r.senderDistance = params.distanceFromPower(best);
+        ++decodes;
+      }
+    }
+  }
+};
+
+struct Workload {
+  std::vector<Vec2> pts;
+  std::vector<Intent> intents;
+};
+
+Workload makeWorkload(int n, int channels, double density, std::uint64_t seed) {
+  Workload w;
+  Rng rng(seed);
+  w.pts = deployUniformSquare(n, std::sqrt(static_cast<double>(n) / density), rng);
+  w.intents.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    const auto c = static_cast<ChannelId>(rng.below(static_cast<std::uint64_t>(channels)));
+    w.intents[static_cast<std::size_t>(v)] =
+        rng.bernoulli(0.05) ? Intent::transmit(c, {}) : Intent::listen(c);
+  }
+  return w;
+}
+
+struct Measured {
+  double slotsPerSec = 0.0;
+  double decodesPerSec = 0.0;
+  std::uint64_t decodesPerSlot = 0;
+};
+
+/// Runs `resolve()` repeatedly for at least `budget` seconds (after one
+/// warm-up slot) and returns throughput.  `decodesBefore`/`decodesAfter`
+/// read the cumulative decode counter around the timed region.
+template <class Resolve, class DecodeCount>
+Measured measure(Resolve&& resolve, DecodeCount&& decodeCount, double budget) {
+  resolve();  // warm-up: scratch allocation, page faults
+  const std::uint64_t d0 = decodeCount();
+  const double t0 = bench::now();
+  std::uint64_t slots = 0;
+  double elapsed = 0.0;
+  do {
+    resolve();
+    ++slots;
+    elapsed = bench::now() - t0;
+  } while (elapsed < budget);
+  Measured m;
+  m.slotsPerSec = static_cast<double>(slots) / elapsed;
+  const std::uint64_t d = decodeCount() - d0;
+  m.decodesPerSec = static_cast<double>(d) / elapsed;
+  m.decodesPerSlot = d / slots;
+  return m;
+}
+
+}  // namespace
+}  // namespace mcs
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+  using namespace mcs::bench;
+
+  const Args args(argc, argv);
+  const double alpha = args.getDouble("alpha", 3.0);
+  const double density = args.getDouble("density", 900.0);
+  const double budget = args.getDouble("budget", 0.3);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  const int hw = static_cast<int>(args.getInt(
+      "threads", static_cast<long>(std::max(2u, std::thread::hardware_concurrency()))));
+
+  SinrParams params;
+  params.alpha = alpha;
+  params = params.withRange(1.0);
+  SinrParams nearFarParams = params;
+  nearFarParams.mediumMode = MediumMode::NearFar;
+
+  header("M2: SINR medium throughput (slots/sec)",
+         "fast alpha-specialized kernel >= 3x the std::pow reference at the "
+         "default alpha=3, n=2000 config");
+
+  BenchReport report("medium");
+  report.meta("alpha", alpha).meta("density", density).meta("budget_sec", budget);
+  report.meta("seed", static_cast<double>(seed)).meta("threads", hw);
+
+  row("%-6s %4s %10s %12s %12s %12s %10s", "n", "F", "variant", "slots/s", "decodes/s",
+      "dec/slot", "vs pow");
+  std::vector<std::pair<int, int>> configs{{500, 1}, {500, 8}, {2000, 1},
+                                           {2000, 8}, {8000, 1}, {8000, 8}};
+  // NearFar's winning regime needs extent >> nearField*R_T AND many
+  // transmitters per grid cell; that only happens at larger n.
+  if (args.getBool("big")) configs.push_back({32000, 1});
+  for (const auto& [n, channels] : configs) {
+    {
+      const Workload w = makeWorkload(n, channels, density, seed);
+      std::vector<Reception> rx;
+
+      PowReference ref{params, channels, 0, {}, {}, {}};
+      const Measured pow =
+          measure([&] { ref.resolveSlot(w.pts, w.intents, rx); },
+                  [&] { return ref.decodes; }, budget);
+
+      Medium fast(params, channels);
+      const Measured fastM =
+          measure([&] { fast.resolveSlot(w.pts, w.intents, rx); },
+                  [&] { return fast.stats().decodes; }, budget);
+
+      Medium nearFar(nearFarParams, channels);
+      const Measured nearFarM =
+          measure([&] { nearFar.resolveSlot(w.pts, w.intents, rx); },
+                  [&] { return nearFar.stats().decodes; }, budget);
+
+      Medium threaded(params, channels, hw);
+      const Measured threadedM =
+          measure([&] { threaded.resolveSlot(w.pts, w.intents, rx); },
+                  [&] { return threaded.stats().decodes; }, budget);
+
+      const struct {
+        const char* name;
+        const Measured& m;
+      } variants[] = {
+          {"pow", pow}, {"fast", fastM}, {"nearfar", nearFarM}, {"threads", threadedM}};
+      for (const auto& [name, m] : variants) {
+        const double speedup = m.slotsPerSec / pow.slotsPerSec;
+        row("%-6d %4d %10s %12.1f %12.1f %12llu %9.2fx", n, channels, name, m.slotsPerSec,
+            m.decodesPerSec, static_cast<unsigned long long>(m.decodesPerSlot), speedup);
+        report.row()
+            .col("n", n)
+            .col("channels", channels)
+            .col("variant", name)
+            .col("slots_per_sec", m.slotsPerSec)
+            .col("decodes_per_sec", m.decodesPerSec)
+            .col("decodes_per_slot", static_cast<double>(m.decodesPerSlot))
+            .col("speedup_vs_pow", speedup);
+      }
+    }
+  }
+  return report.write() ? 0 : 1;
+}

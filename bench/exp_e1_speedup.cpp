@@ -25,6 +25,10 @@ int main(int argc, char** argv) {
       net.graph().diameterEstimate());
   const auto values = randomValues(n, seed + 99);
 
+  BenchReport report("e1_speedup");
+  report.meta("n", n).meta("side", side).meta("seed", static_cast<double>(seed));
+  report.meta("delta", net.maxDegree()).meta("diameter", net.graph().diameterEstimate());
+
   row("%-8s %12s %12s %12s %12s %8s", "F", "uplink", "agg-total", "structure", "speedup(up)",
       "ok");
   double uplink1 = 0;
@@ -33,11 +37,20 @@ int main(int argc, char** argv) {
     const AggregationStructure s = buildStructure(sim);
     const AggregateRun run = runAggregation(sim, s, values, AggKind::Max);
     if (channels == 1) uplink1 = static_cast<double>(run.costs.uplink);
+    const double speedup = uplink1 / static_cast<double>(run.costs.uplink);
     row("%-8d %12llu %12llu %12llu %12.2f %8s", channels,
         static_cast<unsigned long long>(run.costs.uplink),
         static_cast<unsigned long long>(run.costs.aggregationTotal()),
-        static_cast<unsigned long long>(s.costs.structureTotal()),
-        uplink1 / static_cast<double>(run.costs.uplink), run.delivered ? "yes" : "NO");
+        static_cast<unsigned long long>(s.costs.structureTotal()), speedup,
+        run.delivered ? "yes" : "NO");
+    report.row()
+        .col("variant", "mcs")
+        .col("channels", channels)
+        .col("uplink", static_cast<double>(run.costs.uplink))
+        .col("agg_total", static_cast<double>(run.costs.aggregationTotal()))
+        .col("structure", static_cast<double>(s.costs.structureTotal()))
+        .col("speedup_uplink", speedup)
+        .col("delivered", run.delivered ? 1.0 : 0.0);
   }
 
   // Baseline: single-channel direct uplink on the same structure.
@@ -45,10 +58,18 @@ int main(int argc, char** argv) {
     Simulator sim(net, 1, seed + 7);
     const AggregationStructure s = buildStructure(sim);
     const AggregateRun aloha = runAlohaAggregation(sim, s, values, AggKind::Max);
+    const double speedup = uplink1 / static_cast<double>(aloha.costs.uplink);
     row("%-8s %12llu %12llu %12s %12.2f %8s", "aloha",
         static_cast<unsigned long long>(aloha.costs.uplink),
-        static_cast<unsigned long long>(aloha.costs.aggregationTotal()), "-",
-        uplink1 / static_cast<double>(aloha.costs.uplink), aloha.delivered ? "yes" : "NO");
+        static_cast<unsigned long long>(aloha.costs.aggregationTotal()), "-", speedup,
+        aloha.delivered ? "yes" : "NO");
+    report.row()
+        .col("variant", "aloha")
+        .col("channels", 1)
+        .col("uplink", static_cast<double>(aloha.costs.uplink))
+        .col("agg_total", static_cast<double>(aloha.costs.aggregationTotal()))
+        .col("speedup_uplink", speedup)
+        .col("delivered", aloha.delivered ? 1.0 : 0.0);
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -17,6 +17,10 @@ int main(int argc, char** argv) {
          "Thm 22: with Delta ~ const, total grows like D + log n log log n "
          "(slowly); slots normalized by the predicted shape stay ~flat");
 
+  BenchReport report("e2_scaling_n");
+  report.meta("density", density).meta("channels", channels).meta("seed",
+                                                                  static_cast<double>(seed));
+
   row("%-8s %6s %6s %12s %12s %12s %10s %6s", "n", "Delta", "D", "structure", "agg", "total",
       "agg/shape", "ok");
   for (const int n : {250, 500, 1000, 2000, 4000}) {
@@ -36,6 +40,15 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.costs.total() + run.costs.aggregationTotal()),
         static_cast<double>(run.costs.aggregationTotal()) / shape,
         run.delivered ? "yes" : "NO");
+    report.row()
+        .col("n", n)
+        .col("delta", delta)
+        .col("diameter", diam)
+        .col("structure", static_cast<double>(s.costs.structureTotal()))
+        .col("agg", static_cast<double>(run.costs.aggregationTotal()))
+        .col("total", static_cast<double>(s.costs.total() + run.costs.aggregationTotal()))
+        .col("agg_over_shape", static_cast<double>(run.costs.aggregationTotal()) / shape)
+        .col("delivered", run.delivered ? 1.0 : 0.0);
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -18,6 +18,10 @@ int main(int argc, char** argv) {
          "Thm 10: O(log^2 n) total; Lemma 7/8: dominating set + coloring "
          "O(log n); Lemma 14: CSA O(log^2 n) with naive DeltaHat = n");
 
+  BenchReport report("e3_structure");
+  report.meta("density", density).meta("channels", channels).meta("seed",
+                                                                  static_cast<double>(seed));
+
   row("%-8s %8s %10s %10s %10s %10s %12s %12s", "n", "doms", "domset", "coloring", "csa",
       "reporters", "total", "tot/log^2 n");
   for (const int n : {250, 500, 1000, 2000, 4000}) {
@@ -33,6 +37,15 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.costs.reporters),
         static_cast<unsigned long long>(s.costs.structureTotal()),
         static_cast<double>(s.costs.structureTotal()) / (lnn * lnn));
+    report.row()
+        .col("n", n)
+        .col("dominators", static_cast<double>(s.clustering.dominators.size()))
+        .col("dominating_set", static_cast<double>(s.costs.dominatingSet))
+        .col("coloring", static_cast<double>(s.costs.clusterColoring))
+        .col("csa", static_cast<double>(s.costs.csa))
+        .col("reporters", static_cast<double>(s.costs.reporters))
+        .col("total", static_cast<double>(s.costs.structureTotal()))
+        .col("total_over_log2n", static_cast<double>(s.costs.structureTotal()) / (lnn * lnn));
   }
 
   row("%s", "");
@@ -49,6 +62,10 @@ int main(int argc, char** argv) {
     const AggregationStructure sb = buildStructure(simB, tight);
     row("%-8d %12llu %12llu", n, static_cast<unsigned long long>(sa.costs.csa),
         static_cast<unsigned long long>(sb.costs.csa));
+    report.row()
+        .col("n", n)
+        .col("csa_naive", static_cast<double>(sa.costs.csa))
+        .col("csa_tight", static_cast<double>(sb.costs.csa));
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

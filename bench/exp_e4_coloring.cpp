@@ -24,6 +24,9 @@ int main(int argc, char** argv) {
   Network net = densePatch(n, side, seed);
   const int delta = net.maxDegree();
   row("n=%d Delta=%d", n, delta);
+  BenchReport report("e4_coloring");
+  report.meta("n", n).meta("side", side).meta("seed", static_cast<double>(seed));
+  report.meta("delta", delta);
   // "classes" counts distinct colors actually used (the palette size the
   // schedule needs); colorsUsed (max color + 1) can be inflated by the
   // rare orphan overflow band (DESIGN.md §3.6) without affecting it.
@@ -46,6 +49,14 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(col.costs.broadcast), classes,
         static_cast<double>(classes) / delta,
         (violations == 0 && col.complete) ? "yes" : "NO");
+    report.row()
+        .col("channels", channels)
+        .col("uplink", static_cast<double>(col.costs.uplink))
+        .col("tree", static_cast<double>(col.costs.tree))
+        .col("assign", static_cast<double>(col.costs.broadcast))
+        .col("classes", classes)
+        .col("classes_over_delta", static_cast<double>(classes) / delta)
+        .col("proper", (violations == 0 && col.complete) ? 1.0 : 0.0);
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -19,6 +19,9 @@ int main(int argc, char** argv) {
          "(rounds / ln n ~ flat); members r-independent, all nodes bound "
          "within 2r, constant density");
 
+  BenchReport report("e5_ruling");
+  report.meta("density", density).meta("reps", reps).meta("seed", static_cast<double>(seed));
+
   row("%-8s %10s %10s %10s %10s %10s %10s", "n", "members", "rounds", "rnds/ln n", "indepViol",
       "unbound", "maxDens");
   for (const int n : {250, 500, 1000, 2000, 4000}) {
@@ -68,6 +71,14 @@ int main(int argc, char** argv) {
     row("%-8d %10.0f %10.0f %10.2f %10.1f %10.1f %10.1f", n, members.mean(), rounds.mean(),
         rounds.mean() / std::log(static_cast<double>(n)), viol.mean(), unbound.mean(),
         dens.mean());
+    report.row()
+        .col("n", n)
+        .col("members", members.mean())
+        .col("rounds", rounds.mean())
+        .col("rounds_over_lnn", rounds.mean() / std::log(static_cast<double>(n)))
+        .col("independence_violations", viol.mean())
+        .col("unbound", unbound.mean())
+        .col("max_density", dens.mean());
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -59,18 +59,36 @@ int main(int argc, char** argv) {
   }
   row("n=%d maxCluster=%d colors=%d", n, maxCluster, cl.numColors);
 
+  BenchReport report("e6_csa");
+  report.meta("n", n).meta("side", side).meta("seed", static_cast<double>(seed));
+  report.meta("max_cluster", maxCluster).meta("colors", cl.numColors);
+
   row("%-10s %6s %10s %12s %10s", "variant", "F", "deltaHat", "slots", "worstRatio");
   for (const int channels : {2, 8, 32}) {
     for (const int deltaHat : {2 * maxCluster, n}) {
       Simulator simL(net, channels, seed + 41);
       const CsaResult large = runCsaLarge(simL, cl, deltaHat);
+      const double ratioL = worstRatio(net, cl, large.estimateOfNode);
       row("%-10s %6d %10d %12llu %10.2f", "large", channels, deltaHat,
-          static_cast<unsigned long long>(large.slotsUsed), worstRatio(net, cl, large.estimateOfNode));
+          static_cast<unsigned long long>(large.slotsUsed), ratioL);
+      report.row()
+          .col("variant", "large")
+          .col("channels", channels)
+          .col("delta_hat", deltaHat)
+          .col("slots", static_cast<double>(large.slotsUsed))
+          .col("worst_ratio", ratioL);
       Simulator simS(net, channels, seed + 41);
       const CsaResult small = runCsaSmall(simS, cl, deltaHat);
+      const double ratioS = worstRatio(net, cl, small.estimateOfNode);
       row("%-10s %6d %10d %12llu %10.2f", "small", channels, deltaHat,
-          static_cast<unsigned long long>(small.slotsUsed), worstRatio(net, cl, small.estimateOfNode));
+          static_cast<unsigned long long>(small.slotsUsed), ratioS);
+      report.row()
+          .col("variant", "small")
+          .col("channels", channels)
+          .col("delta_hat", deltaHat)
+          .col("slots", static_cast<double>(small.slotsUsed))
+          .col("worst_ratio", ratioS);
     }
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

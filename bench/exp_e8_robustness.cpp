@@ -18,6 +18,10 @@ int main(int argc, char** argv) {
          "correctness must hold across the physical range, with graceful "
          "slot-count degradation");
 
+  BenchReport report("e8_robustness");
+  report.meta("n", n).meta("side", side).meta("channels", channels);
+  report.meta("seed", static_cast<double>(seed));
+
   row("%-8s %-8s %12s %12s %8s", "alpha", "beta", "structure", "agg", "ok");
   for (const double alpha : {2.5, 3.0, 4.0}) {
     for (const double beta : {1.2, 1.5, 3.0}) {
@@ -36,6 +40,13 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(s.costs.structureTotal()),
           static_cast<unsigned long long>(run.costs.aggregationTotal()),
           run.delivered ? "yes" : "NO");
+      report.row()
+          .col("sweep", "params")
+          .col("alpha", alpha)
+          .col("beta", beta)
+          .col("structure", static_cast<double>(s.costs.structureTotal()))
+          .col("agg", static_cast<double>(run.costs.aggregationTotal()))
+          .col("delivered", run.delivered ? 1.0 : 0.0);
     }
   }
 
@@ -56,6 +67,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.costs.structureTotal()),
         static_cast<unsigned long long>(run.costs.aggregationTotal()),
         run.delivered ? "yes" : "NO");
+    report.row()
+        .col("sweep", "uncertainty")
+        .col("width", width)
+        .col("structure", static_cast<double>(s.costs.structureTotal()))
+        .col("agg", static_cast<double>(run.costs.aggregationTotal()))
+        .col("delivered", run.delivered ? 1.0 : 0.0);
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -19,6 +19,10 @@ int main(int argc, char** argv) {
          "doubling allowed); increasing phases grow ~log, unchanging phases "
          "~Delta/(F log n)");
 
+  BenchReport report("e9_contention");
+  report.meta("side", side).meta("channels", channels).meta("seed",
+                                                            static_cast<double>(seed));
+
   row("%-8s %6s %10s %12s %12s %12s %12s", "n", "Delta", "maxPhases", "increasing",
       "unchanging", "maxCont/fv", "uplinkSlots");
   for (const int n : {500, 1000, 2000, 4000}) {
@@ -31,6 +35,14 @@ int main(int argc, char** argv) {
         intra.uplink.maxPhasesAnyCluster, intra.uplink.increasingPhases,
         intra.uplink.unchangingPhases, intra.uplink.maxContentionRatio,
         static_cast<unsigned long long>(intra.uplink.slots));
+    report.row()
+        .col("n", n)
+        .col("delta", net.maxDegree())
+        .col("max_phases", intra.uplink.maxPhasesAnyCluster)
+        .col("increasing", intra.uplink.increasingPhases)
+        .col("unchanging", intra.uplink.unchangingPhases)
+        .col("max_contention_ratio", intra.uplink.maxContentionRatio)
+        .col("uplink_slots", static_cast<double>(intra.uplink.slots));
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

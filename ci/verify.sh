@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build (warnings are errors), run the full suite.
+# This is the exact sequence CI runs; keep it in sync with ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build && ctest --output-on-failure -j "$(nproc)"

@@ -6,9 +6,19 @@
 
 namespace mcs {
 
-GridIndex::GridIndex(std::span<const Vec2> points, double cellSize)
-    : points_(points.begin(), points.end()), cellSize_(cellSize) {
+GridIndex::GridIndex(std::span<const Vec2> points, double cellSize) {
+  rebuild(points, cellSize);
+}
+
+void GridIndex::rebuild(std::span<const Vec2> points, double cellSize) {
   assert(cellSize > 0.0);
+  cellSize_ = cellSize;
+  points_.assign(points.begin(), points.end());
+  ids_.clear();
+  start_.clear();
+  minX_ = minY_ = 0.0;
+  nx_ = ny_ = 0;
+  cells_ = 0;
   if (points_.empty()) return;
 
   double maxX = points_[0].x, maxY = points_[0].y;
@@ -25,21 +35,20 @@ GridIndex::GridIndex(std::span<const Vec2> points, double cellSize)
   cells_ = static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
 
   // Counting sort of points into cells (CSR layout).
-  std::vector<std::size_t> count(cells_ + 1, 0);
-  std::vector<long> cellOfPoint(points_.size());
+  start_.assign(cells_ + 1, 0);
+  cellOfPoint_.resize(points_.size());
   for (std::size_t i = 0; i < points_.size(); ++i) {
     const auto [cx, cy] = cellOf(points_[i]);
     const long cell = cellIndex(cx, cy);
     assert(cell >= 0);
-    cellOfPoint[i] = cell;
-    ++count[static_cast<std::size_t>(cell) + 1];
+    cellOfPoint_[i] = cell;
+    ++start_[static_cast<std::size_t>(cell) + 1];
   }
-  for (std::size_t c = 0; c < cells_; ++c) count[c + 1] += count[c];
-  start_ = count;
+  for (std::size_t c = 0; c < cells_; ++c) start_[c + 1] += start_[c];
   ids_.resize(points_.size());
-  std::vector<std::size_t> cursor(start_.begin(), start_.end() - 1);
+  cursor_.assign(start_.begin(), start_.end() - 1);
   for (std::size_t i = 0; i < points_.size(); ++i) {
-    ids_[cursor[static_cast<std::size_t>(cellOfPoint[i])]++] = static_cast<NodeId>(i);
+    ids_[cursor_[static_cast<std::size_t>(cellOfPoint_[i])]++] = static_cast<NodeId>(i);
   }
 }
 

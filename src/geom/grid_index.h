@@ -20,6 +20,10 @@ class GridIndex {
   /// Builds an index over `points` with cells of side `cellSize` (> 0).
   GridIndex(std::span<const Vec2> points, double cellSize);
 
+  /// Re-indexes this instance over a new point set, reusing the internal
+  /// buffers' capacity (for callers that rebuild every slot).
+  void rebuild(std::span<const Vec2> points, double cellSize);
+
   /// Appends the ids of all points within distance `radius` of `center`
   /// (inclusive) to `out`.  `out` is cleared first.
   void queryBall(Vec2 center, double radius, std::vector<NodeId>& out) const;
@@ -47,6 +51,37 @@ class GridIndex {
     }
   }
 
+  /// Calls `fn(cx, cy, ids)` once per non-empty cell, where `ids` is the
+  /// span of point ids stored in cell (cx, cy).  Cells are visited in
+  /// row-major order, ids within a cell in insertion (id) order.
+  template <class Fn>
+  void forEachCell(Fn&& fn) const {
+    for (long cy = 0; cy < ny_; ++cy) {
+      for (long cx = 0; cx < nx_; ++cx) {
+        const auto cell = static_cast<std::size_t>(cy * nx_ + cx);
+        const std::size_t lo = start_[cell];
+        const std::size_t hi = start_[cell + 1];
+        if (lo == hi) continue;
+        fn(cx, cy, std::span<const NodeId>(ids_.data() + lo, hi - lo));
+      }
+    }
+  }
+
+  /// Squared distance from `p` to the closed box of cell (cx, cy);
+  /// zero when `p` lies inside the cell.
+  [[nodiscard]] double cellDist2(long cx, long cy, Vec2 p) const noexcept {
+    const double x0 = minX_ + static_cast<double>(cx) * cellSize_;
+    const double y0 = minY_ + static_cast<double>(cy) * cellSize_;
+    const double dx = p.x < x0 ? x0 - p.x : (p.x > x0 + cellSize_ ? p.x - (x0 + cellSize_) : 0.0);
+    const double dy = p.y < y0 ? y0 - p.y : (p.y > y0 + cellSize_ ? p.y - (y0 + cellSize_) : 0.0);
+    return dx * dx + dy * dy;
+  }
+
+  /// Position of an indexed point by id.
+  [[nodiscard]] Vec2 point(NodeId id) const noexcept {
+    return points_[static_cast<std::size_t>(id)];
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
   [[nodiscard]] double cellSize() const noexcept { return cellSize_; }
 
@@ -58,6 +93,8 @@ class GridIndex {
   std::vector<Vec2> points_;
   std::vector<NodeId> ids_;         // point ids sorted by cell
   std::vector<std::size_t> start_;  // CSR offsets per cell, size cells_+1
+  std::vector<long> cellOfPoint_;   // rebuild scratch
+  std::vector<std::size_t> cursor_;  // rebuild scratch
   double cellSize_ = 0.0;
   double minX_ = 0.0, minY_ = 0.0;
   long nx_ = 0, ny_ = 0;

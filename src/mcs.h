@@ -46,3 +46,4 @@
 #include "util/log.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"

@@ -2,8 +2,8 @@
 
 namespace mcs {
 
-Simulator::Simulator(const Network& net, int numChannels, std::uint64_t seed)
-    : net_(&net), medium_(net.sinr(), numChannels), root_(seed) {
+Simulator::Simulator(const Network& net, int numChannels, std::uint64_t seed, int numThreads)
+    : net_(&net), medium_(net.sinr(), numChannels, numThreads), root_(seed) {
   const auto n = static_cast<std::size_t>(net.size());
   rngs_.reserve(n);
   for (std::size_t v = 0; v < n; ++v) rngs_.push_back(root_.fork(v + 1));

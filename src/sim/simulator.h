@@ -20,7 +20,9 @@ namespace mcs {
 class Simulator {
  public:
   /// `numChannels` is F; `seed` determines every random choice.
-  Simulator(const Network& net, int numChannels, std::uint64_t seed);
+  /// `numThreads` > 1 parallelizes the Medium's per-listener loop over a
+  /// persistent thread pool; slot results are identical either way.
+  Simulator(const Network& net, int numChannels, std::uint64_t seed, int numThreads = 1);
 
   /// Runs one slot.  `intentOf(NodeId) -> Intent` is called for every
   /// node; `onReception(NodeId, const Reception&)` for every listener.

@@ -1,15 +1,49 @@
 #include "sinr/medium.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 
 namespace mcs {
 
-Medium::Medium(SinrParams params, int numChannels)
-    : params_(params), numChannels_(numChannels) {
+Medium::Medium(SinrParams params, int numChannels, int numThreads)
+    : params_(params),
+      kernel_(params.kernel()),
+      numChannels_(numChannels),
+      // NearFar decode correctness requires nearRadius_ >= R_T (every
+      // decodable transmitter must be summed exactly); clamp rather than
+      // trust the assert below, which is compiled out in Release.
+      nearRadius_(std::max(params.nearField, 1.0) * params.transmissionRange()) {
   assert(params_.valid());
   assert(numChannels_ >= 1);
+  assert(numThreads >= 1);
+  if (numThreads > 1) pool_ = std::make_unique<ThreadPool>(numThreads);
   txByChannelStart_.assign(static_cast<std::size_t>(numChannels_) + 1, 0);
+}
+
+void Medium::buildFields(std::span<const Vec2> positions) {
+  fields_.resize(static_cast<std::size_t>(numChannels_));
+  // Half the near radius balances batching (fewer kernel calls per far
+  // cell) against centroid accuracy (smaller spread within a cell).
+  const double cellSize = nearRadius_ * 0.5;
+  for (int c = 0; c < numChannels_; ++c) {
+    ChannelField& f = fields_[static_cast<std::size_t>(c)];
+    f.lo = txByChannelStart_[static_cast<std::size_t>(c)];
+    const std::int32_t hi = txByChannelStart_[static_cast<std::size_t>(c) + 1];
+    f.cells.clear();
+    if (f.lo == hi) continue;  // no transmitters: cells stay empty
+    fieldPts_.clear();
+    for (std::int32_t i = f.lo; i < hi; ++i) {
+      fieldPts_.push_back(positions[static_cast<std::size_t>(txByChannel_[static_cast<std::size_t>(i)])]);
+    }
+    f.grid.rebuild(fieldPts_, cellSize);
+    f.grid.forEachCell([&f](long cx, long cy, std::span<const NodeId> ids) {
+      Vec2 sum{};
+      for (const NodeId id : ids) sum = sum + f.grid.point(id);
+      f.cells.push_back({sum * (1.0 / static_cast<double>(ids.size())), cx, cy, ids});
+    });
+  }
 }
 
 void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent> intents,
@@ -53,46 +87,94 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
     }
   }
 
-  const double alpha = params_.alpha;
+  const bool nearFar = params_.mediumMode == MediumMode::NearFar;
+  if (nearFar && txTotal > 0) buildFields(positions);
+
+  const PowerKernel kern = kernel_;
   const double beta = params_.beta;
   const double noise = params_.noise;
-  const double power = params_.power;
+  const double nearR = nearRadius_;
+  const double nearR2 = nearR * nearR;
+  constexpr double kMinD2 = SinrParams::kMinDistance * SinrParams::kMinDistance;
 
-  for (const NodeId v : listeners_) {
-    const ChannelId c = intents[static_cast<std::size_t>(v)].channel;
-    const std::int32_t lo = txByChannelStart_[static_cast<std::size_t>(c)];
-    const std::int32_t hi = txByChannelStart_[static_cast<std::size_t>(c) + 1];
-    if (lo == hi) continue;  // silent channel
+  std::atomic<std::uint64_t> decodes{0};
+  const auto processRange = [&](std::size_t rangeBegin, std::size_t rangeEnd) {
+    std::uint64_t localDecodes = 0;
+    for (std::size_t li = rangeBegin; li < rangeEnd; ++li) {
+      const NodeId v = listeners_[li];
+      const ChannelId c = intents[static_cast<std::size_t>(v)].channel;
+      const std::int32_t lo = txByChannelStart_[static_cast<std::size_t>(c)];
+      const std::int32_t hi = txByChannelStart_[static_cast<std::size_t>(c) + 1];
+      if (lo == hi) continue;  // silent channel
 
-    double total = 0.0;
-    double best = -1.0;
-    NodeId bestTx = kNoNode;
-    const Vec2 pv = positions[static_cast<std::size_t>(v)];
-    for (std::int32_t i = lo; i < hi; ++i) {
-      const NodeId w = txByChannel_[static_cast<std::size_t>(i)];
-      const double d2 = dist2(positions[static_cast<std::size_t>(w)], pv);
-      // Distinct positions are a model requirement; guard nonetheless.
-      const double rx = d2 > 0.0 ? power / std::pow(d2, alpha / 2.0) : 1e300;
-      total += rx;
-      if (rx > best) {
-        best = rx;
-        bestTx = w;
+      double total = 0.0;
+      double best = -1.0;
+      NodeId bestTx = kNoNode;
+      const Vec2 pv = positions[static_cast<std::size_t>(v)];
+
+      if (!nearFar) {
+        for (std::int32_t i = lo; i < hi; ++i) {
+          const NodeId w = txByChannel_[static_cast<std::size_t>(i)];
+          // Distinct positions are a model requirement; exactly co-located
+          // pairs are clamped to kMinDistance so power and ranging stay
+          // finite (any positive distance passes through untouched).
+          const double d2raw = dist2(positions[static_cast<std::size_t>(w)], pv);
+          const double rx = kern(d2raw > 0.0 ? d2raw : kMinD2);
+          total += rx;
+          if (rx > best) {
+            best = rx;
+            bestTx = w;
+          }
+        }
+      } else {
+        const ChannelField& f = fields_[static_cast<std::size_t>(c)];
+        // Single pass over non-empty cells: cells entirely beyond the near
+        // radius contribute count * P/d(centroid)^alpha in one kernel call;
+        // cells touching the near ball have every member summed exactly.
+        // Any transmitter that could decode is within R_T <= nearR, hence
+        // inside a touching cell, hence an exact `best` candidate.
+        for (const FarCell& cell : f.cells) {
+          if (f.grid.cellDist2(cell.cx, cell.cy, pv) > nearR2) {
+            const double d2c = dist2(cell.centroid, pv);
+            total += static_cast<double>(cell.ids.size()) * kern(d2c > 0.0 ? d2c : kMinD2);
+            continue;
+          }
+          for (const NodeId local : cell.ids) {
+            const NodeId w =
+                txByChannel_[static_cast<std::size_t>(f.lo) + static_cast<std::size_t>(local)];
+            const double d2raw = dist2(f.grid.point(local), pv);
+            const double rx = kern(d2raw > 0.0 ? d2raw : kMinD2);
+            total += rx;
+            if (rx > best) {
+              best = rx;
+              bestTx = w;
+            }
+          }
+        }
+      }
+
+      Reception& r = out[static_cast<std::size_t>(v)];
+      r.totalPower = total;
+      // SINR condition (1) for the strongest transmitter.  With beta >= 1 no
+      // weaker transmitter can satisfy it, so checking the strongest suffices.
+      if (bestTx != kNoNode && best >= beta * (noise + (total - best))) {
+        r.received = true;
+        r.msg = intents[static_cast<std::size_t>(bestTx)].msg;
+        r.sinr = best / (noise + (total - best));
+        r.signalPower = best;
+        r.senderDistance = params_.distanceFromPower(best);
+        ++localDecodes;
       }
     }
+    decodes.fetch_add(localDecodes, std::memory_order_relaxed);
+  };
 
-    Reception& r = out[static_cast<std::size_t>(v)];
-    r.totalPower = total;
-    // SINR condition (1) for the strongest transmitter.  With beta >= 1 no
-    // weaker transmitter can satisfy it, so checking the strongest suffices.
-    if (bestTx != kNoNode && best >= beta * (noise + (total - best))) {
-      r.received = true;
-      r.msg = intents[static_cast<std::size_t>(bestTx)].msg;
-      r.sinr = best / (noise + (total - best));
-      r.signalPower = best;
-      r.senderDistance = params_.distanceFromPower(best);
-      ++stats_.decodes;
-    }
+  if (pool_) {
+    pool_->parallelFor(listeners_.size(), processRange);
+  } else {
+    processRange(0, listeners_.size());
   }
+  stats_.decodes += decodes.load(std::memory_order_relaxed);
 }
 
 }  // namespace mcs

@@ -1,13 +1,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "geom/grid_index.h"
 #include "geom/vec2.h"
 #include "sim/message.h"
 #include "sinr/params.h"
 #include "util/ids.h"
+#include "util/thread_pool.h"
 
 /// The shared wireless medium: resolves one slot of simultaneous
 /// transmissions across F non-overlapping channels under the SINR rule.
@@ -25,9 +28,36 @@ struct MediumStats {
   }
 };
 
+/// Resolves slots under one of two interference-summation modes, selected
+/// by SinrParams::mediumMode:
+///
+///  - MediumMode::Exact (default): every same-channel transmitter
+///    contributes P/d^alpha to every listener individually.  Results are
+///    reproducible bit-for-bit for a given parameter set, independent of
+///    the thread count (each listener is resolved independently and the
+///    per-listener summation order is fixed).
+///
+///  - MediumMode::NearFar: per channel, transmitters are indexed in a
+///    uniform grid.  Transmitters within `nearField * R_T` of a listener
+///    are summed exactly (this includes every transmitter that could
+///    possibly decode, since nearField >= 1); farther transmitters are
+///    batched per grid cell, contributing `count * P/d(centroid)^alpha`.
+///    Because the centroid is the mean of the cell's members, the
+///    first-order error term vanishes; what remains is a second-order
+///    far-field approximation of the interference sum.  Decode decisions
+///    can differ from Exact only for listeners whose SINR is within that
+///    approximation error of beta.
+///
+/// Both modes evaluate path loss through PowerKernel, which specializes
+/// integer/half-integer alpha to multiply/sqrt sequences (no std::pow on
+/// the hot path).  Co-located node pairs are clamped to
+/// SinrParams::kMinDistance so received power and RSSI ranging stay
+/// finite even on degenerate inputs.
 class Medium {
  public:
-  Medium(SinrParams params, int numChannels);
+  /// `numThreads` > 1 spreads the per-listener loop over a persistent
+  /// std::thread pool; results are identical to the single-threaded run.
+  Medium(SinrParams params, int numChannels, int numThreads = 1);
 
   /// Resolves one slot.  `intents[v]` is node v's declared behavior;
   /// `out[v]` is filled for every listener (and cleared for everyone
@@ -44,18 +74,41 @@ class Medium {
 
   [[nodiscard]] const SinrParams& params() const noexcept { return params_; }
   [[nodiscard]] int numChannels() const noexcept { return numChannels_; }
+  [[nodiscard]] int numThreads() const noexcept { return pool_ ? pool_->threads() : 1; }
   [[nodiscard]] const MediumStats& stats() const noexcept { return stats_; }
   void resetStats() noexcept { stats_ = {}; }
 
  private:
+  /// Far-field aggregate of one grid cell (NearFar mode): the member
+  /// centroid, the member ids (channel-local), and the cell coordinates.
+  struct FarCell {
+    Vec2 centroid;
+    long cx = 0, cy = 0;
+    std::span<const NodeId> ids;  // into the channel grid's CSR storage
+  };
+
+  /// Per-channel spatial structure rebuilt each slot in NearFar mode.
+  struct ChannelField {
+    GridIndex grid;          // over this channel's transmitter positions
+    std::int32_t lo = 0;     // slice start in txByChannel_
+    std::vector<FarCell> cells;
+  };
+
+  void buildFields(std::span<const Vec2> positions);
+
   SinrParams params_;
+  PowerKernel kernel_;
   int numChannels_;
+  double nearRadius_ = 0.0;  // nearField * R_T, cached
   MediumStats stats_;
+  std::unique_ptr<ThreadPool> pool_;  // present iff numThreads > 1
 
   // Scratch buffers reused across slots to avoid per-slot allocation.
   std::vector<std::int32_t> txByChannelStart_;
   std::vector<NodeId> txByChannel_;
   std::vector<NodeId> listeners_;
+  std::vector<ChannelField> fields_;
+  std::vector<Vec2> fieldPts_;
 };
 
 }  // namespace mcs

@@ -1,10 +1,67 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <initializer_list>
 
 /// SINR model parameters and derived quantities (paper §2).
 namespace mcs {
+
+/// How Medium::resolveSlot sums same-channel interference per listener
+/// (see sinr/medium.h for the full contract):
+///  - Exact: every transmitter contributes P/d^alpha individually.
+///  - NearFar: transmitters within `nearField * R_T` contribute exactly;
+///    farther ones are batched per grid cell around the cell's centroid.
+enum class MediumMode : std::uint8_t { Exact = 0, NearFar = 1 };
+
+/// Received-power kernel: evaluates P / d^alpha from the *squared*
+/// distance d^2.  For integer and half-integer alpha (2, 2.5, 3, ... —
+/// the whole practical path-loss range) the exponent alpha/2 decomposes
+/// into whole + quarter parts, so the hot path costs a few multiplies and
+/// square roots instead of a libm std::pow call; any other alpha falls
+/// back to std::pow(d2, alpha/2) exactly as before.
+class PowerKernel {
+ public:
+  constexpr PowerKernel() noexcept = default;
+
+  PowerKernel(double power, double alpha) noexcept : power_(power), halfAlpha_(alpha * 0.5) {
+    // alpha/2 in quarter units; exact for representable half-integers.
+    const double q = alpha * 2.0;
+    if (q >= 1.0 && q <= 64.0 && q == std::floor(q)) {
+      const int qi = static_cast<int>(q);
+      whole_ = qi >> 2;
+      quarters_ = qi & 3;
+      fast_ = true;
+    }
+  }
+
+  /// P / d^alpha given d2 = d^2 (> 0).
+  [[nodiscard]] double operator()(double d2) const noexcept {
+    if (!fast_) return power_ / std::pow(d2, halfAlpha_);
+    double p = 1.0;
+    double b = d2;
+    for (int e = whole_; e != 0; e >>= 1) {
+      if ((e & 1) != 0) p *= b;
+      b *= b;
+    }
+    if (quarters_ != 0) {
+      const double s = std::sqrt(d2);            // d2^(1/2)
+      if ((quarters_ & 2) != 0) p *= s;
+      if ((quarters_ & 1) != 0) p *= std::sqrt(s);  // d2^(1/4)
+    }
+    return power_ / p;
+  }
+
+  /// True when the integer/half-integer specialization is active.
+  [[nodiscard]] bool fastPath() const noexcept { return fast_; }
+
+ private:
+  double power_ = 1.0;
+  double halfAlpha_ = 1.5;
+  int whole_ = 0;
+  int quarters_ = 0;
+  bool fast_ = false;
+};
 
 /// Physical-layer parameters: path-loss exponent alpha (> 2), decoding
 /// threshold beta (>= 1), ambient noise N (> 0), uniform transmit power P.
@@ -16,6 +73,20 @@ struct SinrParams {
   double beta = 1.5;
   double noise = 1.0 / 1.5;  // => R_T = 1 with power = 1
   double power = 1.0;
+
+  /// Interference-summation mode used by the Medium.  Exact is the
+  /// default; its results are bit-reproducible for a given parameter
+  /// set, independent of thread count.
+  MediumMode mediumMode = MediumMode::Exact;
+  /// Near-field radius in units of R_T (NearFar mode only).  Must be
+  /// >= 1 so every decodable transmitter is still summed exactly.
+  double nearField = 2.0;
+
+  /// Exactly co-located node pairs (d == 0) are treated as this far apart
+  /// by the Medium.  The model requires distinct positions; the clamp
+  /// keeps received power, SINR, and RSSI ranging finite for degenerate
+  /// input without disturbing any positive distance, however small.
+  static constexpr double kMinDistance = 1e-9;
 
   /// Maximum decodable distance absent interference: (P / (beta N))^(1/alpha).
   [[nodiscard]] double transmissionRange() const noexcept {
@@ -46,9 +117,13 @@ struct SinrParams {
     return std::pow((alpha - 2.0) / (48.0 * beta * (alpha - 1.0)), 1.0 / alpha);
   }
 
-  /// Validates the model constraints (alpha > 2, beta >= 1, positive N, P).
+  /// The received-power kernel for these parameters (P / d^alpha from d^2).
+  [[nodiscard]] PowerKernel kernel() const noexcept { return {power, alpha}; }
+
+  /// Validates the model constraints (alpha > 2, beta >= 1, positive N, P,
+  /// and a near-field radius covering the transmission range).
   [[nodiscard]] bool valid() const noexcept {
-    return alpha > 2.0 && beta >= 1.0 && noise > 0.0 && power > 0.0;
+    return alpha > 2.0 && beta >= 1.0 && noise > 0.0 && power > 0.0 && nearField >= 1.0;
   }
 
   /// Returns parameters rescaled so that transmissionRange() == rt.

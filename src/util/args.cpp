@@ -19,7 +19,9 @@ Args::Args(int argc, const char* const* argv) {
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       named_[token] = argv[++i];
     } else {
-      named_[token] = "1";
+      // std::string{"1"} (not = "1") sidesteps a GCC 12 -Wrestrict false
+      // positive in libstdc++'s char* assignment under -O2.
+      named_[token] = std::string{"1"};
     }
   }
 }

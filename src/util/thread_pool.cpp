@@ -1,0 +1,81 @@
+#include "util/thread_pool.h"
+
+#include <cassert>
+
+namespace mcs {
+
+ThreadPool::ThreadPool(int threads) {
+  assert(threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int lane = 1; lane < threads; ++lane) {
+    workers_.emplace_back([this, lane] { workerLoop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  workCv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::chunk(std::size_t n, int lanes,
+                                                      int lane) noexcept {
+  const auto l = static_cast<std::size_t>(lanes);
+  const auto i = static_cast<std::size_t>(lane);
+  const std::size_t base = n / l;
+  const std::size_t extra = n % l;
+  // Lanes [0, extra) get base+1 items, the rest get base.
+  const std::size_t begin = i * base + (i < extra ? i : extra);
+  return {begin, begin + base + (i < extra ? 1 : 0)};
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    fn(0, n);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    jobN_ = n;
+    pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  workCv_.notify_all();
+
+  const auto [begin, end] = chunk(n, threads(), 0);
+  if (begin < end) fn(begin, end);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  doneCv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::workerLoop(int lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      workCv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      n = jobN_;
+    }
+    const auto [begin, end] = chunk(n, threads(), lane);
+    if (begin < end) (*job)(begin, end);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) doneCv_.notify_one();
+    }
+  }
+}
+
+}  // namespace mcs

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// A small fixed-size worker pool for data-parallel loops.
+///
+/// The pool owns `threads - 1` workers; the calling thread participates as
+/// the remaining lane, so `parallelFor` never context-switches for
+/// single-threaded pools and degenerates to a plain loop when threads == 1.
+/// Work is split into one contiguous chunk per lane, which keeps the
+/// partition deterministic: a given (n, threads) pair always yields the
+/// same chunks, so numerically order-sensitive reductions stay reproducible.
+namespace mcs {
+
+class ThreadPool {
+ public:
+  /// Spawns a pool with `threads` lanes total (>= 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int threads() const noexcept { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `fn(begin, end)` over a partition of [0, n) into one contiguous
+  /// chunk per lane, in parallel.  Blocks until every chunk finished.
+  /// `fn` must be safe to call concurrently from different threads on
+  /// disjoint ranges.  Empty chunks are skipped.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// The [begin, end) chunk lane `lane` owns out of [0, n) split `lanes` ways.
+  [[nodiscard]] static std::pair<std::size_t, std::size_t> chunk(std::size_t n, int lanes,
+                                                                 int lane) noexcept;
+
+ private:
+  void workerLoop(int lane);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable workCv_;
+  std::condition_variable doneCv_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t jobN_ = 0;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mcs

@@ -26,7 +26,9 @@ TEST_P(ClusterColoringSeeds, SeparationAndCompleteness) {
   // Non-dominators carry no color.
   for (NodeId v = 0; v < net.size(); ++v) {
     const auto vi = static_cast<std::size_t>(v);
-    if (!cl.isDominator[vi]) EXPECT_EQ(cl.colorOfCluster[vi], -1);
+    if (!cl.isDominator[vi]) {
+      EXPECT_EQ(cl.colorOfCluster[vi], -1);
+    }
   }
   // Same color => farther than R_{eps/2} apart; allow at most one missed
   // pair (verification is probabilistic).

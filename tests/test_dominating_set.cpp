@@ -22,7 +22,9 @@ TEST_P(DominatingSetSeeds, ClusteringInvariants) {
     const NodeId d = cl.dominatorOf[vi];
     ASSERT_NE(d, kNoNode);
     ASSERT_TRUE(cl.isDominator[static_cast<std::size_t>(d)]);
-    if (cl.isDominator[vi]) EXPECT_EQ(d, v);
+    if (cl.isDominator[vi]) {
+      EXPECT_EQ(d, v);
+    }
     EXPECT_LE(net.distance(v, d), 2 * net.rc() + 1e-12);
     if (net.distance(v, d) > net.rc() + 1e-12) ++beyondRc;
   }
