@@ -1,0 +1,151 @@
+// scenario_runner: execute a declarative scenario across a seed batch.
+//
+//   scenario_runner --list
+//   scenario_runner --scenario=<preset> [--seeds=K] [--seed0=S] [overrides]
+//   scenario_runner --file=spec.txt [overrides]
+//
+// Spec resolution order: preset (--scenario) -> scenario file (--file) ->
+// any other --key=value flag as a spec override (unknown keys abort; see
+// scenario/spec.h for the key list).  Runner-owned flags: --list, --file,
+// --scenario, --threads (batch lanes), --out (report directory), --csv
+// (per-seed CSV path).
+//
+// Output: a per-seed table + batch summary on stdout, and the same
+// numbers as BENCH_scenario_<name>.json via BenchReport so scenario runs
+// accumulate in the same perf history as the other benches.  Exit is
+// nonzero when any seed fails, when no seed delivers, or when the report
+// cannot be written.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+
+using namespace mcs;
+using namespace mcs::bench;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+
+  if (args.getBool("list")) {
+    for (const std::string& name : ScenarioRegistry::names()) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+
+  // 1. Resolve the spec: preset, then file, then flag overrides.
+  ScenarioSpec spec;
+  const std::string presetName = args.get("scenario");
+  if (!presetName.empty() && !ScenarioRegistry::find(presetName, spec)) {
+    std::fprintf(stderr, "unknown scenario \"%s\"; --list shows the registry\n",
+                 presetName.c_str());
+    return 2;
+  }
+  std::string err;
+  const std::string file = args.get("file");
+  if (!file.empty() && !loadScenarioFile(spec, file, err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+  if (!applyScenarioArgs(spec, args, {"list", "scenario", "file", "threads", "out", "csv"},
+                         err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+  const std::string invalid = validateScenario(spec);
+  if (!invalid.empty()) {
+    std::fprintf(stderr, "invalid scenario: %s\n", invalid.c_str());
+    return 2;
+  }
+
+  const int threads = static_cast<int>(args.getInt(
+      "threads", static_cast<long>(std::max(2u, std::thread::hardware_concurrency()))));
+  const std::string outDir = args.get("out", ".");
+
+  // 2. Run the batch.
+  header("scenario: " + spec.name, describeScenario(spec));
+  const double t0 = now();
+  const ScenarioBatchResult batch = runScenarioBatch(spec, threads);
+  const double wall = now() - t0;
+
+  // 3. Per-seed table + report rows.
+  BenchReport report("scenario_" + spec.name);
+  report.meta("scenario", describeScenario(spec));
+  report.meta("deployment", toString(spec.deployment.kind));
+  report.meta("protocol", toString(spec.protocol));
+  report.meta("medium_mode", toString(spec.sinr.mediumMode));
+  report.meta("fading", toString(spec.sinr.fading.model));
+  report.meta("n", spec.deployment.n);
+  report.meta("channels", spec.channels);
+  report.meta("seeds", spec.seeds);
+  report.meta("seed0", static_cast<double>(spec.seed0));
+  report.meta("batch_threads", threads);
+  report.meta("batch_wall_sec", wall);
+
+  row("%-8s %6s %10s %10s %10s %9s %5s %8s  %s", "seed", "n", "slots", "structure", "uplink",
+      "dec.rate", "ok", "wall(s)", "error");
+  for (const SeedResult& r : batch.perSeed) {
+    row("%-8llu %6d %10llu %10llu %10llu %9.3f %5s %8.2f  %s",
+        static_cast<unsigned long long>(r.seed), r.deployedN,
+        static_cast<unsigned long long>(r.slots),
+        static_cast<unsigned long long>(r.structureSlots),
+        static_cast<unsigned long long>(r.uplinkSlots), r.decodeRate,
+        r.failed() ? "ERR" : (r.delivered ? "yes" : "NO"), r.wallSec, r.error.c_str());
+    report.row()
+        .col("seed", static_cast<double>(r.seed))
+        .col("deployed_n", r.deployedN)
+        .col("slots", static_cast<double>(r.slots))
+        .col("transmissions", static_cast<double>(r.transmissions))
+        .col("listens", static_cast<double>(r.listens))
+        .col("decodes", static_cast<double>(r.decodes))
+        .col("decode_rate", r.decodeRate)
+        .col("structure_slots", static_cast<double>(r.structureSlots))
+        .col("uplink_slots", static_cast<double>(r.uplinkSlots))
+        .col("agg_slots", static_cast<double>(r.aggSlots))
+        .col("delivered", r.delivered ? 1.0 : 0.0)
+        .col("agg_value", r.aggValue)
+        .col("truth_value", r.truthValue)
+        .col("wall_sec", r.wallSec)
+        .col("error", r.error);
+  }
+
+  // 4. Batch summary.
+  const Summary slots = batch.summarizeSlots();
+  const Summary rate = batch.summarizeDecodeRate();
+  const int failures = batch.failures();
+  const int delivered = batch.deliveredCount();
+  row("%s", "");
+  row("batch: %d seeds, %d delivered, %d failed | slots mean=%.0f [%.0f, %.0f] | "
+      "decode rate mean=%.3f | %.2fs (%d lanes)",
+      spec.seeds, delivered, failures, slots.mean, slots.min, slots.max, rate.mean, wall,
+      threads);
+  report.meta("delivered_count", delivered);
+  report.meta("failure_count", failures);
+  report.meta("slots_mean", slots.mean);
+  report.meta("slots_min", slots.min);
+  report.meta("slots_max", slots.max);
+  report.meta("decode_rate_mean", rate.mean);
+
+  // 5. Optional per-seed CSV.
+  const std::string csvPath = args.get("csv");
+  if (!csvPath.empty()) {
+    CsvWriter csv(csvPath);
+    csv.header({"seed", "deployed_n", "slots", "decode_rate", "structure_slots", "uplink_slots",
+                "agg_slots", "delivered", "agg_value", "truth_value", "wall_sec", "error"});
+    for (const SeedResult& r : batch.perSeed) {
+      csv.row({std::to_string(r.seed), std::to_string(r.deployedN), std::to_string(r.slots),
+               formatDouble(r.decodeRate, 6), std::to_string(r.structureSlots),
+               std::to_string(r.uplinkSlots), std::to_string(r.aggSlots),
+               r.delivered ? "1" : "0", formatDouble(r.aggValue, 9),
+               formatDouble(r.truthValue, 9), formatDouble(r.wallSec, 4), r.error});
+    }
+    std::printf("wrote %s (%zu rows)\n", csvPath.c_str(), csv.rows());
+  }
+
+  if (!report.write(outDir)) return 1;
+  if (failures > 0) return 1;
+  if (delivered == 0) {
+    std::fprintf(stderr, "no seed delivered\n");
+    return 1;
+  }
+  return 0;
+}

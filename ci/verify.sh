@@ -6,4 +6,28 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
-cd build && ctest --output-on-failure -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+# --- Bench seeding + scenario smoke -----------------------------------------
+# Runs the medium regression bench and every registered scenario preset at
+# its (small) default size, collecting the BENCH_*.json reports into
+# build/bench-artifacts so CI can upload them and the perf history
+# accumulates per commit.  Any nonzero exit or empty report fails the job.
+cd build
+mkdir -p bench-artifacts
+(cd bench-artifacts && ../bench/bench_medium --budget=0.05)
+
+./bench/scenario_runner --list
+for preset in $(./bench/scenario_runner --list); do
+  echo "--- scenario smoke: ${preset}"
+  ./bench/scenario_runner --scenario="${preset}" --seeds=2 --out=bench-artifacts
+done
+
+for report in bench-artifacts/BENCH_*.json; do
+  if [ ! -s "${report}" ] || grep -q '"rows": \[\]' "${report}"; then
+    echo "FAIL: empty bench report ${report}"
+    exit 1
+  fi
+done
+echo "bench artifacts:"
+ls -l bench-artifacts

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <utility>
 
 namespace mcs {
 
@@ -71,6 +73,73 @@ std::vector<Vec2> deployExponentialChain(int n, double base, double maxGap) {
   const double scale = maxGap / largestGap;
   for (int i = 0; i < n; ++i) {
     pts[static_cast<std::size_t>(i)] = {scale * std::pow(base, i + 1), 0.0};
+  }
+  return pts;
+}
+
+std::vector<Vec2> deployPoissonDisk(int n, double side, double minDist, Rng& rng) {
+  assert(n >= 0 && side > 0.0 && minDist > 0.0);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  // Uniform grid with cell = minDist: every cell spans <= minDist per
+  // axis (the clamped last row/column is narrower), so two points closer
+  // than minDist differ by at most 1 in each cell index — the 3x3
+  // neighborhood suffices for conflict checks.
+  const int cols = std::max(1, static_cast<int>(std::ceil(side / minDist)));
+  std::vector<std::vector<std::int32_t>> cellOf(static_cast<std::size_t>(cols) *
+                                                static_cast<std::size_t>(cols));
+  const auto cellIndex = [&](const Vec2& p) {
+    const int cx = std::min(cols - 1, static_cast<int>(p.x / minDist));
+    const int cy = std::min(cols - 1, static_cast<int>(p.y / minDist));
+    return std::pair<int, int>{cx, cy};
+  };
+  const double minD2 = minDist * minDist;
+  // Dart throwing with a generous attempt budget; saturation densities
+  // beyond random sequential packing terminate via the budget.
+  const long maxAttempts = 60L * std::max(1, n);
+  for (long attempt = 0; attempt < maxAttempts && static_cast<int>(pts.size()) < n; ++attempt) {
+    const Vec2 cand{rng.uniform(0.0, side), rng.uniform(0.0, side)};
+    const auto [cx, cy] = cellIndex(cand);
+    bool ok = true;
+    for (int dx = -1; dx <= 1 && ok; ++dx) {
+      for (int dy = -1; dy <= 1 && ok; ++dy) {
+        const int nx = cx + dx;
+        const int ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= cols || ny >= cols) continue;
+        for (const std::int32_t i :
+             cellOf[static_cast<std::size_t>(ny) * static_cast<std::size_t>(cols) +
+                    static_cast<std::size_t>(nx)]) {
+          if (dist2(pts[static_cast<std::size_t>(i)], cand) < minD2) {
+            ok = false;
+            break;
+          }
+        }
+      }
+    }
+    if (!ok) continue;
+    cellOf[static_cast<std::size_t>(cy) * static_cast<std::size_t>(cols) +
+           static_cast<std::size_t>(cx)]
+        .push_back(static_cast<std::int32_t>(pts.size()));
+    pts.push_back(cand);
+  }
+  return pts;
+}
+
+std::vector<Vec2> deployDenseSparseMixture(int n, double side, double denseFrac,
+                                           double patchFrac, Rng& rng) {
+  assert(n >= 0 && side > 0.0);
+  assert(denseFrac >= 0.0 && denseFrac <= 1.0);
+  assert(patchFrac > 0.0 && patchFrac <= 1.0);
+  const int nDense = static_cast<int>(std::lround(static_cast<double>(n) * denseFrac));
+  const double patch = side * patchFrac;
+  const double lo = (side - patch) * 0.5;
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < nDense; ++i) {
+    pts.push_back({lo + rng.uniform(0.0, patch), lo + rng.uniform(0.0, patch)});
+  }
+  for (int i = nDense; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
   }
   return pts;
 }

@@ -37,6 +37,22 @@ namespace mcs {
 /// succeed on this instance.
 [[nodiscard]] std::vector<Vec2> deployExponentialChain(int n, double base, double maxGap);
 
+/// Poisson-disk "sensor mesh": up to n points in [0, side]^2 with pairwise
+/// separation >= minDist (grid-accelerated dart throwing).  Stops early if
+/// the region saturates before reaching n, so callers must size minDist so
+/// that n << side^2 / minDist^2 (the random sequential packing limit is
+/// ~0.55 * (side/minDist)^2 / (pi/4)).  Models hand-placed sensor grids:
+/// near-uniform coverage without the clumping of i.i.d. uniform draws.
+[[nodiscard]] std::vector<Vec2> deployPoissonDisk(int n, double side, double minDist, Rng& rng);
+
+/// Dense/sparse mixture: round(n * denseFrac) points packed uniformly into
+/// a dense square patch of side `side * patchFrac` centered in the region,
+/// the rest i.i.d. uniform over the whole [0, side]^2.  A single instance
+/// exercising both the Delta/F-dominated regime (inside the hotspot) and
+/// the diameter-dominated regime (the sparse field) at once.
+[[nodiscard]] std::vector<Vec2> deployDenseSparseMixture(int n, double side, double denseFrac,
+                                                         double patchFrac, Rng& rng);
+
 /// Returns a copy of `points` with exact duplicates perturbed by `epsilon`
 /// so all positions are distinct (the SINR model needs d(u,v) > 0).
 [[nodiscard]] std::vector<Vec2> dedupePositions(std::vector<Vec2> points, double epsilon,

@@ -33,11 +33,15 @@
 #include "proto/heap_tree.h"
 #include "proto/reporter.h"
 #include "proto/ruling_set.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
 #include "sim/comm_graph.h"
 #include "sim/message.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "sim/tuning.h"
+#include "sinr/fading.h"
 #include "sinr/medium.h"
 #include "sinr/params.h"
 #include "util/args.h"

@@ -1,0 +1,154 @@
+#include "scenario/registry.h"
+
+namespace mcs {
+
+namespace {
+
+ScenarioSpec preset(const char* name, DeploymentKind kind, ProtocolKind protocol, int n,
+                    int channels) {
+  ScenarioSpec s;
+  s.name = name;
+  s.deployment.kind = kind;
+  s.deployment.n = n;
+  s.protocol = protocol;
+  s.channels = channels;
+  return s;
+}
+
+/// Builds the registry.  Every DeploymentKind appears at least once; the
+/// impairment presets exercise the fading layer; `aloha_patch` keeps the
+/// single-channel baseline runnable from the same CLI.
+std::vector<ScenarioSpec> buildRegistry() {
+  std::vector<ScenarioSpec> r;
+
+  // -- one preset per deployment generator --------------------------------
+  r.push_back(preset("uniform_square", DeploymentKind::UniformSquare,
+                     ProtocolKind::AggregateMax, 400, 8));
+
+  {
+    ScenarioSpec s = preset("uniform_disk", DeploymentKind::UniformDisk,
+                            ProtocolKind::AggregateMax, 400, 8);
+    s.deployment.radius = 0.8;
+    r.push_back(s);
+  }
+
+  {
+    ScenarioSpec s = preset("perturbed_grid", DeploymentKind::PerturbedGrid,
+                            ProtocolKind::AggregateMax, 400, 8);
+    s.deployment.side = 1.6;
+    s.deployment.jitter = 0.35;
+    r.push_back(s);
+  }
+
+  {
+    ScenarioSpec s =
+        preset("clustered", DeploymentKind::Clustered, ProtocolKind::AggregateMax, 450, 8);
+    s.deployment.side = 1.8;
+    s.deployment.clusters = 9;
+    s.deployment.spread = 0.07;
+    r.push_back(s);
+  }
+
+  {
+    ScenarioSpec s =
+        preset("corridor", DeploymentKind::Corridor, ProtocolKind::AggregateSum, 320, 4);
+    s.deployment.length = 3.0;
+    s.deployment.width = 0.3;
+    r.push_back(s);
+  }
+
+  {
+    // The §1 lower-bound instance.  Structure-only: the point of the
+    // chain is slot-level behavior (see bench/exp_e7), and the blob of
+    // near-origin points makes the full data phase pathological.
+    ScenarioSpec s = preset("exponential_chain", DeploymentKind::ExponentialChain,
+                            ProtocolKind::Structure, 48, 4);
+    s.deployment.chainBase = 1.25;
+    s.deployment.chainMaxGap = 0.45;  // < R_eps = 0.5: the chain stays connected
+    r.push_back(s);
+  }
+
+  // -- new workloads -------------------------------------------------------
+  {
+    // Poisson-disk "sensor mesh": engineered near-uniform coverage.
+    ScenarioSpec s =
+        preset("sensor_mesh", DeploymentKind::PoissonDisk, ProtocolKind::AggregateMax, 400, 8);
+    s.deployment.side = 1.6;
+    s.deployment.minDist = 0.04;
+    r.push_back(s);
+  }
+
+  {
+    // Hotspot: 60% of nodes in a patch 12% of the side, rest sparse.
+    ScenarioSpec s =
+        preset("hotspot_mixture", DeploymentKind::Mixture, ProtocolKind::AggregateMax, 500, 8);
+    s.deployment.side = 2.0;
+    s.deployment.denseFrac = 0.6;
+    s.deployment.patchFrac = 0.12;
+    r.push_back(s);
+  }
+
+  // -- channel impairments -------------------------------------------------
+  {
+    ScenarioSpec s = preset("rayleigh_mesh", DeploymentKind::UniformSquare,
+                            ProtocolKind::AggregateMax, 350, 8);
+    s.deployment.side = 1.3;
+    s.sinr.fading.model = FadingModel::Rayleigh;
+    r.push_back(s);
+  }
+
+  {
+    ScenarioSpec s = preset("shadowed_city", DeploymentKind::Clustered,
+                            ProtocolKind::Structure, 400, 8);
+    s.deployment.side = 1.6;
+    s.deployment.clusters = 8;
+    s.deployment.spread = 0.06;
+    s.sinr.fading.model = FadingModel::RayleighLognormal;
+    s.sinr.fading.shadowSigmaDb = 4.0;
+    r.push_back(s);
+  }
+
+  // -- baselines / medium modes -------------------------------------------
+  {
+    ScenarioSpec s =
+        preset("aloha_patch", DeploymentKind::UniformSquare, ProtocolKind::Aloha, 300, 1);
+    s.deployment.side = 0.9;
+    r.push_back(s);
+  }
+
+  {
+    ScenarioSpec s = preset("nearfar_dense", DeploymentKind::UniformSquare,
+                            ProtocolKind::AggregateMax, 600, 8);
+    s.deployment.side = 0.8;
+    s.sinr.mediumMode = MediumMode::NearFar;
+    r.push_back(s);
+  }
+
+  return r;
+}
+
+const std::vector<ScenarioSpec>& registry() {
+  static const std::vector<ScenarioSpec> r = buildRegistry();
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::string> ScenarioRegistry::names() {
+  std::vector<std::string> out;
+  out.reserve(registry().size());
+  for (const ScenarioSpec& s : registry()) out.push_back(s.name);
+  return out;
+}
+
+bool ScenarioRegistry::find(const std::string& name, ScenarioSpec& out) {
+  for (const ScenarioSpec& s : registry()) {
+    if (s.name == name) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mcs

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.h"
+
+/// Named scenario presets: one for every deployment generator in
+/// geom/deployment.h plus impairment/baseline variants.  Presets are
+/// starting points — the runner applies file and flag overrides on top,
+/// so `--scenario=uniform_square --n=5000 --fading=rayleigh` is a valid
+/// one-liner.  Preset defaults are sized so the whole registry smoke-runs
+/// in seconds (CI runs every preset on every push).
+namespace mcs {
+
+class ScenarioRegistry {
+ public:
+  /// All registered preset names, in registration order.
+  [[nodiscard]] static std::vector<std::string> names();
+
+  /// Looks up `name`; returns false (out untouched) when unknown.
+  [[nodiscard]] static bool find(const std::string& name, ScenarioSpec& out);
+};
+
+}  // namespace mcs

@@ -1,0 +1,134 @@
+#include "scenario/runner.h"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "agg/aggregate.h"
+#include "baseline/aloha_agg.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/thread_pool.h"
+
+namespace mcs {
+
+namespace {
+
+double wallNow() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<double> drawValues(std::uint64_t seed, int n) {
+  Rng vr = Rng(seed).fork(kValueStream);
+  std::vector<double> values(static_cast<std::size_t>(n));
+  for (double& x : values) x = vr.uniform();
+  return values;
+}
+
+Summary summarizeMetric(const std::vector<SeedResult>& perSeed, double (*metric)(const SeedResult&)) {
+  std::vector<double> xs;
+  xs.reserve(perSeed.size());
+  for (const SeedResult& r : perSeed) {
+    if (!r.failed()) xs.push_back(metric(r));
+  }
+  return summarize(xs);
+}
+
+}  // namespace
+
+Summary ScenarioBatchResult::summarizeSlots() const {
+  return summarizeMetric(perSeed, [](const SeedResult& r) { return static_cast<double>(r.slots); });
+}
+
+Summary ScenarioBatchResult::summarizeDecodeRate() const {
+  return summarizeMetric(perSeed, [](const SeedResult& r) { return r.decodeRate; });
+}
+
+SeedResult runScenarioSeed(const ScenarioSpec& spec, std::uint64_t seed) {
+  SeedResult res;
+  res.seed = seed;
+  const double t0 = wallNow();
+  try {
+    Rng deployRng(seed);
+    auto pts = materializeDeployment(spec.deployment, deployRng);
+    res.deployedN = static_cast<int>(pts.size());
+    if (pts.empty()) throw std::runtime_error("deployment produced no nodes");
+
+    Network net(std::move(pts), spec.sinr);
+    Simulator sim(net, spec.channels, seed);
+    StructureOptions opts;
+    opts.deltaHat = spec.deltaHat;
+
+    switch (spec.protocol) {
+      case ProtocolKind::Structure: {
+        const AggregationStructure s = buildStructure(sim, opts);
+        res.structureSlots = s.costs.structureTotal();
+        res.delivered = !s.clustering.dominators.empty();
+        break;
+      }
+      case ProtocolKind::AggregateMax:
+      case ProtocolKind::AggregateSum: {
+        const AggKind kind =
+            spec.protocol == ProtocolKind::AggregateMax ? AggKind::Max : AggKind::Sum;
+        const auto values = drawValues(seed, res.deployedN);
+        const AggregationStructure s = buildStructure(sim, opts);
+        res.structureSlots = s.costs.structureTotal();
+        const AggregateRun run = runAggregation(sim, s, values, kind);
+        res.delivered = run.delivered;
+        res.aggValue = run.valueAtNode.empty() ? 0.0 : run.valueAtNode[0];
+        res.truthValue = aggregateGroundTruth(values, kind);
+        res.uplinkSlots = run.costs.uplink;
+        res.aggSlots = run.costs.aggregationTotal();
+        break;
+      }
+      case ProtocolKind::Aloha: {
+        const auto values = drawValues(seed, res.deployedN);
+        const AggregationStructure s = buildStructure(sim, opts);
+        res.structureSlots = s.costs.structureTotal();
+        const AggregateRun run = runAlohaAggregation(sim, s, values, AggKind::Max);
+        res.delivered = run.delivered;
+        res.aggValue = run.valueAtNode.empty() ? 0.0 : run.valueAtNode[0];
+        res.truthValue = aggregateGroundTruth(values, AggKind::Max);
+        res.uplinkSlots = run.costs.uplink;
+        res.aggSlots = run.costs.aggregationTotal();
+        break;
+      }
+    }
+
+    const MediumStats& ms = sim.mediumStats();
+    res.slots = ms.slots;
+    res.transmissions = ms.transmissions;
+    res.listens = ms.listens;
+    res.decodes = ms.decodes;
+    res.decodeRate = ms.decodeRate();
+  } catch (const std::exception& e) {
+    res.error = e.what();
+  } catch (...) {
+    res.error = "unknown exception";
+  }
+  res.wallSec = wallNow() - t0;
+  return res;
+}
+
+ScenarioBatchResult runScenarioBatch(const ScenarioSpec& spec, int threads) {
+  ScenarioBatchResult batch;
+  batch.spec = spec;
+  const int seeds = spec.seeds;
+  batch.perSeed.resize(static_cast<std::size_t>(seeds));
+  const auto runRange = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      batch.perSeed[i] = runScenarioSeed(spec, spec.seed0 + i);
+    }
+  };
+  if (threads > 1 && seeds > 1) {
+    ThreadPool pool(threads);
+    pool.parallelFor(static_cast<std::size_t>(seeds), runRange);
+  } else {
+    runRange(0, static_cast<std::size_t>(seeds));
+  }
+  return batch;
+}
+
+}  // namespace mcs

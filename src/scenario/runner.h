@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.h"
+#include "util/stats.h"
+
+/// Batched multi-seed scenario execution.
+///
+/// Per-seed contract (what "directly wired" code must replicate to match
+/// the engine bit-for-bit, and what tests/test_scenario.cpp locks in):
+///
+///   Rng deployRng(seed);
+///   auto pts = materializeDeployment(spec.deployment, deployRng);
+///   Network net(std::move(pts), spec.sinr);
+///   Simulator sim(net, spec.channels, seed);
+///   // values (aggregation protocols): Rng(seed).fork(kValueStream)
+///
+/// With fading disabled this reproduces a hand-wired Simulator run
+/// exactly; with fading enabled the same seed still reproduces the same
+/// decode trace (the fading key is Simulator stream 0).  Seeds of a batch
+/// are independent, so the runner executes them in parallel on a
+/// ThreadPool (one Simulator per seed); each Medium stays single-threaded
+/// inside a batch and results do not depend on the lane count.
+namespace mcs {
+
+/// Root-fork stream id for the per-node contribution values.  Far above
+/// the per-node streams (1..n) and the fading stream (0), so the value
+/// draw never collides with simulation randomness.
+inline constexpr std::uint64_t kValueStream = 1ULL << 63;
+
+/// Everything measured about one seed of a scenario.
+struct SeedResult {
+  std::uint64_t seed = 0;
+  /// Nodes actually deployed (PoissonDisk may saturate below spec n).
+  int deployedN = 0;
+  /// Medium totals for the whole run.
+  std::uint64_t slots = 0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t listens = 0;
+  std::uint64_t decodes = 0;
+  double decodeRate = 0.0;
+  /// Structure construction cost (slots); 0 when the protocol has none.
+  std::uint64_t structureSlots = 0;
+  /// Aggregation-phase costs (aggregation protocols only).
+  std::uint64_t uplinkSlots = 0;
+  std::uint64_t aggSlots = 0;
+  /// Protocol-level success (aggregation delivered / structure built).
+  bool delivered = false;
+  /// Aggregate value observed at node 0 (aggregation protocols only).
+  double aggValue = 0.0;
+  /// Ground-truth aggregate of the drawn values (for validation).
+  double truthValue = 0.0;
+  double wallSec = 0.0;
+  /// Non-empty iff the run threw; the batch continues past failures.
+  std::string error;
+
+  [[nodiscard]] bool failed() const noexcept { return !error.empty(); }
+};
+
+/// A whole batch plus per-metric summaries.
+struct ScenarioBatchResult {
+  ScenarioSpec spec;
+  std::vector<SeedResult> perSeed;
+
+  [[nodiscard]] int failures() const noexcept {
+    int f = 0;
+    for (const SeedResult& r : perSeed) f += r.failed() ? 1 : 0;
+    return f;
+  }
+  [[nodiscard]] int deliveredCount() const noexcept {
+    int d = 0;
+    for (const SeedResult& r : perSeed) d += r.delivered ? 1 : 0;
+    return d;
+  }
+  /// Summary over non-failed seeds of one metric.
+  [[nodiscard]] Summary summarizeSlots() const;
+  [[nodiscard]] Summary summarizeDecodeRate() const;
+};
+
+/// Runs one seed of the scenario (the contract above).  Exceptions are
+/// captured into SeedResult::error.
+[[nodiscard]] SeedResult runScenarioSeed(const ScenarioSpec& spec, std::uint64_t seed);
+
+/// Runs the spec's whole seed batch (seed0 .. seed0+seeds-1) on `threads`
+/// ThreadPool lanes (<= 1: sequential).  Results are ordered by seed and
+/// independent of `threads`.
+[[nodiscard]] ScenarioBatchResult runScenarioBatch(const ScenarioSpec& spec, int threads = 1);
+
+}  // namespace mcs

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/deployment.h"
+#include "geom/vec2.h"
+#include "sinr/params.h"
+#include "util/args.h"
+#include "util/rng.h"
+
+/// Declarative scenario descriptions: one struct that captures everything
+/// needed to reproduce a workload — deployment generator + geometry
+/// knobs, SINR parameters, channel impairments, protocol, channel count,
+/// and the seed batch — parseable from `--key=value` flags and from a
+/// simple `key = value` scenario file.  This is the substrate the
+/// multi-seed runner (scenario/runner.h) and the preset registry
+/// (scenario/registry.h) build on, replacing per-experiment hand-wiring.
+namespace mcs {
+
+/// Which generator from geom/deployment.h realizes the node positions.
+enum class DeploymentKind : std::uint8_t {
+  UniformSquare = 0,
+  UniformDisk,
+  PerturbedGrid,
+  Clustered,
+  Corridor,
+  ExponentialChain,
+  PoissonDisk,
+  Mixture,
+};
+
+/// Which workload runs on the deployed network.
+enum class ProtocolKind : std::uint8_t {
+  /// Build the §5 structure, then aggregate MAX (§6, the paper's headline).
+  AggregateMax = 0,
+  /// Same, aggregating SUM over the exact backbone tree.
+  AggregateSum,
+  /// Single-channel ALOHA baseline aggregation on the same structure.
+  Aloha,
+  /// Build the aggregation structure only (no data phase).
+  Structure,
+};
+
+/// Geometry knobs for every DeploymentKind (unused fields are ignored by
+/// the kinds that do not read them; defaults keep each kind sensible).
+struct DeploymentSpec {
+  DeploymentKind kind = DeploymentKind::UniformSquare;
+  int n = 400;
+  double side = 1.4;        // square-ish kinds: region side length (units of R_T)
+  double radius = 0.8;      // UniformDisk
+  double jitter = 0.35;     // PerturbedGrid
+  int clusters = 9;         // Clustered
+  double spread = 0.07;     // Clustered: Gaussian std around each center
+  double length = 3.0;      // Corridor
+  double width = 0.3;       // Corridor
+  double chainBase = 1.25;  // ExponentialChain
+  double chainMaxGap = 0.45;  // ExponentialChain (< R_eps keeps it connected)
+  double minDist = 0.04;    // PoissonDisk separation
+  double denseFrac = 0.6;   // Mixture: fraction of nodes in the hotspot
+  double patchFrac = 0.12;  // Mixture: hotspot side as a fraction of side
+  /// Exact-duplicate perturbation radius (0 disables dedupePositions).
+  double dedupeEps = 1e-7;
+};
+
+/// The full declarative scenario.
+struct ScenarioSpec {
+  std::string name = "custom";
+  DeploymentSpec deployment;
+  /// Physical layer, including mediumMode/nearField and the fading model.
+  SinrParams sinr;
+  ProtocolKind protocol = ProtocolKind::AggregateMax;
+  int channels = 8;
+  /// Known cluster-size bound DeltaHat fed to CSA (<= 0: naive n).
+  int deltaHat = -1;
+  /// Seed batch: seeds seed0, seed0+1, ..., seed0+seeds-1.
+  int seeds = 8;
+  std::uint64_t seed0 = 1;
+};
+
+/// Canonical names (round-trip with the parsers below).
+[[nodiscard]] std::string toString(DeploymentKind kind);
+[[nodiscard]] std::string toString(ProtocolKind kind);
+[[nodiscard]] std::string toString(FadingModel model);
+[[nodiscard]] std::string toString(MediumMode mode);
+
+/// Applies one `key = value` assignment.  Unknown keys and malformed
+/// values return false with a diagnostic in `err`; the spec is only
+/// modified on success.
+bool applyScenarioKey(ScenarioSpec& spec, const std::string& key, const std::string& value,
+                      std::string& err);
+
+/// Loads a scenario file: one `key = value` per line, `#` comments and
+/// blank lines ignored.  Stops at the first bad line (diagnostic includes
+/// the line number).
+bool loadScenarioFile(ScenarioSpec& spec, const std::string& path, std::string& err);
+
+/// Applies every `--key=value` flag as a scenario assignment, skipping
+/// the runner-owned flags listed in `reserved`.  Unknown keys fail, so a
+/// typo'd override aborts instead of silently running the default.
+bool applyScenarioArgs(ScenarioSpec& spec, const Args& args,
+                       const std::vector<std::string>& reserved, std::string& err);
+
+/// Cross-field validation; returns an empty string when the spec is
+/// runnable, otherwise a diagnostic.
+[[nodiscard]] std::string validateScenario(const ScenarioSpec& spec);
+
+/// One-line human-readable summary (logs, report metadata).
+[[nodiscard]] std::string describeScenario(const ScenarioSpec& spec);
+
+/// Realizes the deployment: runs the selected generator with `rng` and
+/// applies dedupePositions when dedupeEps > 0.  This is step one of the
+/// per-seed contract documented in scenario/runner.h.
+[[nodiscard]] std::vector<Vec2> materializeDeployment(const DeploymentSpec& d, Rng& rng);
+
+}  // namespace mcs

@@ -6,7 +6,11 @@ Simulator::Simulator(const Network& net, int numChannels, std::uint64_t seed, in
     : net_(&net), medium_(net.sinr(), numChannels, numThreads), root_(seed) {
   const auto n = static_cast<std::size_t>(net.size());
   rngs_.reserve(n);
+  // Stream layout of the root fork space: 0 is the fading layer, 1..n are
+  // the per-node streams (scenario-level value streams use 2^63; see
+  // scenario/runner.h).
   for (std::size_t v = 0; v < n; ++v) rngs_.push_back(root_.fork(v + 1));
+  medium_.seedFading(root_.fork(0)());
   intents_.resize(n);
   receptions_.resize(n);
 }

@@ -14,7 +14,10 @@
 /// A protocol advances the simulation one slot at a time: it supplies an
 /// intent for every node, the Medium resolves all channels under SINR,
 /// and the protocol observes each listener's Reception.  All protocol
-/// randomness must come from `rng(v)` so runs are reproducible.
+/// randomness must come from `rng(v)` so runs are reproducible.  The
+/// Medium's fading layer (when enabled via SinrParams::fading) is keyed
+/// by a dedicated fork of the root Rng (stream 0), so impaired runs are
+/// just as reproducible per seed.
 namespace mcs {
 
 class Simulator {

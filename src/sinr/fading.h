@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sinr/params.h"
+
+/// Stochastic channel impairments: Rayleigh fading and lognormal
+/// shadowing as multiplicative power gains on top of P/d^alpha.
+///
+/// Reproducibility contract: the gain for a (slot, transmitter, listener)
+/// triple is a pure function of that triple and a 64-bit key derived from
+/// a dedicated fork of the simulation Rng (Simulator stream 0).  No
+/// mutable state is involved, so a run is bit-identical for a given seed
+/// regardless of evaluation order, listener partitioning, or thread
+/// count — the same guarantee MediumMode::Exact gives for the
+/// deterministic part of the model.
+namespace mcs {
+
+/// The splitmix64 finalizer as a stateless mixing step (hash combining).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Counter-based fading field.  Holds the model parameters plus the draw
+/// key; `gain()` is const and thread-safe.
+class FadingField {
+ public:
+  /// Key used when no Simulator seeded the medium (standalone Medium use
+  /// stays deterministic).
+  static constexpr std::uint64_t kDefaultKey = 0x6d63735f66616465ULL;  // "mcs_fade"
+
+  FadingField() = default;
+  FadingField(FadingParams params, std::uint64_t key) noexcept
+      : params_(params),
+        key_(key),
+        // sigma of ln(gain): dB -> natural log is ln(10)/10.
+        lnSigma_(params.shadowSigmaDb * 0.23025850929940457) {}
+
+  [[nodiscard]] const FadingParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint64_t key() const noexcept { return key_; }
+  [[nodiscard]] bool enabled() const noexcept { return params_.enabled(); }
+
+  /// Power gain for transmitter `tx` heard by listener `rx` in slot
+  /// `slot`.  Pure function of (key, slot, tx, rx); mean 1 for Rayleigh,
+  /// exp(lnSigma^2 / 2) for lognormal (the standard dB-symmetric model).
+  [[nodiscard]] double gain(std::uint64_t slot, std::uint64_t tx, std::uint64_t rx) const noexcept {
+    // Cascaded finalizer mixing: each component fully avalanches before
+    // the next is folded in, so structured (slot, tx, rx) lattices do not
+    // produce correlated gains.
+    std::uint64_t h = mix64(key_ ^ (slot + 0x9e3779b97f4a7c15ULL));
+    h = mix64(h ^ tx);
+    h = mix64(h ^ rx);
+
+    double g = 1.0;
+    const FadingModel m = params_.model;
+    if (m == FadingModel::Rayleigh || m == FadingModel::RayleighLognormal) {
+      // Exponential(1) via inversion; 1 - u in (0, 1] keeps the log finite.
+      g = -std::log(1.0 - unit(h));
+      h = mix64(h + 0x9e3779b97f4a7c15ULL);
+    }
+    if (m == FadingModel::Lognormal || m == FadingModel::RayleighLognormal) {
+      // One Box-Muller normal from two fresh uniforms.
+      const double u1 = 1.0 - unit(h);
+      h = mix64(h + 0x9e3779b97f4a7c15ULL);
+      const double u2 = unit(h);
+      const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+      g *= std::exp(lnSigma_ * z);
+    }
+    return g;
+  }
+
+ private:
+  /// Uniform in [0, 1) from a mixed 64-bit word (same mapping as Rng).
+  [[nodiscard]] static double unit(std::uint64_t h) noexcept {
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+  FadingParams params_{};
+  std::uint64_t key_ = kDefaultKey;
+  double lnSigma_ = 0.0;
+};
+
+}  // namespace mcs

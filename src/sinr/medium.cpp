@@ -10,6 +10,7 @@ namespace mcs {
 Medium::Medium(SinrParams params, int numChannels, int numThreads)
     : params_(params),
       kernel_(params.kernel()),
+      fading_(params.fading, FadingField::kDefaultKey),
       numChannels_(numChannels),
       // NearFar decode correctness requires nearRadius_ >= R_T (every
       // decodable transmitter must be summed exactly); clamp rather than
@@ -96,6 +97,10 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
   const double nearR = nearRadius_;
   const double nearR2 = nearR * nearR;
   constexpr double kMinD2 = SinrParams::kMinDistance * SinrParams::kMinDistance;
+  const FadingField fad = fading_;
+  const bool hasFading = fad.enabled();
+  // Keyed on the slot ordinal so gains redraw every slot (block fading).
+  const std::uint64_t slotIdx = ++fadingSlot_;
 
   std::atomic<std::uint64_t> decodes{0};
   const auto processRange = [&](std::size_t rangeBegin, std::size_t rangeEnd) {
@@ -119,7 +124,8 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
           // pairs are clamped to kMinDistance so power and ranging stay
           // finite (any positive distance passes through untouched).
           const double d2raw = dist2(positions[static_cast<std::size_t>(w)], pv);
-          const double rx = kern(d2raw > 0.0 ? d2raw : kMinD2);
+          double rx = kern(d2raw > 0.0 ? d2raw : kMinD2);
+          if (hasFading) rx *= fad.gain(slotIdx, static_cast<std::uint64_t>(w), static_cast<std::uint64_t>(v));
           total += rx;
           if (rx > best) {
             best = rx;
@@ -136,14 +142,26 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
         for (const FarCell& cell : f.cells) {
           if (f.grid.cellDist2(cell.cx, cell.cy, pv) > nearR2) {
             const double d2c = dist2(cell.centroid, pv);
-            total += static_cast<double>(cell.ids.size()) * kern(d2c > 0.0 ? d2c : kMinD2);
+            double cellRx = static_cast<double>(cell.ids.size()) * kern(d2c > 0.0 ? d2c : kMinD2);
+            if (hasFading) {
+              // One shared draw per (slot, cell, listener): far cells are
+              // already a batched approximation, and a shared gain keeps
+              // the per-slot cost O(cells), not O(transmitters).
+              const std::uint64_t cellId =
+                  mix64((static_cast<std::uint64_t>(c) << 48) ^
+                        (static_cast<std::uint64_t>(static_cast<std::int64_t>(cell.cx)) << 24) ^
+                        static_cast<std::uint64_t>(static_cast<std::int64_t>(cell.cy)));
+              cellRx *= fad.gain(slotIdx, cellId, static_cast<std::uint64_t>(v));
+            }
+            total += cellRx;
             continue;
           }
           for (const NodeId local : cell.ids) {
             const NodeId w =
                 txByChannel_[static_cast<std::size_t>(f.lo) + static_cast<std::size_t>(local)];
             const double d2raw = dist2(f.grid.point(local), pv);
-            const double rx = kern(d2raw > 0.0 ? d2raw : kMinD2);
+            double rx = kern(d2raw > 0.0 ? d2raw : kMinD2);
+            if (hasFading) rx *= fad.gain(slotIdx, static_cast<std::uint64_t>(w), static_cast<std::uint64_t>(v));
             total += rx;
             if (rx > best) {
               best = rx;

@@ -8,6 +8,7 @@
 #include "geom/grid_index.h"
 #include "geom/vec2.h"
 #include "sim/message.h"
+#include "sinr/fading.h"
 #include "sinr/params.h"
 #include "util/ids.h"
 #include "util/thread_pool.h"
@@ -53,6 +54,21 @@ struct MediumStats {
 /// the hot path).  Co-located node pairs are clamped to
 /// SinrParams::kMinDistance so received power and RSSI ranging stay
 /// finite even on degenerate inputs.
+///
+/// When SinrParams::fading selects a FadingModel, every per-pair received
+/// power is additionally multiplied by FadingField::gain(slot, tx, rx) —
+/// a pure function of the triple and the fading key, so results stay
+/// bit-reproducible per seed and independent of thread count (see
+/// sinr/fading.h).  In NearFar mode, near-field transmitters get their
+/// per-pair gain; a far cell's batched contribution shares one gain drawn
+/// per (slot, cell, listener) and counts toward interference only.  That
+/// truncates the fading *decode* range at nearField * R_T: a far
+/// transmitter whose lucky gain would have decoded under Exact cannot
+/// decode under NearFar (with lognormal sigma = 6 dB and nearField = 2,
+/// a few percent of pairs beyond the near radius draw such gains).
+/// Raise nearField to push that truncation out, or use Exact when
+/// fading-tail decodes matter.  Note that fading also perturbs RSSI-based
+/// senderDistance estimates — by design, that is the impairment.
 class Medium {
  public:
   /// `numThreads` > 1 spreads the per-listener loop over a persistent
@@ -78,6 +94,15 @@ class Medium {
   [[nodiscard]] const MediumStats& stats() const noexcept { return stats_; }
   void resetStats() noexcept { stats_ = {}; }
 
+  /// Re-keys the fading draws (no-op for FadingModel::None).  The
+  /// Simulator calls this with a dedicated fork of its root Rng (stream
+  /// 0) so fading is reproducible per simulation seed; standalone Medium
+  /// use falls back to FadingField::kDefaultKey.
+  void seedFading(std::uint64_t key) noexcept {
+    fading_ = FadingField(params_.fading, key);
+  }
+  [[nodiscard]] const FadingField& fading() const noexcept { return fading_; }
+
  private:
   /// Far-field aggregate of one grid cell (NearFar mode): the member
   /// centroid, the member ids (channel-local), and the cell coordinates.
@@ -98,6 +123,11 @@ class Medium {
 
   SinrParams params_;
   PowerKernel kernel_;
+  FadingField fading_;
+  /// Slot ordinal for fading draws.  Deliberately separate from
+  /// stats_.slots: resetStats() must not rewind the fading sequence (a
+  /// warmup/measure split would otherwise replay the same gains).
+  std::uint64_t fadingSlot_ = 0;
   int numChannels_;
   double nearRadius_ = 0.0;  // nearField * R_T, cached
   MediumStats stats_;

@@ -14,6 +14,32 @@ namespace mcs {
 ///    farther ones are batched per grid cell around the cell's centroid.
 enum class MediumMode : std::uint8_t { Exact = 0, NearFar = 1 };
 
+/// Stochastic channel-impairment model applied multiplicatively on top of
+/// the deterministic P/d^alpha path loss (see sinr/fading.h for the draw):
+///  - Rayleigh: per (slot, transmitter, listener) power gain ~ Exp(1)
+///    (unit mean), the classic narrowband multipath fade.
+///  - Lognormal: shadowing gain 10^(sigma_dB * Z / 10), Z ~ N(0, 1).
+///  - RayleighLognormal: the product of both (composite fading).
+enum class FadingModel : std::uint8_t {
+  None = 0,
+  Rayleigh = 1,
+  Lognormal = 2,
+  RayleighLognormal = 3,
+};
+
+/// Configuration of the fading layer.  All draws are keyed by a dedicated
+/// fork of the simulation Rng (Simulator stream 0), so a run is
+/// bit-reproducible per seed and independent of thread count; see
+/// FadingField in sinr/fading.h for the exact contract.
+struct FadingParams {
+  FadingModel model = FadingModel::None;
+  /// Lognormal shadowing standard deviation in dB (typ. 3-8 dB).
+  double shadowSigmaDb = 6.0;
+
+  [[nodiscard]] bool enabled() const noexcept { return model != FadingModel::None; }
+  [[nodiscard]] bool valid() const noexcept { return shadowSigmaDb >= 0.0; }
+};
+
 /// Received-power kernel: evaluates P / d^alpha from the *squared*
 /// distance d^2.  For integer and half-integer alpha (2, 2.5, 3, ... —
 /// the whole practical path-loss range) the exponent alpha/2 decomposes
@@ -82,6 +108,10 @@ struct SinrParams {
   /// >= 1 so every decodable transmitter is still summed exactly.
   double nearField = 2.0;
 
+  /// Stochastic channel impairments layered on the deterministic path
+  /// loss (off by default; every existing result is unchanged).
+  FadingParams fading;
+
   /// Exactly co-located node pairs (d == 0) are treated as this far apart
   /// by the Medium.  The model requires distinct positions; the clamp
   /// keeps received power, SINR, and RSSI ranging finite for degenerate
@@ -123,7 +153,8 @@ struct SinrParams {
   /// Validates the model constraints (alpha > 2, beta >= 1, positive N, P,
   /// and a near-field radius covering the transmission range).
   [[nodiscard]] bool valid() const noexcept {
-    return alpha > 2.0 && beta >= 1.0 && noise > 0.0 && power > 0.0 && nearField >= 1.0;
+    return alpha > 2.0 && beta >= 1.0 && noise > 0.0 && power > 0.0 && nearField >= 1.0 &&
+           fading.valid();
   }
 
   /// Returns parameters rescaled so that transmissionRange() == rt.

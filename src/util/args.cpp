@@ -1,8 +1,44 @@
 #include "util/args.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace mcs {
+
+namespace {
+
+/// Diagnose-and-exit for malformed flag values (status 2, the
+/// conventional usage-error code).
+[[noreturn]] void failFlag(const std::string& program, const std::string& name,
+                           const std::string& value, const char* expected) {
+  std::fprintf(stderr, "%s: invalid value \"%s\" for --%s (expected %s)\n",
+               program.empty() ? "args" : program.c_str(), value.c_str(), name.c_str(),
+               expected);
+  std::exit(2);
+}
+
+}  // namespace
+
+bool parseLong(const std::string& text, long& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+bool parseDouble(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
 
 Args::Args(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
@@ -36,13 +72,17 @@ std::string Args::get(const std::string& name, const std::string& fallback) cons
 long Args::getInt(const std::string& name, long fallback) const {
   const auto it = named_.find(name);
   if (it == named_.end()) return fallback;
-  return std::strtol(it->second.c_str(), nullptr, 10);
+  long v = 0;
+  if (!parseLong(it->second, v)) failFlag(program_, name, it->second, "an integer");
+  return v;
 }
 
 double Args::getDouble(const std::string& name, double fallback) const {
   const auto it = named_.find(name);
   if (it == named_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  double v = 0.0;
+  if (!parseDouble(it->second, v)) failFlag(program_, name, it->second, "a number");
+  return v;
 }
 
 bool Args::getBool(const std::string& name, bool fallback) const {

@@ -10,18 +10,34 @@
 /// Anything not starting with `--` is collected as a positional argument.
 namespace mcs {
 
+/// Strict whole-string numeric parsing: returns false unless the entire
+/// (non-empty) string is a valid decimal integer / floating-point value.
+/// Shared by Args and the scenario-spec parser so every user-facing
+/// surface rejects malformed numbers the same way.
+[[nodiscard]] bool parseLong(const std::string& text, long& out);
+[[nodiscard]] bool parseDouble(const std::string& text, double& out);
+
 class Args {
  public:
   Args(int argc, const char* const* argv);
 
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::string get(const std::string& name, const std::string& fallback = "") const;
+  /// Numeric getters return `fallback` when the flag is absent, but a flag
+  /// that is present with a malformed value is a fatal usage error: they
+  /// print a diagnostic naming the flag and exit with status 2 rather
+  /// than silently running the experiment with a garbage parameter.
   [[nodiscard]] long getInt(const std::string& name, long fallback) const;
   [[nodiscard]] double getDouble(const std::string& name, double fallback) const;
   [[nodiscard]] bool getBool(const std::string& name, bool fallback = false) const;
 
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
   [[nodiscard]] const std::string& program() const noexcept { return program_; }
+  /// All `--name value` pairs, for callers that forward flags wholesale
+  /// (e.g. scenario overrides).
+  [[nodiscard]] const std::map<std::string, std::string>& named() const noexcept {
+    return named_;
+  }
 
  private:
   std::string program_;

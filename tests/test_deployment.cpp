@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/deployment.h"
+
+/// Deployment-generator contracts: determinism under a fixed seed, points
+/// inside the declared region, and duplicate elimination.
+namespace mcs {
+namespace {
+
+void expectIdentical(const std::vector<Vec2>& a, const std::vector<Vec2>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x) << "point " << i;
+    EXPECT_EQ(a[i].y, b[i].y) << "point " << i;
+  }
+}
+
+TEST(Deployment, DeterministicUnderFixedSeed) {
+  // Every generator, same seed twice -> bitwise-identical point sets.
+  for (int pass = 0; pass < 1; ++pass) {
+    Rng r1(77), r2(77);
+    expectIdentical(deployUniformSquare(200, 1.5, r1), deployUniformSquare(200, 1.5, r2));
+    expectIdentical(deployUniformDisk(200, 0.8, r1), deployUniformDisk(200, 0.8, r2));
+    expectIdentical(deployPerturbedGrid(200, 1.5, 0.4, r1),
+                    deployPerturbedGrid(200, 1.5, 0.4, r2));
+    expectIdentical(deployClustered(200, 5, 1.5, 0.1, r1),
+                    deployClustered(200, 5, 1.5, 0.1, r2));
+    expectIdentical(deployCorridor(200, 3.0, 0.3, r1), deployCorridor(200, 3.0, 0.3, r2));
+    expectIdentical(deployPoissonDisk(150, 1.5, 0.05, r1),
+                    deployPoissonDisk(150, 1.5, 0.05, r2));
+    expectIdentical(deployDenseSparseMixture(200, 2.0, 0.6, 0.15, r1),
+                    deployDenseSparseMixture(200, 2.0, 0.6, 0.15, r2));
+  }
+  // ExponentialChain takes no Rng at all.
+  expectIdentical(deployExponentialChain(32, 1.3, 0.5), deployExponentialChain(32, 1.3, 0.5));
+}
+
+TEST(Deployment, DifferentSeedsDiffer) {
+  Rng r1(1), r2(2);
+  const auto a = deployUniformSquare(50, 1.0, r1);
+  const auto b = deployUniformSquare(50, 1.0, r2);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) same += a[i] == b[i];
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Deployment, UniformSquareBounds) {
+  Rng rng(5);
+  const double side = 2.5;
+  for (const Vec2& p : deployUniformSquare(500, side, rng)) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, side);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, side);
+  }
+}
+
+TEST(Deployment, UniformDiskBounds) {
+  Rng rng(6);
+  const double radius = 1.25;
+  for (const Vec2& p : deployUniformDisk(500, radius, rng)) {
+    EXPECT_LE(p.norm(), radius);
+  }
+}
+
+TEST(Deployment, PerturbedGridBoundsAndCount) {
+  Rng rng(7);
+  const double side = 1.8;
+  const auto pts = deployPerturbedGrid(300, side, 0.4, rng);
+  EXPECT_EQ(pts.size(), 300u);
+  // Jitter is a fraction (< 0.5) of the grid pitch around cell centers,
+  // so every point stays inside the declared square.
+  for (const Vec2& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, side);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, side);
+  }
+}
+
+TEST(Deployment, CorridorBounds) {
+  Rng rng(8);
+  for (const Vec2& p : deployCorridor(400, 4.0, 0.25, rng)) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 4.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 0.25);
+  }
+}
+
+TEST(Deployment, ExponentialChainShape) {
+  const int n = 24;
+  const double maxGap = 0.5;
+  const auto pts = deployExponentialChain(n, 1.4, maxGap);
+  ASSERT_EQ(pts.size(), static_cast<std::size_t>(n));
+  double largest = 0.0;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GT(pts[static_cast<std::size_t>(i)].x, 0.0);
+    EXPECT_EQ(pts[static_cast<std::size_t>(i)].y, 0.0);
+    if (i > 0) {
+      const double gap =
+          pts[static_cast<std::size_t>(i)].x - pts[static_cast<std::size_t>(i - 1)].x;
+      EXPECT_GT(gap, 0.0);  // strictly increasing positions
+      largest = std::max(largest, gap);
+    }
+  }
+  EXPECT_NEAR(largest, maxGap, 1e-12);
+}
+
+TEST(Deployment, PoissonDiskSeparationAndBounds) {
+  Rng rng(9);
+  const double side = 1.6;
+  const double minDist = 0.05;
+  const auto pts = deployPoissonDisk(300, side, minDist, rng);
+  // Far below the packing limit (~870 for these knobs): all points placed.
+  EXPECT_EQ(pts.size(), 300u);
+  for (const Vec2& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, side);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, side);
+  }
+  const double minD2 = minDist * minDist;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      EXPECT_GE(dist2(pts[i], pts[j]), minD2) << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(Deployment, PoissonDiskSaturatesGracefully) {
+  Rng rng(10);
+  // minDist so large the square cannot hold 100 points: must stop early
+  // (budget-bounded), never hang, and still respect the separation.
+  const auto pts = deployPoissonDisk(100, 1.0, 0.4, rng);
+  EXPECT_LT(pts.size(), 100u);
+  EXPECT_GE(pts.size(), 3u);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      EXPECT_GE(dist(pts[i], pts[j]), 0.4);
+    }
+  }
+}
+
+TEST(Deployment, MixtureSplitsDenseAndSparse) {
+  Rng rng(11);
+  const double side = 2.0;
+  const double patchFrac = 0.2;
+  const auto pts = deployDenseSparseMixture(500, side, 0.6, patchFrac, rng);
+  ASSERT_EQ(pts.size(), 500u);
+  const double patch = side * patchFrac;
+  const double lo = (side - patch) * 0.5;
+  const double hi = lo + patch;
+  int inPatch = 0;
+  for (const Vec2& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, side);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, side);
+    if (p.x >= lo && p.x <= hi && p.y >= lo && p.y <= hi) ++inPatch;
+  }
+  // The 300 dense points are in the patch by construction; of the 200
+  // sparse ones only ~patchFrac^2 = 4% land there by chance.
+  EXPECT_GE(inPatch, 300);
+  EXPECT_LE(inPatch, 330);
+}
+
+TEST(Deployment, DedupeEliminatesDuplicatesAtTinyEpsilon) {
+  // A run of four identical points plus scattered singles.
+  std::vector<Vec2> pts{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5},
+                        {0.1, 0.9}, {0.9, 0.1}, {0.1, 0.9}};
+  Rng rng(13);
+  const double eps = 1e-12;
+  const auto out = dedupePositions(pts, eps, rng);
+  ASSERT_EQ(out.size(), pts.size());
+  // Every pair distinct afterwards...
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    for (std::size_t j = i + 1; j < out.size(); ++j) {
+      EXPECT_GT(dist2(out[i], out[j]), 0.0) << "pair " << i << "," << j;
+    }
+  }
+  // ...and nothing moved farther than the documented perturbation radius
+  // (eps * 1.5), so the geometry is preserved.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_LE(dist(out[i], pts[i]), 1.5 * eps) << "point " << i;
+  }
+}
+
+TEST(Deployment, DedupeLeavesDistinctPointsUntouched) {
+  std::vector<Vec2> pts{{0.0, 0.0}, {0.25, 0.75}, {1.0, 1.0}};
+  Rng rng(14);
+  const auto out = dedupePositions(pts, 1e-9, rng);
+  expectIdentical(out, pts);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -213,5 +213,65 @@ TEST(Args, BoolSpellings) {
   EXPECT_FALSE(args.getBool("d"));
 }
 
+TEST(Args, NamedExposesAllFlags) {
+  const char* argv[] = {"prog", "--a=1", "--b=x", "pos"};
+  Args args(4, argv);
+  ASSERT_EQ(args.named().size(), 2u);
+  EXPECT_EQ(args.named().at("a"), "1");
+  EXPECT_EQ(args.named().at("b"), "x");
+}
+
+TEST(Args, NumericGettersAcceptWellFormedValues) {
+  const char* argv[] = {"prog", "--n=-42", "--x=1e-3", "--y=+2.5", "--big=123456789"};
+  Args args(5, argv);
+  EXPECT_EQ(args.getInt("n", 0), -42);
+  EXPECT_DOUBLE_EQ(args.getDouble("x", 0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(args.getDouble("y", 0.0), 2.5);
+  EXPECT_EQ(args.getInt("big", 0), 123456789);
+}
+
+TEST(ParseNumber, StrictWholeStringParsing) {
+  long l = 0;
+  EXPECT_TRUE(parseLong("123", l));
+  EXPECT_EQ(l, 123);
+  EXPECT_TRUE(parseLong("-7", l));
+  EXPECT_FALSE(parseLong("", l));
+  EXPECT_FALSE(parseLong("12x", l));
+  EXPECT_FALSE(parseLong("x12", l));
+  EXPECT_FALSE(parseLong("1.5", l));
+  EXPECT_FALSE(parseLong("99999999999999999999999999", l));  // ERANGE
+
+  double d = 0.0;
+  EXPECT_TRUE(parseDouble("2.5", d));
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_TRUE(parseDouble("1e3", d));
+  EXPECT_FALSE(parseDouble("", d));
+  EXPECT_FALSE(parseDouble("2.5abc", d));
+  EXPECT_FALSE(parseDouble("abc", d));
+}
+
+// Malformed values on present flags are fatal usage errors: diagnostic on
+// stderr naming the flag, exit status 2.  Silent fallback would run the
+// experiment with a garbage parameter.
+TEST(ArgsDeathTest, MalformedIntExitsLoudly) {
+  const char* argv[] = {"prog", "--n=12x"};
+  Args args(2, argv);
+  EXPECT_EXIT((void)args.getInt("n", 0), ::testing::ExitedWithCode(2),
+              "invalid value \"12x\" for --n");
+}
+
+TEST(ArgsDeathTest, MalformedDoubleExitsLoudly) {
+  const char* argv[] = {"prog", "--side=wide"};
+  Args args(2, argv);
+  EXPECT_EXIT((void)args.getDouble("side", 0.0), ::testing::ExitedWithCode(2),
+              "invalid value \"wide\" for --side");
+}
+
+TEST(ArgsDeathTest, EmptyValueExitsLoudly) {
+  const char* argv[] = {"prog", "--n="};
+  Args args(2, argv);
+  EXPECT_EXIT((void)args.getInt("n", 7), ::testing::ExitedWithCode(2), "expected an integer");
+}
+
 }  // namespace
 }  // namespace mcs
