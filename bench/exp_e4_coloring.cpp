@@ -1,12 +1,14 @@
 // E4 ("Fig. 3"): node coloring on the aggregation structure (Theorem 24):
 // O(Delta/F + log n log log n) slots, O(Delta) colors, proper coloring.
-
-#include "bench_common.h"
+//
+// Driven through the Coloring ProtocolDriver: each channel count is one
+// scenario batch, so the setup (deployment, structure build, ground-truth
+// audit) is the engine's, not hand-wired.
 
 #include <algorithm>
-#include <vector>
+#include <thread>
 
-#include "coloring/coloring.h"
+#include "bench_common.h"
 
 using namespace mcs;
 using namespace mcs::bench;
@@ -15,48 +17,60 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
   const int n = static_cast<int>(args.getInt("n", 1500));
   const double side = args.getDouble("side", 1.0);
+  const int seeds = static_cast<int>(args.getInt("seeds", 1));
+  const int lanes = std::min(seeds, static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
   const std::uint64_t seed = static_cast<std::uint64_t>(args.getInt("seed", 4));
 
   header("E4: coloring slots and palette size vs F",
          "Thm 24: O(Delta/F + log n log log n) slots with O(Delta) colors; "
          "coloring is proper on the communication graph");
 
-  Network net = densePatch(n, side, seed);
-  const int delta = net.maxDegree();
-  row("n=%d Delta=%d", n, delta);
+  ScenarioSpec spec;
+  spec.name = "e4";
+  spec.deployment.kind = DeploymentKind::UniformSquare;
+  spec.deployment.n = n;
+  spec.deployment.side = side;
+  spec.protocol = ProtocolKind::Coloring;
+  spec.seeds = seeds;
+  spec.seed0 = seed;
+
   BenchReport report("e4_coloring");
   report.meta("n", n).meta("side", side).meta("seed", static_cast<double>(seed));
-  report.meta("delta", delta);
+  report.meta("seeds", seeds);
+
   // "classes" counts distinct colors actually used (the palette size the
-  // schedule needs); colorsUsed (max color + 1) can be inflated by the
-  // rare orphan overflow band (DESIGN.md §3.6) without affecting it.
+  // schedule needs); the driver's colors_used (max color + 1) can be
+  // inflated by the rare orphan overflow band without affecting it.
   row("%-8s %12s %12s %10s %10s %10s %8s", "F", "uplink", "tree", "assign", "classes",
       "cls/Delta", "proper");
   for (const int channels : {1, 2, 4, 8, 16}) {
-    Simulator sim(net, channels, seed + 21);
-    const AggregationStructure s = buildStructure(sim);
-    const ColoringResult col = runColoring(sim, s);
-    const int violations = countColoringViolations(net, col.colorOf);
-    std::vector<int> sorted(col.colorOf);
-    std::sort(sorted.begin(), sorted.end());
-    int classes = 0;
-    for (std::size_t i = 0; i < sorted.size(); ++i) {
-      if (sorted[i] >= 0 && (i == 0 || sorted[i] != sorted[i - 1])) ++classes;
+    spec.channels = channels;
+    const ScenarioBatchResult batch = runScenarioBatch(spec, lanes);
+    if (batch.failures() > 0) {
+      for (const SeedResult& r : batch.perSeed) {
+        if (r.failed()) std::fprintf(stderr, "seed %llu failed: %s\n",
+                                     static_cast<unsigned long long>(r.seed), r.error.c_str());
+      }
+      return 1;
     }
-    row("%-8d %12llu %12llu %10llu %10d %10.2f %8s", channels,
-        static_cast<unsigned long long>(col.costs.uplink),
-        static_cast<unsigned long long>(col.costs.tree),
-        static_cast<unsigned long long>(col.costs.broadcast), classes,
-        static_cast<double>(classes) / delta,
-        (violations == 0 && col.complete) ? "yes" : "NO");
+    const double uplink = batch.summarizeMetric("coloring_uplink_slots").mean;
+    const double tree = batch.summarizeMetric("coloring_tree_slots").mean;
+    const double assign = batch.summarizeMetric("coloring_assign_slots").mean;
+    const double classes = batch.summarizeMetric("color_classes").mean;
+    const double delta = batch.summarizeMetric("delta").mean;
+    const bool proper = batch.validCount() == seeds;
+    row("%-8d %12.0f %12.0f %10.0f %10.0f %10.2f %8s", channels, uplink, tree, assign,
+        classes, delta > 0.0 ? classes / delta : 0.0, proper ? "yes" : "NO");
     report.row()
         .col("channels", channels)
-        .col("uplink", static_cast<double>(col.costs.uplink))
-        .col("tree", static_cast<double>(col.costs.tree))
-        .col("assign", static_cast<double>(col.costs.broadcast))
+        .col("uplink", uplink)
+        .col("tree", tree)
+        .col("assign", assign)
         .col("classes", classes)
-        .col("classes_over_delta", static_cast<double>(classes) / delta)
-        .col("proper", (violations == 0 && col.complete) ? 1.0 : 0.0);
+        .col("classes_over_delta", delta > 0.0 ? classes / delta : 0.0)
+        .col("delta", delta)
+        .col("proper", proper ? 1.0 : 0.0)
+        .col("wall_sec", batch.summarizeWallSec().mean);
   }
   return report.write() ? 0 : 1;
 }

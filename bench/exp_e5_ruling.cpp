@@ -1,9 +1,15 @@
 // E5 ("Table 2"): the (r, 2r)-ruling set (Lemma 6): O(log n) rounds whp,
 // r-independence, 2r-domination, constant density.
+//
+// Driven through the RulingSet ProtocolDriver: each n is one scenario
+// batch at fixed node density, and the quality columns come from the
+// driver's ground-truth audit metrics.
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
 
 #include "bench_common.h"
-
-#include "proto/ruling_set.h"
 
 using namespace mcs;
 using namespace mcs::bench;
@@ -12,6 +18,7 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
   const double density = args.getDouble("density", 900.0);
   const int reps = static_cast<int>(args.getInt("reps", 3));
+  const int lanes = std::min(reps, static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
   const std::uint64_t seed = static_cast<std::uint64_t>(args.getInt("seed", 5));
 
   header("E5: ruling set rounds and quality vs n",
@@ -25,60 +32,40 @@ int main(int argc, char** argv) {
   row("%-8s %10s %10s %10s %10s %10s %10s", "n", "members", "rounds", "rnds/ln n", "indepViol",
       "unbound", "maxDens");
   for (const int n : {250, 500, 1000, 2000, 4000}) {
-    OnlineStats rounds, members, viol, unbound, dens;
-    for (int r = 0; r < reps; ++r) {
-      Network net = uniformAtDensity(n, density, seed + static_cast<std::uint64_t>(r));
-      Simulator sim(net, 1, seed + 100 + static_cast<std::uint64_t>(r));
-      RulingSetConfig cfg;
-      cfg.radius = net.rc();
-      cfg.capProb = 1.0 / (2.0 * net.tuning().muDensity);
-      cfg.initialProb = std::min(cfg.capProb, 0.5 / n);
-      cfg.epochRounds = net.tuning().domEpochRounds;
-      cfg.cycleProb = true;
-      cfg.totalRounds = 40 + net.tuning().lnRounds(4.0, n);
-      std::vector<char> everyone(static_cast<std::size_t>(n), 1);
-      const RulingSetResult rs = runRulingSet(sim, everyone, cfg);
+    ScenarioSpec spec;
+    spec.name = "e5";
+    spec.deployment.kind = DeploymentKind::UniformSquare;
+    spec.deployment.n = n;
+    spec.deployment.side = std::sqrt(static_cast<double>(n) / density);
+    spec.protocol = ProtocolKind::RulingSet;
+    spec.channels = 1;
+    spec.seeds = reps;
+    spec.seed0 = seed;
 
-      std::vector<NodeId> mem;
-      int unboundCount = 0;
-      for (NodeId v = 0; v < n; ++v) {
-        const auto vi = static_cast<std::size_t>(v);
-        if (rs.inSet[vi]) {
-          mem.push_back(v);
-        } else if (rs.dominator[vi] == kNoNode ||
-                   net.distance(v, rs.dominator[vi]) > 2 * cfg.radius) {
-          ++unboundCount;
-        }
+    const ScenarioBatchResult batch = runScenarioBatch(spec, lanes);
+    if (batch.failures() > 0) {
+      for (const SeedResult& r : batch.perSeed) {
+        if (r.failed()) std::fprintf(stderr, "seed %llu failed: %s\n",
+                                     static_cast<unsigned long long>(r.seed), r.error.c_str());
       }
-      int violations = 0;
-      int maxDensity = 0;
-      for (std::size_t i = 0; i < mem.size(); ++i) {
-        int inBall = 0;
-        for (std::size_t j = 0; j < mem.size(); ++j) {
-          if (net.distance(mem[i], mem[j]) <= cfg.radius) {
-            ++inBall;
-            if (j > i) ++violations;
-          }
-        }
-        maxDensity = std::max(maxDensity, inBall);
-      }
-      rounds.add(rs.roundsRun);
-      members.add(static_cast<double>(mem.size()));
-      viol.add(violations);
-      unbound.add(unboundCount);
-      dens.add(maxDensity);
+      return 1;
     }
-    row("%-8d %10.0f %10.0f %10.2f %10.1f %10.1f %10.1f", n, members.mean(), rounds.mean(),
-        rounds.mean() / std::log(static_cast<double>(n)), viol.mean(), unbound.mean(),
-        dens.mean());
+    const double members = batch.summarizeMetric("ruling_set_size").mean;
+    const double rounds = batch.summarizeMetric("ruling_rounds").mean;
+    const double viol = batch.summarizeMetric("independence_violations").mean;
+    const double unbound = batch.summarizeMetric("unbound").mean;
+    const double dens = batch.summarizeMetric("max_density").mean;
+    row("%-8d %10.0f %10.0f %10.2f %10.1f %10.1f %10.1f", n, members, rounds,
+        rounds / std::log(static_cast<double>(n)), viol, unbound, dens);
     report.row()
         .col("n", n)
-        .col("members", members.mean())
-        .col("rounds", rounds.mean())
-        .col("rounds_over_lnn", rounds.mean() / std::log(static_cast<double>(n)))
-        .col("independence_violations", viol.mean())
-        .col("unbound", unbound.mean())
-        .col("max_density", dens.mean());
+        .col("members", members)
+        .col("rounds", rounds)
+        .col("rounds_over_lnn", rounds / std::log(static_cast<double>(n)))
+        .col("independence_violations", viol)
+        .col("unbound", unbound)
+        .col("max_density", dens)
+        .col("wall_sec", batch.summarizeWallSec().mean);
   }
   return report.write() ? 0 : 1;
 }

@@ -2,40 +2,25 @@
 // variant costs O(log DeltaHat log n); the channel-parallel small variant
 // costs O(log n log log n) when DeltaHat <= F polylog n; both produce
 // constant-factor estimates.
+//
+// Driven through the Csa ProtocolDriver: a probe batch measures the true
+// max cluster size, then each (F, DeltaHat, variant) cell is one
+// scenario batch with the variant forced via the csa_variant spec key.
+
+#include <algorithm>
+#include <thread>
 
 #include "bench_common.h"
-
-#include "proto/cluster_coloring.h"
-#include "proto/csa.h"
-#include "proto/dominating_set.h"
 
 using namespace mcs;
 using namespace mcs::bench;
 
-namespace {
-
-double worstRatio(const Network& net, const Clustering& cl, const std::vector<double>& est) {
-  std::vector<int> size(static_cast<std::size_t>(net.size()), 0);
-  for (NodeId v = 0; v < net.size(); ++v) {
-    const NodeId d = cl.dominatorOf[static_cast<std::size_t>(v)];
-    if (d != kNoNode && d != v) ++size[static_cast<std::size_t>(d)];
-  }
-  double worst = 1.0;
-  for (const NodeId d : cl.dominators) {
-    const auto di = static_cast<std::size_t>(d);
-    const double got = est[di] + 1.0;
-    const double want = size[di] + 1.0;
-    worst = std::max(worst, std::max(got / want, want / got));
-  }
-  return worst;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const Args args(argc, argv);
-  const int n = static_cast<int>(args.getInt("n", 1200));
+  const int n = static_cast<int>(args.getInt("n", 1000));
   const double side = args.getDouble("side", 1.1);
+  const int reps = static_cast<int>(args.getInt("reps", 1));
+  const int lanes = std::min(reps, static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
   const std::uint64_t seed = static_cast<std::uint64_t>(args.getInt("seed", 6));
 
   header("E6: CSA variants: slots and estimate quality",
@@ -43,51 +28,63 @@ int main(int argc, char** argv) {
          "O(log n log log n) for DeltaHat <= F polylog n; estimates within a "
          "constant factor; Lemma 14 picks the cheaper one");
 
-  Network net = densePatch(n, side, seed);
-  Simulator sim0(net, 8, seed + 31);
-  DominatingSetResult ds = buildDominatingSet(sim0);
-  Clustering cl = std::move(ds.clustering);
-  colorClusters(sim0, cl);
-  int maxCluster = 1;
-  {
-    std::vector<int> size(static_cast<std::size_t>(n), 0);
-    for (NodeId v = 0; v < n; ++v) {
-      const NodeId d = cl.dominatorOf[static_cast<std::size_t>(v)];
-      if (d != kNoNode && d != v) ++size[static_cast<std::size_t>(d)];
-    }
-    for (const int s : size) maxCluster = std::max(maxCluster, s);
+  ScenarioSpec spec;
+  spec.name = "e6";
+  spec.deployment.kind = DeploymentKind::UniformSquare;
+  spec.deployment.n = n;
+  spec.deployment.side = side;
+  spec.protocol = ProtocolKind::Csa;
+  spec.seed0 = seed;
+
+  // Probe: one auto-variant batch over the same seeds as the sweep, to
+  // learn the max cluster size over every instance — so 2*maxCluster is
+  // a true DeltaHat upper bound for each seed, as Lemmas 12-14 require.
+  spec.channels = 8;
+  spec.seeds = reps;
+  const ScenarioBatchResult probe = runScenarioBatch(spec, lanes);
+  if (probe.failures() > 0 || probe.perSeed.empty()) {
+    std::fprintf(stderr, "probe failed: %s\n",
+                 probe.perSeed.empty() ? "no seeds" : probe.perSeed[0].error.c_str());
+    return 1;
   }
-  row("n=%d maxCluster=%d colors=%d", n, maxCluster, cl.numColors);
+  const int maxCluster =
+      std::max(1, static_cast<int>(probe.summarizeMetric("max_cluster").max));
+  const int clusters = static_cast<int>(probe.summarizeMetric("clusters").mean);
+  row("n=%d maxCluster=%d clusters~%d (over %d seeds)", n, maxCluster, clusters, reps);
 
   BenchReport report("e6_csa");
   report.meta("n", n).meta("side", side).meta("seed", static_cast<double>(seed));
-  report.meta("max_cluster", maxCluster).meta("colors", cl.numColors);
+  report.meta("reps", reps).meta("max_cluster", maxCluster).meta("clusters", clusters);
 
   row("%-10s %6s %10s %12s %10s", "variant", "F", "deltaHat", "slots", "worstRatio");
+  spec.seeds = reps;
   for (const int channels : {2, 8, 32}) {
     for (const int deltaHat : {2 * maxCluster, n}) {
-      Simulator simL(net, channels, seed + 41);
-      const CsaResult large = runCsaLarge(simL, cl, deltaHat);
-      const double ratioL = worstRatio(net, cl, large.estimateOfNode);
-      row("%-10s %6d %10d %12llu %10.2f", "large", channels, deltaHat,
-          static_cast<unsigned long long>(large.slotsUsed), ratioL);
-      report.row()
-          .col("variant", "large")
-          .col("channels", channels)
-          .col("delta_hat", deltaHat)
-          .col("slots", static_cast<double>(large.slotsUsed))
-          .col("worst_ratio", ratioL);
-      Simulator simS(net, channels, seed + 41);
-      const CsaResult small = runCsaSmall(simS, cl, deltaHat);
-      const double ratioS = worstRatio(net, cl, small.estimateOfNode);
-      row("%-10s %6d %10d %12llu %10.2f", "small", channels, deltaHat,
-          static_cast<unsigned long long>(small.slotsUsed), ratioS);
-      report.row()
-          .col("variant", "small")
-          .col("channels", channels)
-          .col("delta_hat", deltaHat)
-          .col("slots", static_cast<double>(small.slotsUsed))
-          .col("worst_ratio", ratioS);
+      for (const CsaVariant variant : {CsaVariant::Large, CsaVariant::Small}) {
+        spec.channels = channels;
+        spec.deltaHat = deltaHat;
+        spec.csaVariant = variant;
+        const ScenarioBatchResult batch = runScenarioBatch(spec, lanes);
+        if (batch.failures() > 0) {
+          for (const SeedResult& r : batch.perSeed) {
+            if (r.failed()) std::fprintf(stderr, "seed %llu failed: %s\n",
+                                         static_cast<unsigned long long>(r.seed),
+                                         r.error.c_str());
+          }
+          return 1;
+        }
+        const double slots = batch.summarizeMetric("csa_slots").mean;
+        const double ratio = batch.summarizeMetric("csa_worst_ratio").mean;
+        row("%-10s %6d %10d %12.0f %10.2f", toString(variant).c_str(), channels, deltaHat,
+            slots, ratio);
+        report.row()
+            .col("variant", toString(variant))
+            .col("channels", channels)
+            .col("delta_hat", deltaHat)
+            .col("slots", slots)
+            .col("worst_ratio", ratio)
+            .col("wall_sec", batch.summarizeWallSec().mean);
+      }
     }
   }
   return report.write() ? 0 : 1;

@@ -10,11 +10,14 @@
 // --scenario, --threads (batch lanes), --out (report directory), --csv
 // (per-seed CSV path).
 //
-// Output: a per-seed table + batch summary on stdout, and the same
-// numbers as BENCH_scenario_<name>.json via BenchReport so scenario runs
-// accumulate in the same perf history as the other benches.  Exit is
-// nonzero when any seed fails, when no seed delivers, or when the report
-// cannot be written.
+// Every ProtocolKind runs through its ProtocolDriver, so one CLI covers
+// all ten workloads (`--protocol=coloring`, `--protocol=ruling_set`,
+// ...).  Output: a per-seed table + batch summary on stdout, and the same
+// numbers — including each driver's named metrics — as
+// BENCH_scenario_<name>.json via BenchReport so scenario runs accumulate
+// in the same perf history as the other benches.  Exit is nonzero when
+// any seed fails, when no seed delivers, or when the report cannot be
+// written.
 
 #include <cstdio>
 #include <thread>
@@ -28,7 +31,9 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
 
   if (args.getBool("list")) {
-    for (const std::string& name : ScenarioRegistry::names()) std::printf("%s\n", name.c_str());
+    for (const ScenarioPresetInfo& info : ScenarioRegistry::list()) {
+      std::printf("%-20s %s\n", info.name.c_str(), info.description.c_str());
+    }
     return 0;
   }
 
@@ -66,6 +71,7 @@ int main(int argc, char** argv) {
   const double t0 = now();
   const ScenarioBatchResult batch = runScenarioBatch(spec, threads);
   const double wall = now() - t0;
+  const std::vector<std::string> metricNames = batch.metricNames();
 
   // 3. Per-seed table + report rows.
   BenchReport report("scenario_" + spec.name);
@@ -81,15 +87,15 @@ int main(int argc, char** argv) {
   report.meta("batch_threads", threads);
   report.meta("batch_wall_sec", wall);
 
-  row("%-8s %6s %10s %10s %10s %9s %5s %8s  %s", "seed", "n", "slots", "structure", "uplink",
-      "dec.rate", "ok", "wall(s)", "error");
+  row("%-8s %6s %10s %10s %9s %5s %10s %8s  %s", "seed", "n", "slots", "structure", "dec.rate",
+      "ok", "valid", "wall(s)", "error");
   for (const SeedResult& r : batch.perSeed) {
-    row("%-8llu %6d %10llu %10llu %10llu %9.3f %5s %8.2f  %s",
+    row("%-8llu %6d %10llu %10llu %9.3f %5s %10s %8.2f  %s",
         static_cast<unsigned long long>(r.seed), r.deployedN,
         static_cast<unsigned long long>(r.slots),
-        static_cast<unsigned long long>(r.structureSlots),
-        static_cast<unsigned long long>(r.uplinkSlots), r.decodeRate,
-        r.failed() ? "ERR" : (r.delivered ? "yes" : "NO"), r.wallSec, r.error.c_str());
+        static_cast<unsigned long long>(r.structureSlots), r.decodeRate,
+        r.failed() ? "ERR" : (r.delivered ? "yes" : "NO"), toString(r.validity).c_str(),
+        r.wallSec, r.error.c_str());
     report.row()
         .col("seed", static_cast<double>(r.seed))
         .col("deployed_n", r.deployedN)
@@ -99,44 +105,67 @@ int main(int argc, char** argv) {
         .col("decodes", static_cast<double>(r.decodes))
         .col("decode_rate", r.decodeRate)
         .col("structure_slots", static_cast<double>(r.structureSlots))
-        .col("uplink_slots", static_cast<double>(r.uplinkSlots))
-        .col("agg_slots", static_cast<double>(r.aggSlots))
         .col("delivered", r.delivered ? 1.0 : 0.0)
-        .col("agg_value", r.aggValue)
-        .col("truth_value", r.truthValue)
+        .col("valid", toString(r.validity))
         .col("wall_sec", r.wallSec)
         .col("error", r.error);
+    for (const auto& [name, value] : r.metrics.entries()) report.col(name, value);
   }
 
-  // 4. Batch summary.
+  // 4. Batch summary: the shared medium metrics, then every named metric
+  //    the protocol reported.
   const Summary slots = batch.summarizeSlots();
   const Summary rate = batch.summarizeDecodeRate();
+  const Summary wallSec = batch.summarizeWallSec();
   const int failures = batch.failures();
   const int delivered = batch.deliveredCount();
   row("%s", "");
-  row("batch: %d seeds, %d delivered, %d failed | slots mean=%.0f [%.0f, %.0f] | "
-      "decode rate mean=%.3f | %.2fs (%d lanes)",
-      spec.seeds, delivered, failures, slots.mean, slots.min, slots.max, rate.mean, wall,
-      threads);
+  row("batch: %d seeds, %d delivered, %d failed, %d valid / %d invalid | slots mean=%.0f "
+      "[%.0f, %.0f] | decode rate mean=%.3f | seed wall mean=%.2fs | %.2fs (%d lanes)",
+      spec.seeds, delivered, failures, batch.validCount(), batch.invalidCount(), slots.mean,
+      slots.min, slots.max, rate.mean, wallSec.mean, wall, threads);
+  for (const std::string& name : metricNames) {
+    const Summary m = batch.summarizeMetric(name);
+    row("  metric %-24s mean=%-12.4g min=%-12.4g max=%-12.4g", name.c_str(), m.mean, m.min,
+        m.max);
+    report.meta(name + "_mean", m.mean);
+  }
   report.meta("delivered_count", delivered);
   report.meta("failure_count", failures);
+  report.meta("valid_count", batch.validCount());
+  report.meta("invalid_count", batch.invalidCount());
   report.meta("slots_mean", slots.mean);
   report.meta("slots_min", slots.min);
   report.meta("slots_max", slots.max);
   report.meta("decode_rate_mean", rate.mean);
+  report.meta("wall_sec_mean", wallSec.mean);
+  report.meta("wall_sec_min", wallSec.min);
+  report.meta("wall_sec_max", wallSec.max);
 
-  // 5. Optional per-seed CSV.
+  // 5. Optional per-seed CSV: fixed columns + one per named metric.
   const std::string csvPath = args.get("csv");
   if (!csvPath.empty()) {
     CsvWriter csv(csvPath);
-    csv.header({"seed", "deployed_n", "slots", "decode_rate", "structure_slots", "uplink_slots",
-                "agg_slots", "delivered", "agg_value", "truth_value", "wall_sec", "error"});
+    std::vector<std::string> headerCols = {"seed",     "deployed_n",      "slots",
+                                           "decode_rate", "structure_slots", "delivered",
+                                           "valid",    "wall_sec",        "error"};
+    for (const std::string& name : metricNames) headerCols.push_back(name);
+    csv.header(headerCols);
     for (const SeedResult& r : batch.perSeed) {
-      csv.row({std::to_string(r.seed), std::to_string(r.deployedN), std::to_string(r.slots),
-               formatDouble(r.decodeRate, 6), std::to_string(r.structureSlots),
-               std::to_string(r.uplinkSlots), std::to_string(r.aggSlots),
-               r.delivered ? "1" : "0", formatDouble(r.aggValue, 9),
-               formatDouble(r.truthValue, 9), formatDouble(r.wallSec, 4), r.error});
+      std::vector<std::string> cols = {std::to_string(r.seed),
+                                       std::to_string(r.deployedN),
+                                       std::to_string(r.slots),
+                                       formatDouble(r.decodeRate, 6),
+                                       std::to_string(r.structureSlots),
+                                       r.delivered ? "1" : "0",
+                                       toString(r.validity),
+                                       formatDouble(r.wallSec, 4),
+                                       r.error};
+      for (const std::string& name : metricNames) {
+        const double* v = r.metrics.find(name);
+        cols.push_back(v ? formatDouble(*v, 9) : "");
+      }
+      csv.row(cols);
     }
     std::printf("wrote %s (%zu rows)\n", csvPath.c_str(), csv.rows());
   }

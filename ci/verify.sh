@@ -17,8 +17,20 @@ cd build
 mkdir -p bench-artifacts
 (cd bench-artifacts && ../bench/bench_medium --budget=0.05)
 
+# --list prints `name  description`; the first column is the preset name.
 ./bench/scenario_runner --list
-for preset in $(./bench/scenario_runner --list); do
+presets=$(./bench/scenario_runner --list | awk '{print $1}')
+
+# The registry must keep at least one preset per ProtocolKind, so the
+# smoke loop below exercises every protocol driver end-to-end.
+for required in uniform_square corridor aloha_patch exponential_chain \
+                coloring_patch cluster_palette csa_patch ruling_field \
+                dominators chain_lowerbound; do
+  echo "${presets}" | grep -qx "${required}" \
+    || { echo "FAIL: registry is missing required preset ${required}"; exit 1; }
+done
+
+for preset in ${presets}; do
   echo "--- scenario smoke: ${preset}"
   ./bench/scenario_runner --scenario="${preset}" --seeds=2 --out=bench-artifacts
 done

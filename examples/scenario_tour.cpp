@@ -1,7 +1,8 @@
 // Scenario tour: the scenario engine as a library.  Runs a few presets
-// from the registry, then a custom spec assembled key-by-key — the same
-// declarative surface the scenario_runner CLI exposes, without a single
-// hand-wired deployment or protocol loop.
+// from the registry, a custom spec assembled key-by-key, and a
+// symmetry-breaking workload through the protocol driver layer — the
+// same declarative surface the scenario_runner CLI exposes, without a
+// single hand-wired deployment or protocol loop.
 //
 //   ./scenario_tour [--seeds=3] [--threads=4]
 
@@ -55,5 +56,20 @@ int main(int argc, char** argv) {
   const mcs::ScenarioBatchResult batch = mcs::runScenarioBatch(custom, threads);
   std::printf("%-16s %d/%d delivered | %s\n", custom.name.c_str(), batch.deliveredCount(),
               custom.seeds, mcs::describeScenario(custom).c_str());
-  return batch.failures() == 0 && batch.deliveredCount() > 0 ? 0 : 1;
+  if (batch.failures() != 0 || batch.deliveredCount() == 0) return 1;
+
+  // 3. Every ProtocolKind runs through the same driver dispatch, and each
+  //    driver reports its own named metrics + ground-truth verdict.
+  mcs::ScenarioSpec coloring;
+  if (!mcs::ScenarioRegistry::find("coloring_patch", coloring)) return 1;
+  coloring.deployment.n = 150;  // tour-sized
+  coloring.seeds = seeds;
+  const mcs::ScenarioBatchResult colored = mcs::runScenarioBatch(coloring, threads);
+  std::printf("%-16s %d/%d valid | %s\n", coloring.name.c_str(), colored.validCount(),
+              coloring.seeds, mcs::ScenarioRegistry::describe("coloring_patch").c_str());
+  for (const std::string& metric : {std::string("color_classes"), std::string("delta")}) {
+    const mcs::Summary m = colored.summarizeMetric(metric);
+    std::printf("  %-14s mean=%.1f [%.0f, %.0f]\n", metric.c_str(), m.mean, m.min, m.max);
+  }
+  return colored.failures() == 0 && colored.validCount() > 0 ? 0 : 1;
 }

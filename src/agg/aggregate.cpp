@@ -10,6 +10,13 @@ double aggregateGroundTruth(std::span<const double> values, AggKind kind) {
   return acc;
 }
 
+bool aggregateMatches(double got, double truth, AggKind kind) {
+  if (kind == AggKind::Sum) {
+    return std::abs(got - truth) <= 1e-9 * std::max(1.0, std::abs(truth));
+  }
+  return got == truth;
+}
+
 AggregateRun runAggregation(Simulator& sim, const AggregationStructure& s,
                             std::span<const double> values, AggKind kind) {
   AggregateRun run;

@@ -34,4 +34,10 @@ AggregateRun buildAndAggregate(Simulator& sim, std::span<const double> values, A
 /// Ground-truth aggregate of `values` (for validation).
 [[nodiscard]] double aggregateGroundTruth(std::span<const double> values, AggKind kind);
 
+/// Whether a delivered aggregate matches the ground truth.  Max/Min copy
+/// values without combining, so the match is bitwise; Sum combines in
+/// tree order, so a small relative tolerance absorbs the floating-point
+/// reassociation against the linear ground-truth sum.
+[[nodiscard]] bool aggregateMatches(double got, double truth, AggKind kind);
+
 }  // namespace mcs

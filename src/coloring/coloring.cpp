@@ -356,4 +356,14 @@ int countColoringViolations(const Network& net, const std::vector<int>& colorOf)
   return violations;
 }
 
+int countDistinctColors(const std::vector<int>& colorOf) {
+  std::vector<int> sorted(colorOf);
+  std::sort(sorted.begin(), sorted.end());
+  int classes = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] >= 0 && (i == 0 || sorted[i] != sorted[i - 1])) ++classes;
+  }
+  return classes;
+}
+
 }  // namespace mcs

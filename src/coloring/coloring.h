@@ -37,4 +37,9 @@ ColoringResult runColoring(Simulator& sim, const AggregationStructure& s);
 /// endpoints share a color (0 = proper).
 [[nodiscard]] int countColoringViolations(const Network& net, const std::vector<int>& colorOf);
 
+/// Number of distinct colors actually used (entries >= 0).  This is the
+/// palette size a schedule needs; `colorsUsed` (max color + 1) can be
+/// inflated by the rare orphan overflow band without affecting it.
+[[nodiscard]] int countDistinctColors(const std::vector<int>& colorOf);
+
 }  // namespace mcs

@@ -33,6 +33,7 @@
 #include "proto/heap_tree.h"
 #include "proto/reporter.h"
 #include "proto/ruling_set.h"
+#include "scenario/driver.h"
 #include "scenario/registry.h"
 #include "scenario/runner.h"
 #include "scenario/spec.h"

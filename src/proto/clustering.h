@@ -55,6 +55,26 @@ struct TdmaSchedule {
   }
 };
 
+/// Per-dominator dominatee counts, indexed by node id (0 elsewhere; a
+/// dominator does not count itself).
+[[nodiscard]] inline std::vector<int> clusterSizes(const Clustering& cl) {
+  std::vector<int> size(cl.dominatorOf.size(), 0);
+  for (std::size_t v = 0; v < cl.dominatorOf.size(); ++v) {
+    const NodeId d = cl.dominatorOf[v];
+    if (d != kNoNode && d != static_cast<NodeId>(v)) ++size[static_cast<std::size_t>(d)];
+  }
+  return size;
+}
+
+/// Largest dominatee count over all clusters.
+[[nodiscard]] inline int largestClusterSize(const Clustering& cl) {
+  int best = 0;
+  for (const int s : clusterSizes(cl)) {
+    if (s > best) best = s;
+  }
+  return best;
+}
+
 /// Conservative bound on the number of pairwise r-independent points that
 /// fit in a ball of radius R (area packing argument).
 [[nodiscard]] inline int packingBound(double R, double r) noexcept {

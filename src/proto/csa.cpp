@@ -469,4 +469,16 @@ CsaResult runCsa(Simulator& sim, const Clustering& cl, int deltaHat) {
   return runCsaLarge(sim, cl, deltaHat);
 }
 
+double csaWorstRatio(const Clustering& cl, const std::vector<double>& estimateOfNode) {
+  const std::vector<int> size = clusterSizes(cl);
+  double worst = 1.0;
+  for (const NodeId d : cl.dominators) {
+    const auto di = static_cast<std::size_t>(d);
+    const double got = estimateOfNode[di] + 1.0;
+    const double want = static_cast<double>(size[di]) + 1.0;
+    worst = std::max(worst, std::max(got / want, want / got));
+  }
+  return worst;
+}
+
 }  // namespace mcs

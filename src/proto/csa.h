@@ -42,4 +42,10 @@ CsaResult runCsaSmall(Simulator& sim, const Clustering& cl, int deltaHat = -1);
 /// large otherwise.
 CsaResult runCsa(Simulator& sim, const Clustering& cl, int deltaHat = -1);
 
+/// Ground-truth estimate quality: the worst multiplicative error of the
+/// dominators' cluster-size estimates, on (size + 1) to stay finite for
+/// empty clusters.  >= 1; 1 = exact.  Harness-side validation only.
+[[nodiscard]] double csaWorstRatio(const Clustering& cl,
+                                   const std::vector<double>& estimateOfNode);
+
 }  // namespace mcs

@@ -215,4 +215,32 @@ RulingSetResult runRulingSet(Simulator& sim, const std::vector<char>& participan
   return res;
 }
 
+RulingSetAudit auditRulingSet(const Network& net, const std::vector<char>& participants,
+                              const RulingSetResult& rs, double radius) {
+  RulingSetAudit audit;
+  std::vector<NodeId> members;
+  for (NodeId v = 0; v < net.size(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (!participants[vi]) continue;
+    if (rs.inSet[vi]) {
+      members.push_back(v);
+    } else if (rs.dominator[vi] == kNoNode ||
+               net.distance(v, rs.dominator[vi]) > 2.0 * radius) {
+      ++audit.unbound;
+    }
+  }
+  audit.members = static_cast<int>(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    int inBall = 0;
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      if (net.distance(members[i], members[j]) <= radius) {
+        ++inBall;
+        if (j > i) ++audit.independenceViolations;
+      }
+    }
+    audit.maxDensity = std::max(audit.maxDensity, inBall);
+  }
+  return audit;
+}
+
 }  // namespace mcs

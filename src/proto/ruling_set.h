@@ -89,4 +89,22 @@ struct RulingSetResult {
 RulingSetResult runRulingSet(Simulator& sim, const std::vector<char>& participants,
                              const RulingSetConfig& cfg);
 
+/// Ground-truth audit of a ruling-set run against Lemma 6's guarantees
+/// (r-independence, 2r-domination, constant density).  Harness-side only:
+/// reads true distances the protocol never sees.
+struct RulingSetAudit {
+  /// Members of S.
+  int members = 0;
+  /// Member pairs at distance <= radius (0 = r-independent).
+  int independenceViolations = 0;
+  /// Halted participants without a binding to a member within 2 * radius.
+  int unbound = 0;
+  /// Max members in any member's radius-ball, including itself (density).
+  int maxDensity = 0;
+};
+
+[[nodiscard]] RulingSetAudit auditRulingSet(const Network& net,
+                                            const std::vector<char>& participants,
+                                            const RulingSetResult& rs, double radius);
+
 }  // namespace mcs

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/spec.h"
+#include "util/rng.h"
+
+/// The protocol driver layer: one uniform interface between "what
+/// workload runs" (a ProtocolKind on a ScenarioSpec) and "how a seed
+/// batch executes" (scenario/runner.h).  Every ProtocolKind — the four
+/// aggregation-flavored kinds plus coloring, CSA, ruling set, dominating
+/// set, cluster coloring, and the chain baseline — is implemented by
+/// exactly one ProtocolDriver wrapping the protocol's library entry
+/// point, so benches, tests, and the scenario_runner CLI all share the
+/// same execution path.
+namespace mcs {
+
+class Simulator;
+
+/// Ordered name -> value map for protocol-level metrics.  Insertion
+/// order is preserved (deterministic JSON/CSV column order); `set` on an
+/// existing name overwrites in place.
+class MetricMap {
+ public:
+  void set(const std::string& name, double value) {
+    for (auto& [k, v] : entries_) {
+      if (k == name) {
+        v = value;
+        return;
+      }
+    }
+    entries_.emplace_back(name, value);
+  }
+
+  /// Pointer to the value, or nullptr when absent.
+  [[nodiscard]] const double* find(const std::string& name) const noexcept {
+    for (const auto& [k, v] : entries_) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] double getOr(const std::string& name, double fallback = 0.0) const noexcept {
+    const double* v = find(name);
+    return v ? *v : fallback;
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  [[nodiscard]] bool operator==(const MetricMap&) const = default;
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+/// Result of a driver's optional ground-truth check (harness-side: it
+/// may read true distances/values the protocol never sees).
+enum class OutcomeValidity : std::uint8_t {
+  NotChecked = 0,  ///< The kind defines no ground-truth check.
+  Valid,           ///< The check ran and the guarantee held.
+  Invalid,         ///< The check ran and the guarantee was violated.
+};
+
+[[nodiscard]] std::string toString(OutcomeValidity v);
+
+/// Everything a protocol run reports back to the seed runner, in
+/// protocol-agnostic form: success, structure cost, the kind's named
+/// metrics, and the validity verdict.
+struct ProtocolOutcome {
+  /// Protocol-level success (aggregate delivered / structure built / ...).
+  bool delivered = false;
+  /// Structure-construction cost in slots (0 when the kind has none).
+  std::uint64_t structureSlots = 0;
+  MetricMap metrics;
+  OutcomeValidity validity = OutcomeValidity::NotChecked;
+};
+
+/// One workload, decoupled from batch execution.  Drivers are stateless
+/// (all state lives in the Simulator and the outcome), so a single
+/// instance is shared across threads of a batch.
+class ProtocolDriver {
+ public:
+  virtual ~ProtocolDriver() = default;
+
+  /// The ProtocolKind this driver implements.
+  [[nodiscard]] virtual ProtocolKind kind() const noexcept = 0;
+
+  /// One-line description (CLI listings, README protocol matrix).
+  [[nodiscard]] virtual const char* description() const noexcept = 0;
+
+  /// Executes the workload on a freshly seeded Simulator.  `valueRng` is
+  /// the per-seed value stream (Rng(seed).fork(kValueStream)); drivers
+  /// draw any input data from it so data stays independent of the
+  /// simulation randomness.  May throw; the seed runner traps.
+  [[nodiscard]] virtual ProtocolOutcome run(Simulator& sim, const ScenarioSpec& spec,
+                                            Rng& valueRng) const = 0;
+};
+
+/// The driver implementing `kind`.  Every ProtocolKind has exactly one;
+/// the returned reference is to a process-lifetime singleton.
+[[nodiscard]] const ProtocolDriver& protocolDriver(ProtocolKind kind);
+
+/// All protocol kinds in enum order (registry iteration, coverage tests).
+[[nodiscard]] std::vector<ProtocolKind> allProtocolKinds();
+
+}  // namespace mcs

@@ -4,6 +4,11 @@ namespace mcs {
 
 namespace {
 
+struct Entry {
+  ScenarioSpec spec;
+  std::string description;
+};
+
 ScenarioSpec preset(const char* name, DeploymentKind kind, ProtocolKind protocol, int n,
                     int channels) {
   ScenarioSpec s;
@@ -15,21 +20,26 @@ ScenarioSpec preset(const char* name, DeploymentKind kind, ProtocolKind protocol
   return s;
 }
 
-/// Builds the registry.  Every DeploymentKind appears at least once; the
-/// impairment presets exercise the fading layer; `aloha_patch` keeps the
-/// single-channel baseline runnable from the same CLI.
-std::vector<ScenarioSpec> buildRegistry() {
-  std::vector<ScenarioSpec> r;
+/// Builds the registry.  Every DeploymentKind appears at least once and
+/// every ProtocolKind has at least one preset (CI smokes them all); the
+/// impairment presets exercise the fading layer.  Preset defaults are
+/// sized so the whole registry smoke-runs in seconds.
+std::vector<Entry> buildRegistry() {
+  std::vector<Entry> r;
+  const auto add = [&r](ScenarioSpec spec, std::string description) {
+    r.push_back({std::move(spec), std::move(description)});
+  };
 
   // -- one preset per deployment generator --------------------------------
-  r.push_back(preset("uniform_square", DeploymentKind::UniformSquare,
-                     ProtocolKind::AggregateMax, 400, 8));
+  add(preset("uniform_square", DeploymentKind::UniformSquare, ProtocolKind::AggregateMax, 400,
+             8),
+      "uniform square deployment, MAX aggregation (the paper's headline workload)");
 
   {
     ScenarioSpec s = preset("uniform_disk", DeploymentKind::UniformDisk,
                             ProtocolKind::AggregateMax, 400, 8);
     s.deployment.radius = 0.8;
-    r.push_back(s);
+    add(s, "uniform disk deployment, MAX aggregation");
   }
 
   {
@@ -37,7 +47,7 @@ std::vector<ScenarioSpec> buildRegistry() {
                             ProtocolKind::AggregateMax, 400, 8);
     s.deployment.side = 1.6;
     s.deployment.jitter = 0.35;
-    r.push_back(s);
+    add(s, "jittered grid deployment, MAX aggregation");
   }
 
   {
@@ -46,7 +56,7 @@ std::vector<ScenarioSpec> buildRegistry() {
     s.deployment.side = 1.8;
     s.deployment.clusters = 9;
     s.deployment.spread = 0.07;
-    r.push_back(s);
+    add(s, "Gaussian cluster deployment, MAX aggregation");
   }
 
   {
@@ -54,7 +64,7 @@ std::vector<ScenarioSpec> buildRegistry() {
         preset("corridor", DeploymentKind::Corridor, ProtocolKind::AggregateSum, 320, 4);
     s.deployment.length = 3.0;
     s.deployment.width = 0.3;
-    r.push_back(s);
+    add(s, "long thin corridor, SUM over the exact backbone tree");
   }
 
   {
@@ -65,7 +75,7 @@ std::vector<ScenarioSpec> buildRegistry() {
                             ProtocolKind::Structure, 48, 4);
     s.deployment.chainBase = 1.25;
     s.deployment.chainMaxGap = 0.45;  // < R_eps = 0.5: the chain stays connected
-    r.push_back(s);
+    add(s, "exponential chain (§1 instance), structure construction only");
   }
 
   // -- new workloads -------------------------------------------------------
@@ -75,7 +85,7 @@ std::vector<ScenarioSpec> buildRegistry() {
         preset("sensor_mesh", DeploymentKind::PoissonDisk, ProtocolKind::AggregateMax, 400, 8);
     s.deployment.side = 1.6;
     s.deployment.minDist = 0.04;
-    r.push_back(s);
+    add(s, "Poisson-disk sensor mesh (near-uniform coverage), MAX aggregation");
   }
 
   {
@@ -85,7 +95,7 @@ std::vector<ScenarioSpec> buildRegistry() {
     s.deployment.side = 2.0;
     s.deployment.denseFrac = 0.6;
     s.deployment.patchFrac = 0.12;
-    r.push_back(s);
+    add(s, "dense hotspot inside a sparse field, MAX aggregation");
   }
 
   // -- channel impairments -------------------------------------------------
@@ -94,18 +104,18 @@ std::vector<ScenarioSpec> buildRegistry() {
                             ProtocolKind::AggregateMax, 350, 8);
     s.deployment.side = 1.3;
     s.sinr.fading.model = FadingModel::Rayleigh;
-    r.push_back(s);
+    add(s, "MAX aggregation under Rayleigh block fading");
   }
 
   {
-    ScenarioSpec s = preset("shadowed_city", DeploymentKind::Clustered,
-                            ProtocolKind::Structure, 400, 8);
+    ScenarioSpec s =
+        preset("shadowed_city", DeploymentKind::Clustered, ProtocolKind::Structure, 400, 8);
     s.deployment.side = 1.6;
     s.deployment.clusters = 8;
     s.deployment.spread = 0.06;
     s.sinr.fading.model = FadingModel::RayleighLognormal;
     s.sinr.fading.shadowSigmaDb = 4.0;
-    r.push_back(s);
+    add(s, "structure construction under composite Rayleigh + 4dB shadowing");
   }
 
   // -- baselines / medium modes -------------------------------------------
@@ -113,7 +123,7 @@ std::vector<ScenarioSpec> buildRegistry() {
     ScenarioSpec s =
         preset("aloha_patch", DeploymentKind::UniformSquare, ProtocolKind::Aloha, 300, 1);
     s.deployment.side = 0.9;
-    r.push_back(s);
+    add(s, "single-channel ALOHA baseline aggregation on a dense patch");
   }
 
   {
@@ -121,14 +131,61 @@ std::vector<ScenarioSpec> buildRegistry() {
                             ProtocolKind::AggregateMax, 600, 8);
     s.deployment.side = 0.8;
     s.sinr.mediumMode = MediumMode::NearFar;
-    r.push_back(s);
+    add(s, "dense MAX aggregation under the grid-batched NearFar medium");
+  }
+
+  // -- symmetry-breaking / structure workloads (one per new ProtocolKind) --
+  {
+    ScenarioSpec s =
+        preset("coloring_patch", DeploymentKind::UniformSquare, ProtocolKind::Coloring, 350, 8);
+    s.deployment.side = 1.0;
+    add(s, "node coloring (§7) on a dense patch: O(Delta) colors, proper on G");
+  }
+
+  {
+    ScenarioSpec s = preset("cluster_palette", DeploymentKind::Clustered,
+                            ProtocolKind::ClusterColoring, 350, 8);
+    s.deployment.side = 1.6;
+    s.deployment.clusters = 8;
+    s.deployment.spread = 0.07;
+    add(s, "dominating set + cluster coloring/TDMA (§5.1) on a clustered field");
+  }
+
+  {
+    ScenarioSpec s = preset("csa_patch", DeploymentKind::UniformSquare, ProtocolKind::Csa, 350,
+                            8);
+    s.deployment.side = 1.0;
+    add(s, "cluster-size approximation (§5.2.1) on a dense patch");
+  }
+
+  {
+    ScenarioSpec s = preset("ruling_field", DeploymentKind::UniformSquare,
+                            ProtocolKind::RulingSet, 400, 1);
+    s.deployment.side = 1.4;
+    add(s, "(r, 2r)-ruling set (§4) over a uniform field, single channel");
+  }
+
+  {
+    ScenarioSpec s = preset("dominators", DeploymentKind::UniformSquare,
+                            ProtocolKind::DominatingSet, 400, 1);
+    s.deployment.side = 1.4;
+    add(s, "r_c-dominating set + clustering (§5.1.1) over a uniform field");
+  }
+
+  {
+    ScenarioSpec s = preset("chain_lowerbound", DeploymentKind::ExponentialChain,
+                            ProtocolKind::ChainBaseline, 32, 4);
+    s.deployment.chainBase = 2.0;  // the literal {2^i} instance of §1
+    s.deployment.chainMaxGap = 0.9;
+    s.chainTrials = 300;
+    add(s, "§1 chain concurrency sampling: <= 1 descending sender per channel per slot");
   }
 
   return r;
 }
 
-const std::vector<ScenarioSpec>& registry() {
-  static const std::vector<ScenarioSpec> r = buildRegistry();
+const std::vector<Entry>& registry() {
+  static const std::vector<Entry> r = buildRegistry();
   return r;
 }
 
@@ -137,18 +194,32 @@ const std::vector<ScenarioSpec>& registry() {
 std::vector<std::string> ScenarioRegistry::names() {
   std::vector<std::string> out;
   out.reserve(registry().size());
-  for (const ScenarioSpec& s : registry()) out.push_back(s.name);
+  for (const Entry& e : registry()) out.push_back(e.spec.name);
+  return out;
+}
+
+std::vector<ScenarioPresetInfo> ScenarioRegistry::list() {
+  std::vector<ScenarioPresetInfo> out;
+  out.reserve(registry().size());
+  for (const Entry& e : registry()) out.push_back({e.spec.name, e.description});
   return out;
 }
 
 bool ScenarioRegistry::find(const std::string& name, ScenarioSpec& out) {
-  for (const ScenarioSpec& s : registry()) {
-    if (s.name == name) {
-      out = s;
+  for (const Entry& e : registry()) {
+    if (e.spec.name == name) {
+      out = e.spec;
       return true;
     }
   }
   return false;
+}
+
+std::string ScenarioRegistry::describe(const std::string& name) {
+  for (const Entry& e : registry()) {
+    if (e.spec.name == name) return e.description;
+  }
+  return "";
 }
 
 }  // namespace mcs

@@ -13,13 +13,26 @@
 /// in seconds (CI runs every preset on every push).
 namespace mcs {
 
+/// Listing entry: a preset's name and its one-line description (shown by
+/// `scenario_runner --list` and the README preset table).
+struct ScenarioPresetInfo {
+  std::string name;
+  std::string description;
+};
+
 class ScenarioRegistry {
  public:
   /// All registered preset names, in registration order.
   [[nodiscard]] static std::vector<std::string> names();
 
+  /// All presets with their descriptions, in registration order.
+  [[nodiscard]] static std::vector<ScenarioPresetInfo> list();
+
   /// Looks up `name`; returns false (out untouched) when unknown.
   [[nodiscard]] static bool find(const std::string& name, ScenarioSpec& out);
+
+  /// The preset's one-line description ("" when unknown).
+  [[nodiscard]] static std::string describe(const std::string& name);
 };
 
 }  // namespace mcs

@@ -5,8 +5,6 @@
 #include <stdexcept>
 #include <utility>
 
-#include "agg/aggregate.h"
-#include "baseline/aloha_agg.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "util/thread_pool.h"
@@ -20,14 +18,8 @@ double wallNow() {
       .count();
 }
 
-std::vector<double> drawValues(std::uint64_t seed, int n) {
-  Rng vr = Rng(seed).fork(kValueStream);
-  std::vector<double> values(static_cast<std::size_t>(n));
-  for (double& x : values) x = vr.uniform();
-  return values;
-}
-
-Summary summarizeMetric(const std::vector<SeedResult>& perSeed, double (*metric)(const SeedResult&)) {
+template <class Fn>
+Summary summarizeOver(const std::vector<SeedResult>& perSeed, Fn metric) {
   std::vector<double> xs;
   xs.reserve(perSeed.size());
   for (const SeedResult& r : perSeed) {
@@ -39,11 +31,45 @@ Summary summarizeMetric(const std::vector<SeedResult>& perSeed, double (*metric)
 }  // namespace
 
 Summary ScenarioBatchResult::summarizeSlots() const {
-  return summarizeMetric(perSeed, [](const SeedResult& r) { return static_cast<double>(r.slots); });
+  return summarizeOver(perSeed, [](const SeedResult& r) { return static_cast<double>(r.slots); });
 }
 
 Summary ScenarioBatchResult::summarizeDecodeRate() const {
-  return summarizeMetric(perSeed, [](const SeedResult& r) { return r.decodeRate; });
+  return summarizeOver(perSeed, [](const SeedResult& r) { return r.decodeRate; });
+}
+
+Summary ScenarioBatchResult::summarizeWallSec() const {
+  std::vector<double> xs;
+  xs.reserve(perSeed.size());
+  for (const SeedResult& r : perSeed) xs.push_back(r.wallSec);
+  return summarize(xs);
+}
+
+Summary ScenarioBatchResult::summarizeMetric(const std::string& name) const {
+  std::vector<double> xs;
+  xs.reserve(perSeed.size());
+  for (const SeedResult& r : perSeed) {
+    if (r.failed()) continue;
+    if (const double* v = r.metrics.find(name)) xs.push_back(*v);
+  }
+  return summarize(xs);
+}
+
+std::vector<std::string> ScenarioBatchResult::metricNames() const {
+  std::vector<std::string> names;
+  for (const SeedResult& r : perSeed) {
+    for (const auto& [name, value] : r.metrics.entries()) {
+      bool seen = false;
+      for (const std::string& have : names) {
+        if (have == name) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) names.push_back(name);
+    }
+  }
+  return names;
 }
 
 SeedResult runScenarioSeed(const ScenarioSpec& spec, std::uint64_t seed) {
@@ -58,44 +84,13 @@ SeedResult runScenarioSeed(const ScenarioSpec& spec, std::uint64_t seed) {
 
     Network net(std::move(pts), spec.sinr);
     Simulator sim(net, spec.channels, seed);
-    StructureOptions opts;
-    opts.deltaHat = spec.deltaHat;
+    Rng valueRng = Rng(seed).fork(kValueStream);
 
-    switch (spec.protocol) {
-      case ProtocolKind::Structure: {
-        const AggregationStructure s = buildStructure(sim, opts);
-        res.structureSlots = s.costs.structureTotal();
-        res.delivered = !s.clustering.dominators.empty();
-        break;
-      }
-      case ProtocolKind::AggregateMax:
-      case ProtocolKind::AggregateSum: {
-        const AggKind kind =
-            spec.protocol == ProtocolKind::AggregateMax ? AggKind::Max : AggKind::Sum;
-        const auto values = drawValues(seed, res.deployedN);
-        const AggregationStructure s = buildStructure(sim, opts);
-        res.structureSlots = s.costs.structureTotal();
-        const AggregateRun run = runAggregation(sim, s, values, kind);
-        res.delivered = run.delivered;
-        res.aggValue = run.valueAtNode.empty() ? 0.0 : run.valueAtNode[0];
-        res.truthValue = aggregateGroundTruth(values, kind);
-        res.uplinkSlots = run.costs.uplink;
-        res.aggSlots = run.costs.aggregationTotal();
-        break;
-      }
-      case ProtocolKind::Aloha: {
-        const auto values = drawValues(seed, res.deployedN);
-        const AggregationStructure s = buildStructure(sim, opts);
-        res.structureSlots = s.costs.structureTotal();
-        const AggregateRun run = runAlohaAggregation(sim, s, values, AggKind::Max);
-        res.delivered = run.delivered;
-        res.aggValue = run.valueAtNode.empty() ? 0.0 : run.valueAtNode[0];
-        res.truthValue = aggregateGroundTruth(values, AggKind::Max);
-        res.uplinkSlots = run.costs.uplink;
-        res.aggSlots = run.costs.aggregationTotal();
-        break;
-      }
-    }
+    ProtocolOutcome out = protocolDriver(spec.protocol).run(sim, spec, valueRng);
+    res.structureSlots = out.structureSlots;
+    res.delivered = out.delivered;
+    res.validity = out.validity;
+    res.metrics = std::move(out.metrics);
 
     const MediumStats& ms = sim.mediumStats();
     res.slots = ms.slots;

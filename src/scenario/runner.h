@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "scenario/driver.h"
 #include "scenario/spec.h"
 #include "util/stats.h"
 
@@ -16,14 +17,18 @@
 ///   auto pts = materializeDeployment(spec.deployment, deployRng);
 ///   Network net(std::move(pts), spec.sinr);
 ///   Simulator sim(net, spec.channels, seed);
-///   // values (aggregation protocols): Rng(seed).fork(kValueStream)
+///   Rng valueRng = Rng(seed).fork(kValueStream);
+///   protocolDriver(spec.protocol).run(sim, spec, valueRng);
 ///
-/// With fading disabled this reproduces a hand-wired Simulator run
-/// exactly; with fading enabled the same seed still reproduces the same
-/// decode trace (the fading key is Simulator stream 0).  Seeds of a batch
-/// are independent, so the runner executes them in parallel on a
-/// ThreadPool (one Simulator per seed); each Medium stays single-threaded
-/// inside a batch and results do not depend on the lane count.
+/// The driver layer (scenario/driver.h) owns step five: every
+/// ProtocolKind maps to one ProtocolDriver, and the runner is oblivious
+/// to what the workload actually is.  With fading disabled this
+/// reproduces a hand-wired Simulator run exactly; with fading enabled
+/// the same seed still reproduces the same decode trace (the fading key
+/// is Simulator stream 0).  Seeds of a batch are independent, so the
+/// runner executes them in parallel on a ThreadPool (one Simulator per
+/// seed); each Medium stays single-threaded inside a batch and results
+/// do not depend on the lane count.
 namespace mcs {
 
 /// Root-fork stream id for the per-node contribution values.  Far above
@@ -31,7 +36,9 @@ namespace mcs {
 /// draw never collides with simulation randomness.
 inline constexpr std::uint64_t kValueStream = 1ULL << 63;
 
-/// Everything measured about one seed of a scenario.
+/// Everything measured about one seed of a scenario: medium totals owned
+/// by the runner, plus the driver's protocol-agnostic outcome (delivery,
+/// structure cost, named metrics, validity verdict).
 struct SeedResult {
   std::uint64_t seed = 0;
   /// Nodes actually deployed (PoissonDisk may saturate below spec n).
@@ -44,20 +51,22 @@ struct SeedResult {
   double decodeRate = 0.0;
   /// Structure construction cost (slots); 0 when the protocol has none.
   std::uint64_t structureSlots = 0;
-  /// Aggregation-phase costs (aggregation protocols only).
-  std::uint64_t uplinkSlots = 0;
-  std::uint64_t aggSlots = 0;
-  /// Protocol-level success (aggregation delivered / structure built).
+  /// Protocol-level success (aggregate delivered / structure built / ...).
   bool delivered = false;
-  /// Aggregate value observed at node 0 (aggregation protocols only).
-  double aggValue = 0.0;
-  /// Ground-truth aggregate of the drawn values (for validation).
-  double truthValue = 0.0;
+  /// The driver's ground-truth verdict (NotChecked when it has none).
+  OutcomeValidity validity = OutcomeValidity::NotChecked;
+  /// The protocol's named metrics (e.g. agg_value, colors_used,
+  /// csa_worst_ratio, ruling_set_size); see the driver for each kind.
+  MetricMap metrics;
   double wallSec = 0.0;
   /// Non-empty iff the run threw; the batch continues past failures.
   std::string error;
 
   [[nodiscard]] bool failed() const noexcept { return !error.empty(); }
+  /// Convenience metric lookup (fallback when the kind lacks the metric).
+  [[nodiscard]] double metricOr(const std::string& name, double fallback = 0.0) const noexcept {
+    return metrics.getOr(name, fallback);
+  }
 };
 
 /// A whole batch plus per-metric summaries.
@@ -75,9 +84,29 @@ struct ScenarioBatchResult {
     for (const SeedResult& r : perSeed) d += r.delivered ? 1 : 0;
     return d;
   }
+  /// Seeds whose ground-truth check ran and held / ran and failed.
+  [[nodiscard]] int validCount() const noexcept {
+    int c = 0;
+    for (const SeedResult& r : perSeed) c += r.validity == OutcomeValidity::Valid ? 1 : 0;
+    return c;
+  }
+  [[nodiscard]] int invalidCount() const noexcept {
+    int c = 0;
+    for (const SeedResult& r : perSeed) c += r.validity == OutcomeValidity::Invalid ? 1 : 0;
+    return c;
+  }
+
   /// Summary over non-failed seeds of one metric.
   [[nodiscard]] Summary summarizeSlots() const;
   [[nodiscard]] Summary summarizeDecodeRate() const;
+  /// Per-seed wall time, including failed seeds (perf regressions show up
+  /// in BENCH artifacts either way).
+  [[nodiscard]] Summary summarizeWallSec() const;
+  /// Summary of one named metric over the non-failed seeds that carry it.
+  [[nodiscard]] Summary summarizeMetric(const std::string& name) const;
+  /// Union of metric names across seeds, in first-appearance order (the
+  /// JSON/CSV column order; identical across seeds of one protocol).
+  [[nodiscard]] std::vector<std::string> metricNames() const;
 };
 
 /// Runs one seed of the scenario (the contract above).  Exceptions are

@@ -29,6 +29,18 @@ constexpr KindName kProtocolNames[] = {
     {"agg_sum", static_cast<std::uint8_t>(ProtocolKind::AggregateSum)},
     {"aloha", static_cast<std::uint8_t>(ProtocolKind::Aloha)},
     {"structure", static_cast<std::uint8_t>(ProtocolKind::Structure)},
+    {"coloring", static_cast<std::uint8_t>(ProtocolKind::Coloring)},
+    {"cluster_coloring", static_cast<std::uint8_t>(ProtocolKind::ClusterColoring)},
+    {"csa", static_cast<std::uint8_t>(ProtocolKind::Csa)},
+    {"ruling_set", static_cast<std::uint8_t>(ProtocolKind::RulingSet)},
+    {"dominating_set", static_cast<std::uint8_t>(ProtocolKind::DominatingSet)},
+    {"chain_baseline", static_cast<std::uint8_t>(ProtocolKind::ChainBaseline)},
+};
+
+constexpr KindName kCsaVariantNames[] = {
+    {"auto", static_cast<std::uint8_t>(CsaVariant::Auto)},
+    {"large", static_cast<std::uint8_t>(CsaVariant::Large)},
+    {"small", static_cast<std::uint8_t>(CsaVariant::Small)},
 };
 
 constexpr KindName kFadingNames[] = {
@@ -118,6 +130,9 @@ std::string toString(FadingModel model) {
 std::string toString(MediumMode mode) {
   return nameOf(kMediumModeNames, static_cast<std::uint8_t>(mode));
 }
+std::string toString(CsaVariant variant) {
+  return nameOf(kCsaVariantNames, static_cast<std::uint8_t>(variant));
+}
 
 bool applyScenarioKey(ScenarioSpec& spec, const std::string& key, const std::string& value,
                       std::string& err) {
@@ -147,6 +162,11 @@ bool applyScenarioKey(ScenarioSpec& spec, const std::string& key, const std::str
   if (key == "medium_mode") {
     if (!valueOf(kMediumModeNames, value, enumValue, err, "medium mode")) return false;
     p.mediumMode = static_cast<MediumMode>(enumValue);
+    return true;
+  }
+  if (key == "csa_variant") {
+    if (!valueOf(kCsaVariantNames, value, enumValue, err, "CSA variant")) return false;
+    spec.csaVariant = static_cast<CsaVariant>(enumValue);
     return true;
   }
   if (key == "range") {
@@ -190,6 +210,9 @@ bool applyScenarioKey(ScenarioSpec& spec, const std::string& key, const std::str
   if (key == "shadow_sigma_db") return setDouble(p.fading.shadowSigmaDb, key, value, err);
   if (key == "channels") return setInt(spec.channels, key, value, err);
   if (key == "delta_hat") return setInt(spec.deltaHat, key, value, err);
+  if (key == "ruling_radius") return setDouble(spec.rulingRadius, key, value, err);
+  if (key == "ruling_rounds") return setInt(spec.rulingRounds, key, value, err);
+  if (key == "chain_trials") return setInt(spec.chainTrials, key, value, err);
   if (key == "seeds") return setInt(spec.seeds, key, value, err);
 
   err = "unknown scenario key \"" + key + "\"";
@@ -289,6 +312,15 @@ std::string validateScenario(const ScenarioSpec& spec) {
   if (spec.protocol == ProtocolKind::Aloha && spec.channels != 1) {
     return "protocol aloha is the single-channel baseline (set channels = 1)";
   }
+  if (spec.protocol == ProtocolKind::ChainBaseline) {
+    if (d.kind != DeploymentKind::ExponentialChain) {
+      return "protocol chain_baseline samples the §1 lower-bound instance "
+             "(set deployment = exponential_chain)";
+    }
+    if (spec.chainTrials < 1) return "chain_trials must be >= 1";
+  }
+  if (spec.rulingRounds < 0) return "ruling_rounds must be >= 0 (0 = auto)";
+  if (spec.rulingRadius < 0.0) return "ruling_radius must be >= 0 (0 = auto r_c)";
   return "";
 }
 

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "agg/structure.h"
 #include "geom/deployment.h"
 #include "geom/vec2.h"
 #include "sinr/params.h"
@@ -30,7 +31,9 @@ enum class DeploymentKind : std::uint8_t {
   Mixture,
 };
 
-/// Which workload runs on the deployed network.
+/// Which workload runs on the deployed network.  Every kind is executed
+/// by a ProtocolDriver (scenario/driver.h); the driver defines the named
+/// metrics and the ground-truth validity check the kind reports.
 enum class ProtocolKind : std::uint8_t {
   /// Build the §5 structure, then aggregate MAX (§6, the paper's headline).
   AggregateMax = 0,
@@ -40,7 +43,24 @@ enum class ProtocolKind : std::uint8_t {
   Aloha,
   /// Build the aggregation structure only (no data phase).
   Structure,
+  /// Node coloring on the aggregation structure (§7, Thm 24).
+  Coloring,
+  /// Dominating set + cluster coloring / TDMA (§5.1, Lemmas 7-8).
+  ClusterColoring,
+  /// Cluster-size approximation on the colored clustering (§5.2.1).
+  Csa,
+  /// The (r, 2r)-ruling set over all nodes (§4, Lemma 6).
+  RulingSet,
+  /// The r_c-dominating set + clustering function (§5.1.1, Lemma 7).
+  DominatingSet,
+  /// Exponential-chain concurrency sampling (§1 lower bound).
+  ChainBaseline,
 };
+
+/// Number of ProtocolKind values (driver registry iteration).  Derived
+/// from the last enumerator so appending a kind keeps it in sync.
+inline constexpr int kNumProtocolKinds =
+    static_cast<int>(ProtocolKind::ChainBaseline) + 1;
 
 /// Geometry knobs for every DeploymentKind (unused fields are ignored by
 /// the kinds that do not read them; defaults keep each kind sensible).
@@ -73,6 +93,15 @@ struct ScenarioSpec {
   int channels = 8;
   /// Known cluster-size bound DeltaHat fed to CSA (<= 0: naive n).
   int deltaHat = -1;
+  /// CSA variant (Auto = the Lemma-14 choice); consumed by the Csa
+  /// protocol and by every structure-building kind.
+  CsaVariant csaVariant = CsaVariant::Auto;
+  /// RulingSet: independence radius r (<= 0: the network's r_c).
+  double rulingRadius = 0.0;
+  /// RulingSet: active-round budget (<= 0: 40 + 4 ln n, the E5 default).
+  int rulingRounds = 0;
+  /// ChainBaseline: random slots sampled per seed.
+  int chainTrials = 400;
   /// Seed batch: seeds seed0, seed0+1, ..., seed0+seeds-1.
   int seeds = 8;
   std::uint64_t seed0 = 1;
@@ -83,6 +112,7 @@ struct ScenarioSpec {
 [[nodiscard]] std::string toString(ProtocolKind kind);
 [[nodiscard]] std::string toString(FadingModel model);
 [[nodiscard]] std::string toString(MediumMode mode);
+[[nodiscard]] std::string toString(CsaVariant variant);
 
 /// Applies one `key = value` assignment.  Unknown keys and malformed
 /// values return false with a diagnostic in `err`; the spec is only

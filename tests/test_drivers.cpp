@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "scenario/driver.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+
+/// The protocol driver layer: one driver per ProtocolKind, uniform
+/// seed-determinism and thread-count-invariance guarantees, per-protocol
+/// spec constraints, and the generic named-metric surface.
+namespace mcs {
+namespace {
+
+/// Small, fast spec for one protocol kind (sized for CI).
+ScenarioSpec specFor(ProtocolKind kind) {
+  ScenarioSpec spec;
+  spec.protocol = kind;
+  spec.name = "drv_" + toString(kind);
+  spec.deployment.kind = DeploymentKind::UniformSquare;
+  spec.deployment.n = 100;
+  spec.deployment.side = 1.0;
+  spec.channels = 4;
+  spec.seeds = 2;
+  spec.seed0 = 7;
+  switch (kind) {
+    case ProtocolKind::Aloha:
+      spec.channels = 1;
+      break;
+    case ProtocolKind::RulingSet:
+    case ProtocolKind::DominatingSet:
+      spec.channels = 1;
+      spec.deployment.side = 1.2;
+      break;
+    case ProtocolKind::ChainBaseline:
+      spec.deployment.kind = DeploymentKind::ExponentialChain;
+      spec.deployment.n = 24;
+      spec.deployment.chainBase = 2.0;
+      spec.deployment.chainMaxGap = 0.9;
+      spec.chainTrials = 60;
+      break;
+    default:
+      break;
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(ProtocolDrivers, EveryKindHasADriverWithDescription) {
+  const std::vector<ProtocolKind> kinds = allProtocolKinds();
+  ASSERT_EQ(kinds.size(), static_cast<std::size_t>(kNumProtocolKinds));
+  for (const ProtocolKind kind : kinds) {
+    const ProtocolDriver& driver = protocolDriver(kind);
+    EXPECT_EQ(driver.kind(), kind);
+    EXPECT_STRNE(driver.description(), "") << toString(kind);
+    // The canonical name round-trips through the spec parser.
+    ScenarioSpec spec;
+    std::string err;
+    ASSERT_TRUE(applyScenarioKey(spec, "protocol", toString(kind), err)) << err;
+    EXPECT_EQ(spec.protocol, kind);
+  }
+}
+
+TEST(ProtocolDrivers, RegistryCoversEveryProtocolKind) {
+  bool seen[kNumProtocolKinds] = {};
+  for (const std::string& name : ScenarioRegistry::names()) {
+    ScenarioSpec spec;
+    ASSERT_TRUE(ScenarioRegistry::find(name, spec));
+    seen[static_cast<std::size_t>(spec.protocol)] = true;
+  }
+  for (int k = 0; k < kNumProtocolKinds; ++k) {
+    EXPECT_TRUE(seen[k]) << "no preset runs protocol "
+                         << toString(static_cast<ProtocolKind>(k));
+  }
+}
+
+TEST(ProtocolDrivers, PresetDescriptionsAreDiscoverable) {
+  for (const ScenarioPresetInfo& info : ScenarioRegistry::list()) {
+    EXPECT_FALSE(info.description.empty()) << info.name;
+    EXPECT_EQ(ScenarioRegistry::describe(info.name), info.description);
+  }
+  EXPECT_EQ(ScenarioRegistry::describe("no_such_preset"), "");
+}
+
+// --------------------------------------------------------------- contracts
+
+TEST(ProtocolDrivers, EveryKindIsSeedDeterministic) {
+  for (const ProtocolKind kind : allProtocolKinds()) {
+    const ScenarioSpec spec = specFor(kind);
+    ASSERT_EQ(validateScenario(spec), "") << toString(kind);
+    const SeedResult a = runScenarioSeed(spec, spec.seed0);
+    const SeedResult b = runScenarioSeed(spec, spec.seed0);
+    ASSERT_TRUE(a.error.empty()) << toString(kind) << ": " << a.error;
+    EXPECT_FALSE(a.metrics.empty()) << toString(kind);
+    EXPECT_EQ(a.slots, b.slots) << toString(kind);
+    EXPECT_EQ(a.decodes, b.decodes) << toString(kind);
+    EXPECT_EQ(a.structureSlots, b.structureSlots) << toString(kind);
+    EXPECT_EQ(a.delivered, b.delivered) << toString(kind);
+    EXPECT_EQ(a.validity, b.validity) << toString(kind);
+    EXPECT_TRUE(a.metrics == b.metrics) << toString(kind);
+  }
+}
+
+TEST(ProtocolDrivers, EveryKindIsThreadCountInvariant) {
+  for (const ProtocolKind kind : allProtocolKinds()) {
+    const ScenarioSpec spec = specFor(kind);
+    const ScenarioBatchResult seq = runScenarioBatch(spec, 1);
+    const ScenarioBatchResult par = runScenarioBatch(spec, 4);
+    ASSERT_EQ(seq.perSeed.size(), par.perSeed.size()) << toString(kind);
+    for (std::size_t i = 0; i < seq.perSeed.size(); ++i) {
+      const SeedResult& s = seq.perSeed[i];
+      const SeedResult& p = par.perSeed[i];
+      ASSERT_TRUE(s.error.empty()) << toString(kind) << ": " << s.error;
+      EXPECT_EQ(s.seed, p.seed) << toString(kind);
+      EXPECT_EQ(s.slots, p.slots) << toString(kind);
+      EXPECT_EQ(s.decodes, p.decodes) << toString(kind);
+      EXPECT_EQ(s.delivered, p.delivered) << toString(kind);
+      EXPECT_EQ(s.validity, p.validity) << toString(kind);
+      EXPECT_TRUE(s.metrics == p.metrics) << toString(kind);
+    }
+  }
+}
+
+TEST(ProtocolDrivers, AggregationOutcomesAreValidated) {
+  const SeedResult r = runScenarioSeed(specFor(ProtocolKind::AggregateMax), 7);
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.validity, OutcomeValidity::Valid);
+  EXPECT_EQ(r.metricOr("agg_value"), r.metricOr("truth_value"));
+}
+
+TEST(ProtocolDrivers, ChainBaselineRespectsTheLowerBound) {
+  const SeedResult r = runScenarioSeed(specFor(ProtocolKind::ChainBaseline), 7);
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.delivered);
+  // §1: at most one distinct descending sender per channel per slot.
+  EXPECT_EQ(r.validity, OutcomeValidity::Valid);
+  EXPECT_LE(r.metricOr("max_descending"), 4.0);
+  EXPECT_EQ(r.metricOr("chain_trials"), 60.0);
+}
+
+// -------------------------------------------------------- spec constraints
+
+TEST(ProtocolDrivers, ValidationEnforcesPerProtocolConstraints) {
+  ScenarioSpec spec = specFor(ProtocolKind::ChainBaseline);
+  spec.deployment.kind = DeploymentKind::UniformSquare;
+  EXPECT_NE(validateScenario(spec), "");  // chain needs the chain deployment
+  spec.deployment.kind = DeploymentKind::ExponentialChain;
+  EXPECT_EQ(validateScenario(spec), "");
+  spec.chainTrials = 0;
+  EXPECT_NE(validateScenario(spec), "");
+
+  spec = specFor(ProtocolKind::RulingSet);
+  spec.rulingRounds = -1;
+  EXPECT_NE(validateScenario(spec), "");
+  spec.rulingRounds = 0;
+  spec.rulingRadius = -0.5;
+  EXPECT_NE(validateScenario(spec), "");
+}
+
+TEST(ProtocolDrivers, NewSpecKeysParse) {
+  ScenarioSpec spec;
+  std::string err;
+  ASSERT_TRUE(applyScenarioKey(spec, "csa_variant", "large", err)) << err;
+  ASSERT_TRUE(applyScenarioKey(spec, "ruling_radius", "0.2", err)) << err;
+  ASSERT_TRUE(applyScenarioKey(spec, "ruling_rounds", "50", err)) << err;
+  ASSERT_TRUE(applyScenarioKey(spec, "chain_trials", "10", err)) << err;
+  EXPECT_EQ(spec.csaVariant, CsaVariant::Large);
+  EXPECT_DOUBLE_EQ(spec.rulingRadius, 0.2);
+  EXPECT_EQ(spec.rulingRounds, 50);
+  EXPECT_EQ(spec.chainTrials, 10);
+  EXPECT_FALSE(applyScenarioKey(spec, "csa_variant", "banana", err));
+}
+
+// ----------------------------------------------------------- metric surface
+
+TEST(ProtocolDrivers, MetricMapPreservesOrderAndOverwrites) {
+  MetricMap m;
+  m.set("b", 2.0);
+  m.set("a", 1.0);
+  m.set("b", 3.0);  // overwrite keeps position
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.entries()[0].first, "b");
+  EXPECT_EQ(m.entries()[0].second, 3.0);
+  EXPECT_EQ(m.entries()[1].first, "a");
+  EXPECT_EQ(m.find("zzz"), nullptr);
+  EXPECT_EQ(m.getOr("zzz", -1.0), -1.0);
+}
+
+TEST(ProtocolDrivers, BatchSummarizesWallSecAndMetrics) {
+  ScenarioSpec spec = specFor(ProtocolKind::AggregateMax);
+  spec.seeds = 3;
+  const ScenarioBatchResult batch = runScenarioBatch(spec, 3);
+  EXPECT_EQ(batch.failures(), 0);
+  const Summary wall = batch.summarizeWallSec();
+  EXPECT_EQ(wall.count, 3u);
+  EXPECT_GT(wall.mean, 0.0);
+  const std::vector<std::string> names = batch.metricNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "agg_value"), names.end());
+  EXPECT_EQ(batch.summarizeMetric("agg_value").count, 3u);
+  EXPECT_EQ(batch.summarizeMetric("not_a_metric").count, 0u);
+}
+
+}  // namespace
+}  // namespace mcs

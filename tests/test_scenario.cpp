@@ -206,10 +206,10 @@ TEST(ScenarioRunner, MatchesDirectlyWiredSimulatorBitwise) {
   EXPECT_EQ(engine.listens, sim.mediumStats().listens);
   EXPECT_EQ(engine.transmissions, sim.mediumStats().transmissions);
   EXPECT_EQ(engine.structureSlots, s.costs.structureTotal());
-  EXPECT_EQ(engine.uplinkSlots, run.costs.uplink);
+  EXPECT_EQ(engine.metricOr("uplink_slots"), static_cast<double>(run.costs.uplink));
   EXPECT_EQ(engine.delivered, run.delivered);
-  EXPECT_EQ(engine.aggValue, run.valueAtNode[0]);  // bitwise
-  EXPECT_EQ(engine.truthValue, aggregateGroundTruth(values, AggKind::Max));
+  EXPECT_EQ(engine.metricOr("agg_value"), run.valueAtNode[0]);  // bitwise
+  EXPECT_EQ(engine.metricOr("truth_value"), aggregateGroundTruth(values, AggKind::Max));
 }
 
 TEST(ScenarioRunner, BatchIsOrderedAndLaneCountInvariant) {
@@ -223,7 +223,7 @@ TEST(ScenarioRunner, BatchIsOrderedAndLaneCountInvariant) {
     EXPECT_EQ(seq.perSeed[i].seed, spec.seed0 + i);
     EXPECT_EQ(seq.perSeed[i].slots, par.perSeed[i].slots);
     EXPECT_EQ(seq.perSeed[i].decodes, par.perSeed[i].decodes);
-    EXPECT_EQ(seq.perSeed[i].aggValue, par.perSeed[i].aggValue);
+    EXPECT_TRUE(seq.perSeed[i].metrics == par.perSeed[i].metrics);
     EXPECT_TRUE(seq.perSeed[i].delivered);
   }
   EXPECT_EQ(seq.failures(), 0);
@@ -239,7 +239,7 @@ TEST(ScenarioRunner, FadingRunsAreSeedDeterministic) {
   ASSERT_TRUE(a.error.empty()) << a.error;
   EXPECT_EQ(a.slots, b.slots);
   EXPECT_EQ(a.decodes, b.decodes);  // same seed => same decode trace
-  EXPECT_EQ(a.aggValue, b.aggValue);
+  EXPECT_EQ(a.metricOr("agg_value"), b.metricOr("agg_value"));
   EXPECT_EQ(a.delivered, b.delivered);
 
   const SeedResult c = runScenarioSeed(spec, 12);
@@ -260,9 +260,10 @@ TEST(ScenarioRunner, ExactAndNearFarAgreeUnderTheEngine) {
   ASSERT_TRUE(nearfar.error.empty()) << nearfar.error;
   EXPECT_TRUE(exact.delivered);
   EXPECT_TRUE(nearfar.delivered);
-  EXPECT_EQ(exact.aggValue, exact.truthValue);
-  EXPECT_EQ(nearfar.aggValue, nearfar.truthValue);
-  EXPECT_EQ(exact.truthValue, nearfar.truthValue);  // same seed, same values
+  EXPECT_EQ(exact.metricOr("agg_value"), exact.metricOr("truth_value"));
+  EXPECT_EQ(nearfar.metricOr("agg_value"), nearfar.metricOr("truth_value"));
+  // Same seed, same values either way.
+  EXPECT_EQ(exact.metricOr("truth_value"), nearfar.metricOr("truth_value"));
   EXPECT_NEAR(nearfar.decodeRate, exact.decodeRate, 0.25 * exact.decodeRate);
 }
 
@@ -273,8 +274,11 @@ TEST(ScenarioRunner, StructureProtocolReportsCosts) {
   ASSERT_TRUE(r.error.empty()) << r.error;
   EXPECT_TRUE(r.delivered);
   EXPECT_GT(r.structureSlots, 0u);
-  EXPECT_EQ(r.uplinkSlots, 0u);
   EXPECT_GT(r.slots, 0u);
+  // Structure-only runs report clustering metrics, not aggregation ones.
+  EXPECT_GE(r.metricOr("clusters"), 1.0);
+  EXPECT_EQ(r.metrics.find("agg_value"), nullptr);
+  EXPECT_EQ(r.validity, OutcomeValidity::Valid);
 }
 
 TEST(ScenarioRunner, FailuresAreCapturedNotThrown) {
