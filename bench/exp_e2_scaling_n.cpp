@@ -1,54 +1,34 @@
 // E2 ("Fig. 2"): aggregation cost as the network grows at fixed density
 // and fixed F (Theorem 22 in n: the Delta/F term is constant here, so the
 // cost should grow no faster than D + log n log log n).
+//
+// Driven by the sweep campaign engine: the grid is the `e2_scaling`
+// preset, whose text is also committed as sweeps/e2_scaling.sweep — this
+// binary, `sweep_runner --sweep=sweeps/e2_scaling.sweep`, and the CI
+// shard matrix all run the identical campaign.  Flags: the sweep_runner
+// set (--shard, --threads, --out-dir, --resume, --cells) plus any
+// scenario/axis override (e.g. --sweep.channels=4,8).
 
-#include "bench_common.h"
+#include "sweep_cli.h"
+
+#include "sweep/presets.h"
 
 using namespace mcs;
 using namespace mcs::bench;
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
-  const double density = args.getDouble("density", 900.0);
-  const int channels = static_cast<int>(args.getInt("F", 8));
-  const std::uint64_t seed = static_cast<std::uint64_t>(args.getInt("seed", 2));
-
-  header("E2: aggregation slots vs n (fixed density, fixed F)",
-         "Thm 22: with Delta ~ const, total grows like D + log n log log n "
-         "(slowly); slots normalized by the predicted shape stay ~flat");
-
-  BenchReport report("e2_scaling_n");
-  report.meta("density", density).meta("channels", channels).meta("seed",
-                                                                  static_cast<double>(seed));
-
-  row("%-8s %6s %6s %12s %12s %12s %10s %6s", "n", "Delta", "D", "structure", "agg", "total",
-      "agg/shape", "ok");
-  for (const int n : {250, 500, 1000, 2000, 4000}) {
-    Network net = uniformAtDensity(n, density, seed);
-    const int delta = net.maxDegree();
-    const int diam = net.graph().diameterEstimate();
-    Simulator sim(net, channels, seed + 5);
-    const AggregationStructure s = buildStructure(sim);
-    const auto values = randomValues(n, seed + n);
-    const AggregateRun run = runAggregation(sim, s, values, AggKind::Max);
-    const double lnn = std::log(static_cast<double>(n));
-    const double shape =
-        diam + static_cast<double>(delta) / channels + lnn * std::log(lnn);
-    row("%-8d %6d %6d %12llu %12llu %12llu %10.1f %6s", n, delta, diam,
-        static_cast<unsigned long long>(s.costs.structureTotal()),
-        static_cast<unsigned long long>(run.costs.aggregationTotal()),
-        static_cast<unsigned long long>(s.costs.total() + run.costs.aggregationTotal()),
-        static_cast<double>(run.costs.aggregationTotal()) / shape,
-        run.delivered ? "yes" : "NO");
-    report.row()
-        .col("n", n)
-        .col("delta", delta)
-        .col("diameter", diam)
-        .col("structure", static_cast<double>(s.costs.structureTotal()))
-        .col("agg", static_cast<double>(run.costs.aggregationTotal()))
-        .col("total", static_cast<double>(s.costs.total() + run.costs.aggregationTotal()))
-        .col("agg_over_shape", static_cast<double>(run.costs.aggregationTotal()) / shape)
-        .col("delivered", run.delivered ? 1.0 : 0.0);
+  SweepSpec spec;
+  std::string err;
+  if (!SweepRegistry::find("e2_scaling", spec, err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
   }
-  return report.write() ? 0 : 1;
+  if (!applySweepFlagOverrides(spec, args, err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+  header("E2: aggregation slots vs n (fixed density, fixed F)",
+         "Thm 22: with Delta ~ const, total grows like D + log n log log n (slowly)");
+  return runSweepCampaignCli(spec, args);
 }

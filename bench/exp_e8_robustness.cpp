@@ -1,78 +1,53 @@
 // E8 ("Fig. 5"): robustness to SINR parameters and to parameter
 // *uncertainty* (§2: nodes know only [min, max] ranges for alpha, beta, N).
+//
+// Driven by the sweep campaign engine as two campaigns:
+//   e8_robustness   — the alpha x beta grid (sweeps/e8_robustness.sweep)
+//   e8_uncertainty  — the bounds_width knowledge sweep
+//                     (sweeps/e8_uncertainty.sweep)
+// Each emits its own BENCH_sweep_*.json + CSV.  Flags: the sweep_runner
+// set plus scenario/axis overrides, applied to both campaigns.
 
-#include "bench_common.h"
+#include "sweep_cli.h"
+
+#include "sweep/presets.h"
 
 using namespace mcs;
 using namespace mcs::bench;
 
+namespace {
+
+int runPreset(const char* name, const Args& args) {
+  SweepSpec spec;
+  std::string err;
+  if (!SweepRegistry::find(name, spec, err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+  if (!applySweepFlagOverrides(spec, args, err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+  // Two campaigns share the flag set: an explicit --csv=out.csv becomes
+  // out.<campaign>.csv so the second campaign does not overwrite the first.
+  std::string csv = args.get("csv");
+  if (!csv.empty()) {
+    const std::size_t dot = csv.rfind('.');
+    const std::size_t slash = csv.find_last_of("/\\");
+    const bool hasExt = dot != std::string::npos && (slash == std::string::npos || dot > slash);
+    csv = hasExt ? csv.substr(0, dot) + "." + name + csv.substr(dot) : csv + "." + name;
+  }
+  return runSweepCampaignCli(spec, args, csv);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const Args args(argc, argv);
-  const int n = static_cast<int>(args.getInt("n", 800));
-  const double side = args.getDouble("side", 1.0);
-  const int channels = static_cast<int>(args.getInt("F", 8));
-  const std::uint64_t seed = static_cast<std::uint64_t>(args.getInt("seed", 8));
-
   header("E8: aggregation across SINR parameters and knowledge uncertainty",
-         "section 2: the algorithms assume only bounds on alpha/beta/N; "
-         "correctness must hold across the physical range, with graceful "
-         "slot-count degradation");
-
-  BenchReport report("e8_robustness");
-  report.meta("n", n).meta("side", side).meta("channels", channels);
-  report.meta("seed", static_cast<double>(seed));
-
-  row("%-8s %-8s %12s %12s %8s", "alpha", "beta", "structure", "agg", "ok");
-  for (const double alpha : {2.5, 3.0, 4.0}) {
-    for (const double beta : {1.2, 1.5, 3.0}) {
-      SinrParams p;
-      p.alpha = alpha;
-      p.beta = beta;
-      p = p.withRange(1.0);
-      Rng rng(seed);
-      auto pts = deployUniformSquare(n, side, rng);
-      Network net(std::move(pts), p);
-      Simulator sim(net, channels, seed + 3);
-      const AggregationStructure s = buildStructure(sim);
-      const auto values = randomValues(n, seed + 17);
-      const AggregateRun run = runAggregation(sim, s, values, AggKind::Max);
-      row("%-8.1f %-8.1f %12llu %12llu %8s", alpha, beta,
-          static_cast<unsigned long long>(s.costs.structureTotal()),
-          static_cast<unsigned long long>(run.costs.aggregationTotal()),
-          run.delivered ? "yes" : "NO");
-      report.row()
-          .col("sweep", "params")
-          .col("alpha", alpha)
-          .col("beta", beta)
-          .col("structure", static_cast<double>(s.costs.structureTotal()))
-          .col("agg", static_cast<double>(run.costs.aggregationTotal()))
-          .col("delivered", run.delivered ? 1.0 : 0.0);
-    }
-  }
-
-  row("%s", "");
-  row("%s", "Uncertain knowledge (relative range width around true params):");
-  row("%-8s %12s %12s %8s", "width", "structure", "agg", "ok");
-  for (const double width : {0.0, 0.1, 0.2, 0.4}) {
-    const SinrParams truth{};
-    const SinrBounds bounds = SinrBounds::around(truth, width);
-    Rng rng(seed);
-    auto pts = deployUniformSquare(n, side, rng);
-    Network net(std::move(pts), truth, Tuning{}, &bounds);
-    Simulator sim(net, channels, seed + 3);
-    const AggregationStructure s = buildStructure(sim);
-    const auto values = randomValues(n, seed + 17);
-    const AggregateRun run = runAggregation(sim, s, values, AggKind::Max);
-    row("%-8.2f %12llu %12llu %8s", width,
-        static_cast<unsigned long long>(s.costs.structureTotal()),
-        static_cast<unsigned long long>(run.costs.aggregationTotal()),
-        run.delivered ? "yes" : "NO");
-    report.row()
-        .col("sweep", "uncertainty")
-        .col("width", width)
-        .col("structure", static_cast<double>(s.costs.structureTotal()))
-        .col("agg", static_cast<double>(run.costs.aggregationTotal()))
-        .col("delivered", run.delivered ? 1.0 : 0.0);
-  }
-  return report.write() ? 0 : 1;
+         "section 2: correctness must hold across the physical range and under "
+         "bounds-only knowledge, with graceful slot-count degradation");
+  const int grid = runPreset("e8_robustness", args);
+  const int uncertainty = runPreset("e8_uncertainty", args);
+  return grid != 0 ? grid : uncertainty;
 }

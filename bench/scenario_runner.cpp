@@ -7,8 +7,9 @@
 // Spec resolution order: preset (--scenario) -> scenario file (--file) ->
 // any other --key=value flag as a spec override (unknown keys abort; see
 // scenario/spec.h for the key list).  Runner-owned flags: --list, --file,
-// --scenario, --threads (batch lanes), --out (report directory), --csv
-// (per-seed CSV path).
+// --scenario, --threads (batch lanes), --out-dir (report directory; the
+// deterministic BENCH_scenario_<name>.json lands there instead of the
+// cwd; --out is a compatibility alias), --csv (per-seed CSV path).
 //
 // Every ProtocolKind runs through its ProtocolDriver, so one CLI covers
 // all ten workloads (`--protocol=coloring`, `--protocol=ruling_set`,
@@ -51,7 +52,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 2;
   }
-  if (!applyScenarioArgs(spec, args, {"list", "scenario", "file", "threads", "out", "csv"},
+  if (!applyScenarioArgs(spec, args,
+                         {"list", "scenario", "file", "threads", "out", "out-dir", "csv"},
                          err)) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 2;
@@ -64,7 +66,7 @@ int main(int argc, char** argv) {
 
   const int threads = static_cast<int>(args.getInt(
       "threads", static_cast<long>(std::max(2u, std::thread::hardware_concurrency()))));
-  const std::string outDir = args.get("out", ".");
+  const std::string outDir = args.get("out-dir", args.get("out", "."));
 
   // 2. Run the batch.
   header("scenario: " + spec.name, describeScenario(spec));

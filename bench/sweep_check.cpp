@@ -1,0 +1,53 @@
+// sweep_check: the perf-regression gate over sweep campaign reports.
+//
+//   sweep_check --baseline=sweeps/baseline.json --candidate=BENCH_sweep_smoke.json
+//               [--metric-tol=1e-6] [--wall-tol=0.5] [--allow-missing]
+//
+// Matches cells by label and fails (exit 1) when any summary mean drifts
+// beyond --metric-tol relative, when wall time regresses beyond
+// --wall-tol relative (faster is always fine), or when a cell's
+// failure/delivery/validity counters get worse.  Exit 2 on unreadable or
+// malformed inputs, so a missing baseline cannot pass as "no drift".
+
+#include <cstdio>
+
+#include "sweep/check.h"
+#include "util/args.h"
+
+using namespace mcs;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const std::string baselinePath = args.get("baseline");
+  const std::string candidatePath = args.get("candidate");
+  if (baselinePath.empty() || candidatePath.empty()) {
+    std::fprintf(stderr,
+                 "usage: sweep_check --baseline=<campaign.json> --candidate=<campaign.json> "
+                 "[--metric-tol=R] [--wall-tol=R] [--allow-missing]\n");
+    return 2;
+  }
+
+  SweepCheckOptions opts;
+  opts.metricTol = args.getDouble("metric-tol", opts.metricTol);
+  opts.wallTol = args.getDouble("wall-tol", opts.wallTol);
+  opts.allowMissing = args.getBool("allow-missing");
+
+  Json baseline, candidate;
+  std::string err;
+  if (!Json::parseFile(baselinePath, baseline, err)) {
+    std::fprintf(stderr, "baseline: %s\n", err.c_str());
+    return 2;
+  }
+  if (!Json::parseFile(candidatePath, candidate, err)) {
+    std::fprintf(stderr, "candidate: %s\n", err.c_str());
+    return 2;
+  }
+
+  const SweepCheckResult result = compareCampaigns(baseline, candidate, opts);
+  for (const std::string& note : result.notes) std::printf("note: %s\n", note.c_str());
+  for (const std::string& v : result.violations) std::printf("FAIL: %s\n", v.c_str());
+  std::printf("sweep_check: %d cells, %d metrics compared, %zu violations -> %s\n",
+              result.cellsCompared, result.metricsCompared, result.violations.size(),
+              result.ok() ? "PASS" : "FAIL");
+  return result.ok() ? 0 : 1;
+}

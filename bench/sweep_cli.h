@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "sweep/report.h"
+#include "sweep/runner.h"
+
+/// Shared driver for the sweep-campaign binaries: sweep_runner and the
+/// experiment mains rewritten on the engine (exp_e2_scaling_n,
+/// exp_e8_robustness) all parse flags, run the campaign, print the
+/// per-cell table, and emit BENCH_sweep_<name>.json + long-form CSV
+/// through this one function.
+namespace mcs::bench {
+
+/// Runner-owned flags every sweep binary reserves; any other --key=value
+/// is applied as a sweep override (fixed value, or a sweep./zip. axis).
+inline const std::vector<std::string>& sweepReservedFlags() {
+  static const std::vector<std::string> kReserved = {
+      "list", "cells", "sweep", "preset", "shard", "threads", "out-dir", "out", "csv",
+      "resume"};
+  return kReserved;
+}
+
+/// Applies every non-reserved --key=value flag to the sweep spec, in
+/// command-line order (key order is load-bearing: a `--range=0.8` after
+/// `--sweep.alpha=...` must rescale with the cell's alpha).
+inline bool applySweepFlagOverrides(SweepSpec& spec, const Args& args, std::string& err) {
+  for (const auto& [key, value] : args.namedOrdered()) {
+    bool reserved = false;
+    for (const std::string& r : sweepReservedFlags()) {
+      if (key == r) {
+        reserved = true;
+        break;
+      }
+    }
+    if (reserved) continue;
+    if (!applySweepOverride(spec, key, value, err)) return false;
+  }
+  return true;
+}
+
+/// Runs `spec` honoring --shard/--threads/--out-dir/--resume/--csv and
+/// --cells (list the expansion without running).  `csvPath` overrides the
+/// CSV destination (multi-campaign binaries derive one per campaign so a
+/// shared --csv value is not overwritten); empty falls back to --csv,
+/// then to `<out-dir>/BENCH_sweep_<name>.csv`.  Returns the process exit
+/// code: 0 success, 1 failures or unwritable reports, 2 usage.
+inline int runSweepCampaignCli(const SweepSpec& spec, const Args& args,
+                               const std::string& csvPath = "") {
+  CampaignOptions opts;
+  opts.threads = static_cast<int>(args.getInt(
+      "threads", static_cast<long>(std::max(2u, std::thread::hardware_concurrency()))));
+  // --out-dir is the documented flag; --out stays as a compatibility
+  // alias for the scenario_runner convention.
+  opts.outDir = args.get("out-dir", args.get("out", "."));
+  opts.resume = args.getBool("resume");
+  const std::string shard = args.get("shard");
+  std::string err;
+  if (!shard.empty() && !parseShard(shard, opts.shardIndex, opts.shardCount, err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+
+  if (args.getBool("cells")) {
+    std::vector<SweepCell> cells;
+    if (!expandSweep(spec, cells, err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 2;
+    }
+    for (const SweepCell& cell : cells) {
+      std::printf("%-6d %-5s %s\n", cell.index,
+                  cellInShard(cell.index, opts.shardIndex, opts.shardCount) ? "run" : "skip",
+                  cell.label.c_str());
+    }
+    return 0;
+  }
+
+  header("sweep: " + spec.name, describeSweep(spec));
+  row("%-6s %-32s %10s %9s %5s %8s  %s", "cell", "label", "slots", "dec.rate", "ok",
+      "wall(s)", "status");
+  opts.onCell = [](const SweepCell& cell, bool cached) {
+    if (cached) row("%-6d %-32s %46s", cell.index, cell.label.c_str(), "cached");
+  };
+
+  CampaignResult campaign;
+  if (!runCampaign(spec, opts, campaign, err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+  for (const CellResult& cell : campaign.cells) {
+    const Summary slots = cell.batch.summarizeSlots();
+    const Summary rate = cell.batch.summarizeDecodeRate();
+    const Summary wall = cell.batch.summarizeWallSec();
+    row("%-6d %-32s %10.0f %9.3f %2d/%-2d %8.2f  %s", cell.cell.index,
+        cell.cell.label.c_str(), slots.mean, rate.mean, cell.batch.deliveredCount(),
+        cell.cell.spec.seeds, wall.mean, cell.fromCache ? "cached" : "ran");
+  }
+  row("%s", "");
+  row("campaign: %zu/%d cells (shard %d/%d), %d cached, %d seed failures, %.2fs",
+      campaign.cells.size(), campaign.totalCells, campaign.shardIndex, campaign.shardCount,
+      campaign.cachedCells(), campaign.failures(), campaign.wallSec);
+
+  std::string jsonPath;
+  if (!writeCampaignReport(campaign, opts.outDir, jsonPath, err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", jsonPath.c_str());
+  std::string csv = csvPath;
+  if (csv.empty()) csv = args.get("csv");
+  if (csv.empty()) csv = opts.outDir + "/BENCH_sweep_" + campaign.name + ".csv";
+  if (!writeCampaignCsv(campaign, csv, err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", csv.c_str());
+
+  return campaign.failures() > 0 ? 1 : 0;
+}
+
+}  // namespace mcs::bench

@@ -32,11 +32,21 @@ done
 
 for preset in ${presets}; do
   echo "--- scenario smoke: ${preset}"
-  ./bench/scenario_runner --scenario="${preset}" --seeds=2 --out=bench-artifacts
+  ./bench/scenario_runner --scenario="${preset}" --seeds=2 --out-dir=bench-artifacts
 done
 
+# --- Sweep campaign smoke + perf-regression gate -----------------------------
+# Runs the committed smoke campaign and diffs it against the committed
+# baseline: metric drift beyond 20% or a wall-time regression beyond 9x
+# fails the build.  (The tight bit-identical guarantees are locked by the
+# unit tests; the loose tolerances here absorb cross-machine noise.)
+./bench/sweep_runner --list
+./bench/sweep_runner --sweep=../sweeps/smoke.sweep --out-dir=bench-artifacts --threads=2
+./bench/sweep_check --baseline=../sweeps/baseline.json \
+  --candidate=bench-artifacts/BENCH_sweep_smoke.json --metric-tol=0.2 --wall-tol=9
+
 for report in bench-artifacts/BENCH_*.json; do
-  if [ ! -s "${report}" ] || grep -q '"rows": \[\]' "${report}"; then
+  if [ ! -s "${report}" ] || grep -qE '"(rows|cells)": \[\]' "${report}"; then
     echo "FAIL: empty bench report ${report}"
     exit 1
   fi

@@ -82,7 +82,12 @@ SeedResult runScenarioSeed(const ScenarioSpec& spec, std::uint64_t seed) {
     res.deployedN = static_cast<int>(pts.size());
     if (pts.empty()) throw std::runtime_error("deployment produced no nodes");
 
-    Network net(std::move(pts), spec.sinr);
+    // bounds_width > 0 hands the protocols uncertainty ranges instead of
+    // the exact parameters; the Medium still runs on the true sinr.
+    const SinrBounds bounds = spec.boundsWidth > 0.0
+                                  ? SinrBounds::around(spec.sinr, spec.boundsWidth)
+                                  : SinrBounds::exact(spec.sinr);
+    Network net(std::move(pts), spec.sinr, Tuning{}, &bounds);
     Simulator sim(net, spec.channels, seed);
     Rng valueRng = Rng(seed).fork(kValueStream);
 

@@ -1,5 +1,6 @@
 #include "scenario/spec.h"
 
+#include <charconv>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
@@ -207,6 +208,7 @@ bool applyScenarioKey(ScenarioSpec& spec, const std::string& key, const std::str
   if (key == "noise") return setDouble(p.noise, key, value, err);
   if (key == "power") return setDouble(p.power, key, value, err);
   if (key == "near_field") return setDouble(p.nearField, key, value, err);
+  if (key == "bounds_width") return setDouble(spec.boundsWidth, key, value, err);
   if (key == "shadow_sigma_db") return setDouble(p.fading.shadowSigmaDb, key, value, err);
   if (key == "channels") return setInt(spec.channels, key, value, err);
   if (key == "delta_hat") return setInt(spec.deltaHat, key, value, err);
@@ -256,7 +258,9 @@ bool loadScenarioFile(ScenarioSpec& spec, const std::string& path, std::string& 
 
 bool applyScenarioArgs(ScenarioSpec& spec, const Args& args,
                        const std::vector<std::string>& reserved, std::string& err) {
-  for (const auto& [key, value] : args.named()) {
+  // Command-line order, not map order: `--alpha=2.5 --range=0.8` must
+  // rescale the noise with the overridden alpha.
+  for (const auto& [key, value] : args.namedOrdered()) {
     bool skip = false;
     for (const std::string& r : reserved) {
       if (key == r) {
@@ -319,6 +323,7 @@ std::string validateScenario(const ScenarioSpec& spec) {
     }
     if (spec.chainTrials < 1) return "chain_trials must be >= 1";
   }
+  if (spec.boundsWidth < 0.0) return "bounds_width must be >= 0 (0 = exact knowledge)";
   if (spec.rulingRounds < 0) return "ruling_rounds must be >= 0 (0 = auto)";
   if (spec.rulingRadius < 0.0) return "ruling_radius must be >= 0 (0 = auto r_c)";
   return "";
@@ -334,8 +339,61 @@ std::string describeScenario(const ScenarioSpec& spec) {
       spec.sinr.fading.model == FadingModel::RayleighLognormal) {
     os << "(" << spec.sinr.fading.shadowSigmaDb << "dB)";
   }
+  if (spec.boundsWidth > 0.0) os << " bounds_width=" << spec.boundsWidth;
   os << " seeds=" << spec.seeds << "@" << spec.seed0;
   return os.str();
+}
+
+std::string scenarioToKeyValues(const ScenarioSpec& spec) {
+  const DeploymentSpec& d = spec.deployment;
+  const SinrParams& p = spec.sinr;
+  std::string out;
+  const auto add = [&out](const char* key, const std::string& value) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += "\n";
+  };
+  const auto num = [](double v) {
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    return std::string(buf, res.ptr);
+  };
+  add("name", spec.name);
+  add("deployment", toString(d.kind));
+  add("n", std::to_string(d.n));
+  add("side", num(d.side));
+  add("radius", num(d.radius));
+  add("jitter", num(d.jitter));
+  add("clusters", std::to_string(d.clusters));
+  add("spread", num(d.spread));
+  add("length", num(d.length));
+  add("width", num(d.width));
+  add("chain_base", num(d.chainBase));
+  add("chain_max_gap", num(d.chainMaxGap));
+  add("min_dist", num(d.minDist));
+  add("dense_frac", num(d.denseFrac));
+  add("patch_frac", num(d.patchFrac));
+  add("dedupe_eps", num(d.dedupeEps));
+  add("alpha", num(p.alpha));
+  add("beta", num(p.beta));
+  add("noise", num(p.noise));
+  add("power", num(p.power));
+  add("medium_mode", toString(p.mediumMode));
+  add("near_field", num(p.nearField));
+  add("fading", toString(p.fading.model));
+  add("shadow_sigma_db", num(p.fading.shadowSigmaDb));
+  add("bounds_width", num(spec.boundsWidth));
+  add("protocol", toString(spec.protocol));
+  add("channels", std::to_string(spec.channels));
+  add("delta_hat", std::to_string(spec.deltaHat));
+  add("csa_variant", toString(spec.csaVariant));
+  add("ruling_radius", num(spec.rulingRadius));
+  add("ruling_rounds", std::to_string(spec.rulingRounds));
+  add("chain_trials", std::to_string(spec.chainTrials));
+  add("seeds", std::to_string(spec.seeds));
+  add("seed0", std::to_string(spec.seed0));
+  return out;
 }
 
 std::vector<Vec2> materializeDeployment(const DeploymentSpec& d, Rng& rng) {

@@ -89,6 +89,12 @@ struct ScenarioSpec {
   DeploymentSpec deployment;
   /// Physical layer, including mediumMode/nearField and the fading model.
   SinrParams sinr;
+  /// Relative width of the parameter-uncertainty ranges the *protocols*
+  /// see (§2 "Knowledge of Nodes"): 0 = exact knowledge; 0.2 = nodes only
+  /// know each of alpha/beta/N to within +-10% (SinrBounds::around).  The
+  /// Medium always uses the true `sinr` — this knob degrades knowledge,
+  /// not physics.  Key: bounds_width.
+  double boundsWidth = 0.0;
   ProtocolKind protocol = ProtocolKind::AggregateMax;
   int channels = 8;
   /// Known cluster-size bound DeltaHat fed to CSA (<= 0: naive n).
@@ -137,6 +143,13 @@ bool applyScenarioArgs(ScenarioSpec& spec, const Args& args,
 
 /// One-line human-readable summary (logs, report metadata).
 [[nodiscard]] std::string describeScenario(const ScenarioSpec& spec);
+
+/// Canonical, complete `key = value` serialization: every field the
+/// parser accepts, one line each, in a fixed order, with round-trippable
+/// number formatting.  `loadScenarioFile`/`applyScenarioKey` on the
+/// output reproduces the spec exactly; the sweep engine uses it as the
+/// cell fingerprint that decides whether a cached cell JSON is stale.
+[[nodiscard]] std::string scenarioToKeyValues(const ScenarioSpec& spec);
 
 /// Realizes the deployment: runs the selected generator with `rng` and
 /// applies dedupePositions when dedupeEps > 0.  This is step one of the

@@ -1,0 +1,132 @@
+#include "sweep/check.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mcs {
+
+namespace {
+
+const Json* findCell(const Json& campaign, const std::string& label) {
+  const Json* cells = campaign.find("cells");
+  if (cells == nullptr || !cells->isArray()) return nullptr;
+  for (const Json& cell : cells->items()) {
+    if (cell.isObject() && cell.stringAt("label") == label) return &cell;
+  }
+  return nullptr;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void compareCell(const Json& base, const Json& cand, const SweepCheckOptions& opts,
+                 SweepCheckResult& out) {
+  const std::string label = base.stringAt("label");
+
+  // Reliability counters must not get worse.
+  const double baseFailures = base.numberAt("failures");
+  const double candFailures = cand.numberAt("failures");
+  if (candFailures > baseFailures) {
+    out.violations.push_back("cell " + label + ": failures " + fmt(baseFailures) + " -> " +
+                             fmt(candFailures));
+  }
+  const double baseDelivered = base.numberAt("delivered");
+  const double candDelivered = cand.numberAt("delivered");
+  if (candDelivered < baseDelivered) {
+    out.violations.push_back("cell " + label + ": delivered " + fmt(baseDelivered) + " -> " +
+                             fmt(candDelivered));
+  }
+  if (cand.numberAt("invalid") > base.numberAt("invalid")) {
+    out.violations.push_back("cell " + label + ": ground-truth invalid count increased");
+  }
+
+  const Json* baseSums = base.find("summaries");
+  const Json* candSums = cand.find("summaries");
+  if (baseSums == nullptr || !baseSums->isObject()) return;
+  for (const auto& [metric, baseSum] : baseSums->members()) {
+    const Json* candSum =
+        candSums != nullptr && candSums->isObject() ? candSums->find(metric) : nullptr;
+    if (candSum == nullptr || !candSum->isObject()) {
+      out.violations.push_back("cell " + label + ": metric " + metric +
+                               " missing from candidate");
+      continue;
+    }
+    const double baseMean = baseSum.numberAt("mean");
+    const double candMean = candSum->numberAt("mean");
+    ++out.metricsCompared;
+    if (metric == "wall_sec") {
+      // Perf gate: only a regression (slower) beyond tolerance fails.
+      const double denom = std::max(baseMean, opts.absFloor);
+      const double regression = (candMean - baseMean) / denom;
+      if (regression > opts.wallTol) {
+        out.violations.push_back("cell " + label + ": wall_sec regression " +
+                                 fmt(regression * 100.0) + "% (" + fmt(baseMean) + "s -> " +
+                                 fmt(candMean) + "s, tol " + fmt(opts.wallTol * 100.0) + "%)");
+      }
+      continue;
+    }
+    const double denom = std::max(std::abs(baseMean), opts.absFloor);
+    const double drift = std::abs(candMean - baseMean) / denom;
+    if (drift > opts.metricTol) {
+      out.violations.push_back("cell " + label + ": metric " + metric + " drift " +
+                               fmt(drift * 100.0) + "% (" + fmt(baseMean) + " -> " +
+                               fmt(candMean) + ", tol " + fmt(opts.metricTol * 100.0) + "%)");
+    }
+  }
+}
+
+}  // namespace
+
+SweepCheckResult compareCampaigns(const Json& baseline, const Json& candidate,
+                                  const SweepCheckOptions& opts) {
+  SweepCheckResult out;
+  if (!baseline.isObject() || !candidate.isObject()) {
+    out.violations.push_back("baseline or candidate is not a campaign JSON object");
+    return out;
+  }
+  if (baseline.stringAt("name") != candidate.stringAt("name")) {
+    out.notes.push_back("campaign names differ: \"" + baseline.stringAt("name") + "\" vs \"" +
+                        candidate.stringAt("name") + "\"");
+  }
+
+  const Json* baseCells = baseline.find("cells");
+  if (baseCells == nullptr || !baseCells->isArray() || baseCells->size() == 0) {
+    out.violations.push_back("baseline has no cells");
+    return out;
+  }
+  for (const Json& baseCell : baseCells->items()) {
+    const std::string label = baseCell.stringAt("label");
+    const Json* candCell = findCell(candidate, label);
+    if (candCell == nullptr) {
+      if (opts.allowMissing) {
+        out.notes.push_back("cell " + label + " not in candidate (allowed)");
+      } else {
+        out.violations.push_back("cell " + label + " missing from candidate");
+      }
+      continue;
+    }
+    ++out.cellsCompared;
+    compareCell(baseCell, *candCell, opts, out);
+  }
+
+  // Extra candidate cells are informational: a grown campaign should
+  // refresh its baseline, but new cells cannot regress old ones.
+  const Json* candCells = candidate.find("cells");
+  if (candCells != nullptr && candCells->isArray()) {
+    for (const Json& candCell : candCells->items()) {
+      if (findCell(baseline, candCell.stringAt("label")) == nullptr) {
+        out.notes.push_back("cell " + candCell.stringAt("label") +
+                            " in candidate but not in baseline");
+      }
+    }
+  }
+  if (out.cellsCompared == 0 && out.ok()) {
+    out.violations.push_back("no cells compared (shard mismatch?)");
+  }
+  return out;
+}
+
+}  // namespace mcs

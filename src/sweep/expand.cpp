@@ -1,0 +1,139 @@
+#include "sweep/expand.h"
+
+#include "util/args.h"
+
+namespace mcs {
+
+namespace {
+
+constexpr std::size_t kMaxCells = 100000;
+
+/// One dimension of the grid; the zip group is a single dimension shared
+/// by every Zip assignment.
+struct Dimension {
+  std::size_t size = 0;
+};
+
+/// Maps each assignment to its dimension index (-1 for Fixed), building
+/// the dimension list on the way.  Returns false when zip lengths differ.
+bool buildDimensions(const SweepSpec& spec, std::vector<Dimension>& dims,
+                     std::vector<int>& dimOf, std::string& err) {
+  int zipDim = -1;
+  for (const SweepAssignment& a : spec.assignments) {
+    switch (a.kind) {
+      case SweepAssignKind::Fixed:
+        dimOf.push_back(-1);
+        break;
+      case SweepAssignKind::Axis:
+        dimOf.push_back(static_cast<int>(dims.size()));
+        dims.push_back({a.values.size()});
+        break;
+      case SweepAssignKind::Zip:
+        if (zipDim < 0) {
+          zipDim = static_cast<int>(dims.size());
+          dims.push_back({a.values.size()});
+        } else if (dims[static_cast<std::size_t>(zipDim)].size != a.values.size()) {
+          err = "zip axes must have equal lengths: \"" + a.key + "\" has " +
+                std::to_string(a.values.size()) + " values, expected " +
+                std::to_string(dims[static_cast<std::size_t>(zipDim)].size);
+          return false;
+        }
+        dimOf.push_back(zipDim);
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t sweepCellCount(const SweepSpec& spec) {
+  std::vector<Dimension> dims;
+  std::vector<int> dimOf;
+  std::string err;
+  if (!buildDimensions(spec, dims, dimOf, err)) return 0;
+  std::size_t cells = 1;
+  for (const Dimension& d : dims) cells *= d.size;
+  return cells;
+}
+
+bool expandSweep(const SweepSpec& spec, std::vector<SweepCell>& out, std::string& err) {
+  out.clear();
+  std::vector<Dimension> dims;
+  std::vector<int> dimOf;
+  if (!buildDimensions(spec, dims, dimOf, err)) return false;
+
+  std::size_t cells = 1;
+  for (const Dimension& d : dims) {
+    cells *= d.size;
+    if (cells > kMaxCells) {
+      err = "sweep \"" + spec.name + "\" expands to more than " + std::to_string(kMaxCells) +
+            " cells";
+      return false;
+    }
+  }
+
+  // Strides for row-major order: the first-declared dimension varies
+  // slowest, the last fastest.
+  std::vector<std::size_t> stride(dims.size(), 1);
+  for (std::size_t d = dims.size(); d-- > 1;) stride[d - 1] = stride[d] * dims[d].size;
+
+  out.reserve(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    SweepCell cell;
+    cell.index = static_cast<int>(c);
+    cell.spec = spec.base;
+    for (std::size_t i = 0; i < spec.assignments.size(); ++i) {
+      const SweepAssignment& a = spec.assignments[i];
+      std::size_t valueIdx = 0;
+      if (dimOf[i] >= 0) {
+        const auto d = static_cast<std::size_t>(dimOf[i]);
+        valueIdx = (c / stride[d]) % dims[d].size;
+        if (!cell.label.empty()) cell.label += ",";
+        cell.label += a.key + "=" + a.values[valueIdx];
+        cell.assignments.emplace_back(a.key, a.values[valueIdx]);
+      }
+      std::string keyErr;
+      if (!applyScenarioKey(cell.spec, a.key, a.values[valueIdx], keyErr)) {
+        err = "cell " + std::to_string(c) + " (" + cell.label + "): " + keyErr;
+        return false;
+      }
+    }
+    if (cell.label.empty()) cell.label = "base";
+    cell.spec.name = cell.label;
+    const std::string invalid = validateScenario(cell.spec);
+    if (!invalid.empty()) {
+      err = "cell " + std::to_string(c) + " (" + cell.label + "): " + invalid;
+      return false;
+    }
+    out.push_back(std::move(cell));
+  }
+  return true;
+}
+
+bool cellInShard(int index, int shardIndex, int shardCount) noexcept {
+  if (shardCount <= 1) return true;
+  return index % shardCount == shardIndex;
+}
+
+bool parseShard(const std::string& text, int& shardIndex, int& shardCount, std::string& err) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) {
+    err = "shard \"" + text + "\": expected i/k (e.g. 0/2)";
+    return false;
+  }
+  long i = 0, k = 0;
+  if (!parseLong(text.substr(0, slash), i) || !parseLong(text.substr(slash + 1), k)) {
+    err = "shard \"" + text + "\": malformed integer";
+    return false;
+  }
+  if (k < 1 || i < 0 || i >= k) {
+    err = "shard \"" + text + "\": need 0 <= i < k";
+    return false;
+  }
+  shardIndex = static_cast<int>(i);
+  shardCount = static_cast<int>(k);
+  return true;
+}
+
+}  // namespace mcs

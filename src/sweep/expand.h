@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sweep/spec.h"
+
+/// Grid expansion of a SweepSpec into runnable cells, plus the
+/// deterministic shard partition the CI matrix uses.
+namespace mcs {
+
+/// One cell of the campaign grid: a fully resolved ScenarioSpec plus the
+/// axis assignments that produced it.
+struct SweepCell {
+  /// Position in the full (unsharded) expansion order; cell file names
+  /// and the shard partition key off this.
+  int index = 0;
+  /// `key=value` pairs of the non-fixed assignments, comma-joined in
+  /// declaration order ("base" when the sweep has no axes).
+  std::string label;
+  /// The non-fixed assignments (declaration order), for report columns.
+  std::vector<std::pair<std::string, std::string>> assignments;
+  ScenarioSpec spec;
+};
+
+/// Expands the full grid: every Axis crossed with every other (the Zip
+/// group is a single axis), first-declared axis varying slowest.  Every
+/// cell is validated; any invalid cell fails the whole expansion with a
+/// cell-labelled diagnostic.  Deterministic: same spec, same cells, same
+/// order.
+bool expandSweep(const SweepSpec& spec, std::vector<SweepCell>& out, std::string& err);
+
+/// Total cell count of the expansion without building it.
+[[nodiscard]] std::size_t sweepCellCount(const SweepSpec& spec);
+
+/// The shard partition: cell `index` belongs to shard `shardIndex` of
+/// `shardCount` iff index % shardCount == shardIndex.  Shards 0..k-1
+/// together cover every cell exactly once.
+[[nodiscard]] bool cellInShard(int index, int shardIndex, int shardCount) noexcept;
+
+/// Parses a `--shard i/k` value (0 <= i < k).
+bool parseShard(const std::string& text, int& shardIndex, int& shardCount, std::string& err);
+
+}  // namespace mcs

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/spec.h"
+
+/// Named sweep presets: the E1-E9 experiment grids from bench/exp_*,
+/// expressed as embedded sweep-file text and parsed by the same parser as
+/// on-disk sweep files — so `sweep_runner --preset=e4_coloring` and a
+/// committed `sweeps/*.sweep` file are the same code path, and the whole
+/// experiment suite is reachable declaratively.
+namespace mcs {
+
+struct SweepPresetInfo {
+  std::string name;
+  std::string description;
+};
+
+class SweepRegistry {
+ public:
+  /// All presets with one-line descriptions, in registration order.
+  [[nodiscard]] static std::vector<SweepPresetInfo> list();
+
+  /// The preset's raw sweep-file text ("" when unknown) — what you would
+  /// commit under sweeps/ to pin the campaign to a file.
+  [[nodiscard]] static std::string text(const std::string& name);
+
+  /// Parses the preset into a SweepSpec; false (with diagnostic) when the
+  /// name is unknown.  Preset text is compiled in, so parse errors here
+  /// are build bugs — a registry self-test locks every preset.
+  [[nodiscard]] static bool find(const std::string& name, SweepSpec& out, std::string& err);
+};
+
+}  // namespace mcs

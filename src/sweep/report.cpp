@@ -1,0 +1,245 @@
+#include "sweep/report.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/stats.h"
+
+namespace mcs {
+
+namespace {
+
+Json summaryToJson(const Summary& s) {
+  Json j = Json::object();
+  j.set("count", s.count);
+  j.set("mean", s.mean);
+  j.set("stddev", s.stddev);
+  j.set("min", s.min);
+  j.set("p50", s.median);
+  j.set("p95", s.p95);
+  j.set("max", s.max);
+  return j;
+}
+
+Json seedToJson(const SeedResult& r) {
+  Json j = Json::object();
+  j.set("seed", static_cast<double>(r.seed));
+  j.set("deployed_n", r.deployedN);
+  j.set("slots", static_cast<double>(r.slots));
+  j.set("transmissions", static_cast<double>(r.transmissions));
+  j.set("listens", static_cast<double>(r.listens));
+  j.set("decodes", static_cast<double>(r.decodes));
+  j.set("decode_rate", r.decodeRate);
+  j.set("structure_slots", static_cast<double>(r.structureSlots));
+  j.set("delivered", r.delivered);
+  j.set("valid", toString(r.validity));
+  j.set("wall_sec", r.wallSec);
+  j.set("error", r.error);
+  Json metrics = Json::object();
+  for (const auto& [name, value] : r.metrics.entries()) metrics.set(name, value);
+  j.set("metrics", std::move(metrics));
+  return j;
+}
+
+bool seedFromJson(const Json& j, SeedResult& r, std::string& err) {
+  if (!j.isObject()) {
+    err = "per-seed entry is not an object";
+    return false;
+  }
+  r.seed = static_cast<std::uint64_t>(j.numberAt("seed"));
+  r.deployedN = static_cast<int>(j.numberAt("deployed_n"));
+  r.slots = static_cast<std::uint64_t>(j.numberAt("slots"));
+  r.transmissions = static_cast<std::uint64_t>(j.numberAt("transmissions"));
+  r.listens = static_cast<std::uint64_t>(j.numberAt("listens"));
+  r.decodes = static_cast<std::uint64_t>(j.numberAt("decodes"));
+  r.decodeRate = j.numberAt("decode_rate");
+  r.structureSlots = static_cast<std::uint64_t>(j.numberAt("structure_slots"));
+  const Json* delivered = j.find("delivered");
+  r.delivered = delivered != nullptr && delivered->asBool();
+  const std::string validity = j.stringAt("valid", "unchecked");
+  r.validity = validity == "valid"     ? OutcomeValidity::Valid
+               : validity == "INVALID" ? OutcomeValidity::Invalid
+                                       : OutcomeValidity::NotChecked;
+  r.wallSec = j.numberAt("wall_sec");
+  r.error = j.stringAt("error");
+  if (const Json* metrics = j.find("metrics"); metrics != nullptr && metrics->isObject()) {
+    for (const auto& [name, value] : metrics->members()) {
+      r.metrics.set(name, value.asDouble());
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Json cellToJson(const CellResult& cell) {
+  Json j = Json::object();
+  j.set("index", cell.cell.index);
+  j.set("label", cell.cell.label);
+  Json assigns = Json::object();
+  for (const auto& [key, value] : cell.cell.assignments) assigns.set(key, value);
+  j.set("assignments", std::move(assigns));
+  j.set("scenario", describeScenario(cell.cell.spec));
+  j.set("spec", scenarioToKeyValues(cell.cell.spec));
+  j.set("seeds", cell.cell.spec.seeds);
+  j.set("seed0", static_cast<double>(cell.cell.spec.seed0));
+  j.set("failures", cell.batch.failures());
+  j.set("delivered", cell.batch.deliveredCount());
+  j.set("valid", cell.batch.validCount());
+  j.set("invalid", cell.batch.invalidCount());
+  Json summaries = Json::object();
+  for (const auto& [name, summary] : cell.summaries()) {
+    summaries.set(name, summaryToJson(summary));
+  }
+  j.set("summaries", std::move(summaries));
+  Json perSeed = Json::array();
+  for (const SeedResult& r : cell.batch.perSeed) perSeed.push_back(seedToJson(r));
+  j.set("per_seed", std::move(perSeed));
+  return j;
+}
+
+Json campaignToJson(const CampaignResult& campaign) {
+  Json j = Json::object();
+  j.set("name", "sweep_" + campaign.name);
+  j.set("kind", "sweep");
+  Json meta = Json::object();
+  meta.set("sweep", campaign.name);
+  meta.set("base", campaign.baseName);
+  meta.set("description", campaign.description);
+  meta.set("total_cells", campaign.totalCells);
+  meta.set("shard_index", campaign.shardIndex);
+  meta.set("shard_count", campaign.shardCount);
+  meta.set("cells_in_shard", static_cast<int>(campaign.cells.size()));
+  meta.set("cells_cached", campaign.cachedCells());
+  meta.set("failures", campaign.failures());
+  meta.set("wall_sec", campaign.wallSec);
+  j.set("meta", std::move(meta));
+  Json cells = Json::array();
+  for (const CellResult& cell : campaign.cells) cells.push_back(cellToJson(cell));
+  j.set("cells", std::move(cells));
+  return j;
+}
+
+bool writeCellFile(const CellResult& cell, const std::string& path, std::string& err) {
+  std::ofstream f(path);
+  f << cellToJson(cell).dump() << '\n';
+  f.flush();
+  if (!f.good()) {
+    err = "cannot write cell file \"" + path + "\"";
+    return false;
+  }
+  return true;
+}
+
+bool loadCellResult(const std::string& path, CellResult& out, std::string& err) {
+  Json j;
+  if (!Json::parseFile(path, j, err)) return false;
+  if (!j.isObject()) {
+    err = path + ": not a JSON object";
+    return false;
+  }
+  out = CellResult{};
+  out.cell.index = static_cast<int>(j.numberAt("index", -1));
+  out.cell.label = j.stringAt("label");
+  if (const Json* assigns = j.find("assignments"); assigns != nullptr && assigns->isObject()) {
+    for (const auto& [key, value] : assigns->members()) {
+      out.cell.assignments.emplace_back(key, value.asString());
+    }
+  }
+  out.specFingerprint = j.stringAt("spec");
+  out.batch.spec.seeds = static_cast<int>(j.numberAt("seeds"));
+  out.batch.spec.seed0 = static_cast<std::uint64_t>(j.numberAt("seed0"));
+  const Json* perSeed = j.find("per_seed");
+  if (perSeed == nullptr || !perSeed->isArray()) {
+    err = path + ": missing per_seed array";
+    return false;
+  }
+  for (const Json& entry : perSeed->items()) {
+    SeedResult r;
+    if (!seedFromJson(entry, r, err)) {
+      err = path + ": " + err;
+      return false;
+    }
+    out.batch.perSeed.push_back(std::move(r));
+  }
+  return true;
+}
+
+bool writeCampaignReport(const CampaignResult& campaign, const std::string& dir,
+                         std::string& pathOut, std::string& err) {
+  pathOut = dir + "/BENCH_sweep_" + campaign.name + ".json";
+  std::ofstream f(pathOut);
+  f << campaignToJson(campaign).dump() << '\n';
+  f.flush();
+  if (!f.good()) {
+    err = "cannot write campaign report \"" + pathOut + "\"";
+    return false;
+  }
+  return true;
+}
+
+bool writeCampaignCsv(const CampaignResult& campaign, const std::string& path,
+                      std::string& err) {
+  std::ofstream f(path);
+  if (!f) {
+    err = "cannot write campaign CSV \"" + path + "\"";
+    return false;
+  }
+  // Axis columns: union over cells in first-appearance order (cells of
+  // one campaign share the same axis keys).
+  std::vector<std::string> axisKeys;
+  for (const CellResult& cell : campaign.cells) {
+    for (const auto& [key, value] : cell.cell.assignments) {
+      bool seen = false;
+      for (const std::string& have : axisKeys) {
+        if (have == key) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) axisKeys.push_back(key);
+    }
+  }
+  std::vector<std::string> header = {"cell", "label"};
+  for (const std::string& key : axisKeys) header.push_back(key);
+  header.insert(header.end(), {"seed", "metric", "value"});
+  f << csvJoin(header) << '\n';
+
+  for (const CellResult& cell : campaign.cells) {
+    std::vector<std::string> prefix = {std::to_string(cell.cell.index), cell.cell.label};
+    for (const std::string& key : axisKeys) {
+      std::string value;
+      for (const auto& [k, v] : cell.cell.assignments) {
+        if (k == key) {
+          value = v;
+          break;
+        }
+      }
+      prefix.push_back(value);
+    }
+    for (const SeedResult& r : cell.batch.perSeed) {
+      const auto emit = [&](const std::string& metric, double value) {
+        std::vector<std::string> cols = prefix;
+        cols.push_back(std::to_string(r.seed));
+        cols.push_back(metric);
+        cols.push_back(formatDouble(value, 9));
+        f << csvJoin(cols) << '\n';
+      };
+      emit("slots", static_cast<double>(r.slots));
+      emit("decode_rate", r.decodeRate);
+      emit("structure_slots", static_cast<double>(r.structureSlots));
+      emit("delivered", r.delivered ? 1.0 : 0.0);
+      emit("wall_sec", r.wallSec);
+      for (const auto& [name, value] : r.metrics.entries()) emit(name, value);
+    }
+  }
+  f.flush();
+  if (!f.good()) {
+    err = "cannot write campaign CSV \"" + path + "\"";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mcs

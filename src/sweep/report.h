@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+
+#include "sweep/runner.h"
+#include "util/json.h"
+
+/// Campaign serialization: per-cell JSONs (the resume substrate), the
+/// campaign-level BENCH_sweep_<name>.json artifact, and the long-form
+/// CSV.  The JSON layout is locked by a golden-file test; sweep_check
+/// consumes the campaign JSON, so layout changes need a baseline refresh.
+namespace mcs {
+
+/// One cell as JSON: identity (index/label/assignments/scenario), batch
+/// counters, the per-metric summary table, and the per-seed rows.
+[[nodiscard]] Json cellToJson(const CellResult& cell);
+
+/// The whole campaign: name, sweep metadata (base, shard, cell counts),
+/// and every cell of this shard in expansion order.
+[[nodiscard]] Json campaignToJson(const CampaignResult& campaign);
+
+/// Writes one per-cell JSON (parent directory must exist).
+bool writeCellFile(const CellResult& cell, const std::string& path, std::string& err);
+
+/// Parses a per-cell JSON back into a CellResult (batch fully populated,
+/// summaries recomputable).  The inverse of writeCellFile.
+bool loadCellResult(const std::string& path, CellResult& out, std::string& err);
+
+/// Writes `BENCH_sweep_<name>.json` into `dir`; reports the path in
+/// `pathOut`.
+bool writeCampaignReport(const CampaignResult& campaign, const std::string& dir,
+                         std::string& pathOut, std::string& err);
+
+/// Long-form CSV: one row per (cell, seed, metric) with the campaign's
+/// axis keys as leading columns — `cell,label,<axis...>,seed,metric,value`.
+/// Metric names and labels pass through csvEscape.
+bool writeCampaignCsv(const CampaignResult& campaign, const std::string& path,
+                      std::string& err);
+
+}  // namespace mcs

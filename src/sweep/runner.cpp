@@ -1,0 +1,104 @@
+#include "sweep/runner.h"
+
+#include <chrono>
+#include <filesystem>
+
+#include "sweep/report.h"
+
+namespace mcs {
+
+namespace {
+
+double wallNow() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A cached cell is only trusted when it is the very same cell: the
+/// stored complete spec fingerprint must match the freshly expanded spec
+/// (any base/fixed-key/axis edit changes it), with a complete seed batch.
+bool cacheMatches(const CellResult& cached, const SweepCell& cell) {
+  return cached.cell.label == cell.label &&
+         cached.specFingerprint == scenarioToKeyValues(cell.spec) &&
+         static_cast<int>(cached.batch.perSeed.size()) == cell.spec.seeds;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, Summary>> CellResult::summaries() const {
+  std::vector<std::pair<std::string, Summary>> out;
+  out.emplace_back("slots", batch.summarizeSlots());
+  out.emplace_back("decode_rate", batch.summarizeDecodeRate());
+  Summary structure;
+  {
+    std::vector<double> xs;
+    xs.reserve(batch.perSeed.size());
+    for (const SeedResult& r : batch.perSeed) {
+      if (!r.failed()) xs.push_back(static_cast<double>(r.structureSlots));
+    }
+    structure = summarize(xs);
+  }
+  out.emplace_back("structure_slots", structure);
+  out.emplace_back("wall_sec", batch.summarizeWallSec());
+  for (const std::string& name : batch.metricNames()) {
+    out.emplace_back(name, batch.summarizeMetric(name));
+  }
+  return out;
+}
+
+std::string cellFilePath(const std::string& outDir, const std::string& campaign,
+                         int cellIndex) {
+  return outDir + "/sweep_cells/" + campaign + "/cell_" + std::to_string(cellIndex) + ".json";
+}
+
+bool runCampaign(const SweepSpec& spec, const CampaignOptions& opts, CampaignResult& out,
+                 std::string& err) {
+  out = CampaignResult{};
+  out.name = spec.name;
+  out.baseName = spec.baseName;
+  out.description = describeSweep(spec);
+  out.shardIndex = opts.shardIndex;
+  out.shardCount = opts.shardCount;
+
+  std::vector<SweepCell> cells;
+  if (!expandSweep(spec, cells, err)) return false;
+  out.totalCells = static_cast<int>(cells.size());
+
+  const double t0 = wallNow();
+  for (SweepCell& cell : cells) {
+    if (!cellInShard(cell.index, opts.shardIndex, opts.shardCount)) continue;
+    const std::string path = cellFilePath(opts.outDir, spec.name, cell.index);
+
+    if (opts.resume && std::filesystem::exists(path)) {
+      CellResult cached;
+      std::string loadErr;
+      if (loadCellResult(path, cached, loadErr) && cacheMatches(cached, cell)) {
+        cached.cell = cell;  // trust the freshly expanded spec, not the file
+        cached.fromCache = true;
+        if (opts.onCell) opts.onCell(cell, true);
+        out.cells.push_back(std::move(cached));
+        continue;
+      }
+      // Stale or unreadable: fall through and re-run the cell.
+    }
+
+    if (opts.onCell) opts.onCell(cell, false);
+    CellResult res;
+    res.cell = cell;
+    res.batch = runScenarioBatch(cell.spec, opts.threads);
+    if (opts.writeCellFiles) {
+      std::error_code ec;
+      std::filesystem::create_directories(std::filesystem::path(path).parent_path(), ec);
+      std::string writeErr;
+      if (!writeCellFile(res, path, writeErr)) {
+        err = "cell " + std::to_string(cell.index) + ": " + writeErr;
+        return false;
+      }
+    }
+    out.cells.push_back(std::move(res));
+  }
+  out.wallSec = wallNow() - t0;
+  return true;
+}
+
+}  // namespace mcs

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.h"
+#include "sweep/expand.h"
+
+/// The campaign runner: executes a sweep's cells as seed batches via
+/// runScenarioBatch, with deterministic sharding for CI matrices and
+/// resume-by-skipping for interrupted campaigns.
+namespace mcs {
+
+struct CampaignOptions {
+  /// ThreadPool lanes per cell batch (<= 1: sequential seeds).
+  int threads = 1;
+  /// Shard of the cell grid to run (cellInShard); 0/1 = everything.
+  int shardIndex = 0;
+  int shardCount = 1;
+  /// Skip cells whose per-cell JSON already exists under `outDir` and
+  /// still matches the cell (same label / seed batch); mismatched or
+  /// unreadable files are re-run.  Off by default: a fresh campaign
+  /// overwrites stale cell files instead of trusting them.
+  bool resume = false;
+  /// Root for per-cell JSONs (`<outDir>/sweep_cells/<campaign>/cell_<i>.json`).
+  std::string outDir = ".";
+  /// Write per-cell JSONs as cells finish (the resume substrate; also
+  /// what a crashed campaign leaves behind).  Tests turn this off.
+  bool writeCellFiles = true;
+  /// Progress hook, called before each cell runs or is skipped.
+  std::function<void(const SweepCell&, bool cached)> onCell;
+};
+
+/// One executed (or resumed) cell: the cell plus its seed batch.
+struct CellResult {
+  SweepCell cell;
+  /// True when the batch was loaded from a per-cell JSON, not re-run.
+  bool fromCache = false;
+  /// The cell file's stored scenarioToKeyValues fingerprint (set by
+  /// loadCellResult); resume only trusts a file whose fingerprint matches
+  /// the freshly expanded cell exactly.
+  std::string specFingerprint;
+  ScenarioBatchResult batch;
+
+  /// The summary table the reports emit: slots, decode_rate,
+  /// structure_slots, wall_sec, then every named protocol metric.
+  [[nodiscard]] std::vector<std::pair<std::string, Summary>> summaries() const;
+};
+
+/// A campaign run: the shard's cells, in expansion order.
+struct CampaignResult {
+  std::string name;
+  std::string baseName;
+  std::string description;  // describeSweep at run time
+  int totalCells = 0;       // full grid, not just this shard
+  int shardIndex = 0;
+  int shardCount = 1;
+  std::vector<CellResult> cells;
+  double wallSec = 0.0;
+
+  [[nodiscard]] int failures() const noexcept {
+    int f = 0;
+    for (const CellResult& c : cells) f += c.batch.failures();
+    return f;
+  }
+  [[nodiscard]] int cachedCells() const noexcept {
+    int n = 0;
+    for (const CellResult& c : cells) n += c.fromCache ? 1 : 0;
+    return n;
+  }
+};
+
+/// The per-cell JSON path used by resume and by writeCellFiles.
+[[nodiscard]] std::string cellFilePath(const std::string& outDir, const std::string& campaign,
+                                       int cellIndex);
+
+/// Expands and runs the campaign (this shard's cells only).  Returns
+/// false on expansion errors or unwritable cell files; per-seed failures
+/// do NOT fail the run — they are recorded in the batch (check
+/// CampaignResult::failures()).
+bool runCampaign(const SweepSpec& spec, const CampaignOptions& opts, CampaignResult& out,
+                 std::string& err);
+
+}  // namespace mcs

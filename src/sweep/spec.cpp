@@ -1,0 +1,278 @@
+#include "sweep/spec.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/registry.h"
+#include "util/args.h"
+
+namespace mcs {
+
+namespace {
+
+constexpr std::size_t kMaxAxisValues = 10000;
+
+std::string trim(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Formats a generated range value so applyScenarioKey can parse it back:
+/// integral values print without a decimal point (parseLong-compatible),
+/// everything else with shortest round-trip formatting.
+std::string formatAxisValue(double v) {
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+bool expandRange(const std::string& value, std::vector<std::string>& out, std::string& err) {
+  // lo:hi[:step]; step `*k` geometric, `+d` or bare `d` additive.
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = value.find(':', start);
+    parts.push_back(trim(value.substr(start, colon - start)));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (parts.size() < 2 || parts.size() > 3) {
+    err = "range \"" + value + "\": expected lo:hi or lo:hi:step";
+    return false;
+  }
+  double lo = 0.0, hi = 0.0;
+  if (!parseDouble(parts[0], lo) || !parseDouble(parts[1], hi)) {
+    err = "range \"" + value + "\": malformed bound";
+    return false;
+  }
+  if (hi < lo) {
+    err = "range \"" + value + "\": hi < lo";
+    return false;
+  }
+  bool geometric = false;
+  double step = 1.0;
+  if (parts.size() == 3) {
+    std::string s = parts[2];
+    if (!s.empty() && (s[0] == '*' || s[0] == '+')) {
+      geometric = s[0] == '*';
+      s = trim(s.substr(1));
+    }
+    if (!parseDouble(s, step)) {
+      err = "range \"" + value + "\": malformed step \"" + parts[2] + "\"";
+      return false;
+    }
+  }
+  if (geometric) {
+    if (step <= 1.0 || lo <= 0.0) {
+      err = "range \"" + value + "\": geometric step needs factor > 1 and lo > 0";
+      return false;
+    }
+  } else if (step <= 0.0) {
+    err = "range \"" + value + "\": additive step must be > 0";
+    return false;
+  }
+  // Inclusive upper bound with a relative epsilon so 1:8:*2 hits 8 and
+  // 0:1:0.1 hits 1 despite accumulated rounding.
+  const double slack = 1e-9 * std::max(1.0, std::abs(hi));
+  for (double v = lo; v <= hi + slack; v = geometric ? v * step : v + step) {
+    out.push_back(formatAxisValue(v));
+    if (out.size() > kMaxAxisValues) {
+      err = "range \"" + value + "\": expands to more than " +
+            std::to_string(kMaxAxisValues) + " values";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Builds the assignment a `key = value` line describes (Fixed, or an
+/// Axis/Zip for the sweep./zip. prefixes).  Validates the key name (not
+/// the values: enum/range validity can depend on the rest of the cell)
+/// by probing a scratch copy of the base.
+bool makeAssignment(const SweepSpec& spec, const std::string& key, const std::string& value,
+                    SweepAssignment& a, std::string& err) {
+  a = SweepAssignment{};
+  std::string scenarioKey = key;
+  if (key.rfind("sweep.", 0) == 0) {
+    a.kind = SweepAssignKind::Axis;
+    scenarioKey = key.substr(6);
+  } else if (key.rfind("zip.", 0) == 0) {
+    a.kind = SweepAssignKind::Zip;
+    scenarioKey = key.substr(4);
+  }
+  if (scenarioKey.empty()) {
+    err = "key \"" + key + "\": missing scenario key after the prefix";
+    return false;
+  }
+  a.key = scenarioKey;
+  if (a.kind == SweepAssignKind::Fixed) {
+    a.values = {value};
+  } else if (!parseAxisValues(value, a.values, err)) {
+    err = "key \"" + key + "\": " + err;
+    return false;
+  }
+  ScenarioSpec scratch = spec.base;
+  std::string probeErr;
+  if (!applyScenarioKey(scratch, a.key, a.values.front(), probeErr) &&
+      probeErr.rfind("unknown scenario key", 0) == 0) {
+    err = "key \"" + key + "\": " + probeErr;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> SweepSpec::axisKeys() const {
+  std::vector<std::string> keys;
+  for (const SweepAssignment& a : assignments) {
+    if (a.kind != SweepAssignKind::Fixed) keys.push_back(a.key);
+  }
+  return keys;
+}
+
+bool parseAxisValues(const std::string& value, std::vector<std::string>& out,
+                     std::string& err) {
+  out.clear();
+  if (value.find(':') != std::string::npos) return expandRange(value, out, err);
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = value.find(',', start);
+    const std::string item = trim(value.substr(start, comma - start));
+    if (item.empty()) {
+      err = "axis \"" + value + "\": empty element";
+      return false;
+    }
+    out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
+
+bool applySweepKey(SweepSpec& spec, const std::string& key, const std::string& value,
+                   const std::string& baseDir, std::string& err) {
+  if (key == "name") {
+    spec.name = value;
+    return true;
+  }
+  if (key == "base") {
+    if (!ScenarioRegistry::find(value, spec.base)) {
+      err = "unknown base preset \"" + value + "\"";
+      return false;
+    }
+    spec.baseName = value;
+    return true;
+  }
+  if (key == "base_file") {
+    std::filesystem::path p(value);
+    if (p.is_relative() && !baseDir.empty()) p = std::filesystem::path(baseDir) / p;
+    if (!loadScenarioFile(spec.base, p.string(), err)) return false;
+    spec.baseName = value;
+    return true;
+  }
+
+  SweepAssignment a;
+  if (!makeAssignment(spec, key, value, a, err)) return false;
+  for (const SweepAssignment& have : spec.assignments) {
+    if (have.key == a.key) {
+      err = "key \"" + key + "\": scenario key \"" + a.key + "\" assigned twice";
+      return false;
+    }
+  }
+  spec.assignments.push_back(std::move(a));
+  return true;
+}
+
+bool applySweepOverride(SweepSpec& spec, const std::string& key, const std::string& value,
+                        std::string& err) {
+  if (key == "name" || key == "base" || key == "base_file") {
+    return applySweepKey(spec, key, value, "", err);
+  }
+  SweepAssignment a;
+  if (!makeAssignment(spec, key, value, a, err)) return false;
+  // Replace in place: the assignment keeps its declared position, so
+  // file-order application (and the cell index/label order) survives the
+  // override — an erase-and-append would silently reorder both.
+  for (SweepAssignment& have : spec.assignments) {
+    if (have.key == a.key) {
+      have = std::move(a);
+      return true;
+    }
+  }
+  spec.assignments.push_back(std::move(a));
+  return true;
+}
+
+bool parseSweepText(SweepSpec& spec, const std::string& text, const std::string& sourceName,
+                    const std::string& baseDir, std::string& err) {
+  std::istringstream in(text);
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      err = sourceName + ":" + std::to_string(lineNo) + ": expected `key = value`, got \"" +
+            line + "\"";
+      return false;
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      err = sourceName + ":" + std::to_string(lineNo) + ": empty key or value";
+      return false;
+    }
+    std::string keyErr;
+    if (!applySweepKey(spec, key, value, baseDir, keyErr)) {
+      err = sourceName + ":" + std::to_string(lineNo) + ": " + keyErr;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool loadSweepFile(SweepSpec& spec, const std::string& path, std::string& err) {
+  std::ifstream f(path);
+  if (!f) {
+    err = "cannot open sweep file \"" + path + "\"";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parseSweepText(spec, buf.str(), path,
+                        std::filesystem::path(path).parent_path().string(), err);
+}
+
+std::string describeSweep(const SweepSpec& spec) {
+  std::ostringstream os;
+  os << spec.name << ": base=" << (spec.baseName.empty() ? "(defaults)" : spec.baseName);
+  std::size_t zipLen = 0;
+  std::string zipKeys;
+  for (const SweepAssignment& a : spec.assignments) {
+    if (a.kind == SweepAssignKind::Axis) {
+      os << " " << a.key << "[" << a.values.size() << "]";
+    } else if (a.kind == SweepAssignKind::Zip) {
+      if (!zipKeys.empty()) zipKeys += "+";
+      zipKeys += a.key;
+      zipLen = std::max(zipLen, a.values.size());
+    }
+  }
+  if (!zipKeys.empty()) os << " zip(" << zipKeys << ")[" << zipLen << "]";
+  return os.str();
+}
+
+}  // namespace mcs

@@ -51,15 +51,26 @@ Args::Args(int argc, const char* const* argv) {
     token.erase(0, 2);
     const auto eq = token.find('=');
     if (eq != std::string::npos) {
-      named_[token.substr(0, eq)] = token.substr(eq + 1);
+      setNamed(token.substr(0, eq), token.substr(eq + 1));
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      named_[token] = argv[++i];
+      setNamed(std::move(token), argv[++i]);
     } else {
       // std::string{"1"} (not = "1") sidesteps a GCC 12 -Wrestrict false
       // positive in libstdc++'s char* assignment under -O2.
-      named_[token] = std::string{"1"};
+      setNamed(std::move(token), std::string{"1"});
     }
   }
+}
+
+void Args::setNamed(std::string name, std::string value) {
+  named_[name] = value;
+  for (auto& [have, existing] : namedOrdered_) {
+    if (have == name) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  namedOrdered_.emplace_back(std::move(name), std::move(value));
 }
 
 bool Args::has(const std::string& name) const { return named_.count(name) > 0; }

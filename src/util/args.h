@@ -2,6 +2,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 /// Minimal command-line flag parser for examples and experiment binaries.
@@ -38,10 +39,22 @@ class Args {
   [[nodiscard]] const std::map<std::string, std::string>& named() const noexcept {
     return named_;
   }
+  /// The same pairs in command-line order (a repeated flag keeps its
+  /// first position with the last value, matching named()).  Scenario and
+  /// sweep overrides apply in this order, because key order is
+  /// load-bearing there (`--sweep.alpha=... --range=0.8` must rescale
+  /// with the overridden alpha).
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& namedOrdered()
+      const noexcept {
+    return namedOrdered_;
+  }
 
  private:
+  void setNamed(std::string name, std::string value);
+
   std::string program_;
   std::map<std::string, std::string> named_;
+  std::vector<std::pair<std::string, std::string>> namedOrdered_;
   std::vector<std::string> positional_;
 };
 

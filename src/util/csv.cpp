@@ -8,7 +8,7 @@ CsvWriter::CsvWriter(const std::string& path) : out_(path), toFile_(true) {
   if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
 }
 
-std::string CsvWriter::escape(const std::string& field) {
+std::string csvEscape(const std::string& field) {
   const bool needsQuote =
       field.find_first_of(",\"\n\r") != std::string::npos;
   if (!needsQuote) return field;
@@ -21,13 +21,20 @@ std::string CsvWriter::escape(const std::string& field) {
   return quoted;
 }
 
+std::string csvJoin(const std::vector<std::string>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) line += ',';
+    line += csvEscape(fields[i]);
+  }
+  return line;
+}
+
+std::string CsvWriter::escape(const std::string& field) { return csvEscape(field); }
+
 void CsvWriter::writeLine(const std::vector<std::string>& values) {
   if (!toFile_) return;
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << escape(values[i]);
-  }
-  out_ << '\n';
+  out_ << csvJoin(values) << '\n';
 }
 
 void CsvWriter::header(const std::vector<std::string>& names) { writeLine(names); }

@@ -7,6 +7,16 @@
 /// Minimal CSV writer for experiment outputs.
 namespace mcs {
 
+/// Escapes one CSV field per RFC 4180: fields containing commas, quotes,
+/// or line breaks are quoted with embedded quotes doubled.  Shared by
+/// CsvWriter and by the sweep campaign reports, so metric names and
+/// preset descriptions with punctuation survive a round trip through any
+/// CSV reader.
+[[nodiscard]] std::string csvEscape(const std::string& field);
+
+/// Joins already-unescaped fields into one CSV line (no trailing newline).
+[[nodiscard]] std::string csvJoin(const std::vector<std::string>& fields);
+
 /// Writes rows to a CSV file (or keeps them in memory if no path given).
 /// Values containing commas/quotes/newlines are quoted per RFC 4180.
 class CsvWriter {

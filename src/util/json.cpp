@@ -1,0 +1,312 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mcs {
+
+void Json::set(const std::string& key, Json v) {
+  type_ = Type::Object;
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+}
+
+const Json* Json::find(const std::string& key) const noexcept {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void appendNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+/// Recursive-descent parser over a char range.  Depth-limited so a
+/// pathological input cannot overflow the stack.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string& err) : s_(text), err_(err) {}
+
+  bool run(Json& out) {
+    skipWs();
+    if (!value(out, 0)) return false;
+    skipWs();
+    if (pos_ != s_.size()) return fail("trailing characters after JSON value");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& what) {
+    err_ = "JSON parse error at offset " + std::to_string(pos_) + ": " + what;
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool peekIs(char c) const { return pos_ < s_.size() && s_[pos_] == c; }
+
+  bool expect(char c) {
+    if (!peekIs(c)) return fail(std::string("expected '") + c + "'");
+    ++pos_;
+    return true;
+  }
+
+  bool literal(const char* word, Json v, Json& out) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return fail("bad literal");
+    }
+    out = std::move(v);
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          // The reports only ever escape control characters; encode the
+          // code point as UTF-8 without surrogate-pair handling.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(Json& out) {
+    const std::size_t start = pos_;
+    if (peekIs('-')) ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    double v = 0.0;
+    const auto res = std::from_chars(s_.data() + start, s_.data() + pos_, v);
+    if (res.ec != std::errc() || res.ptr != s_.data() + pos_) return fail("malformed number");
+    out = Json(v);
+    return true;
+  }
+
+  bool value(Json& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    switch (c) {
+      case '{': return object(out, depth);
+      case '[': return array(out, depth);
+      case '"': {
+        std::string s;
+        if (!string(s)) return false;
+        out = Json(std::move(s));
+        return true;
+      }
+      case 't': return literal("true", Json(true), out);
+      case 'f': return literal("false", Json(false), out);
+      case 'n': return literal("null", Json(), out);
+      default: return number(out);
+    }
+  }
+
+  bool object(Json& out, int depth) {
+    ++pos_;  // '{'
+    out = Json::object();
+    skipWs();
+    if (peekIs('}')) {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      std::string key;
+      if (!string(key)) return false;
+      skipWs();
+      if (!expect(':')) return false;
+      skipWs();
+      Json v;
+      if (!value(v, depth + 1)) return false;
+      out.set(key, std::move(v));
+      skipWs();
+      if (peekIs(',')) {
+        ++pos_;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+
+  bool array(Json& out, int depth) {
+    ++pos_;  // '['
+    out = Json::array();
+    skipWs();
+    if (peekIs(']')) {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      Json v;
+      if (!value(v, depth + 1)) return false;
+      out.push_back(std::move(v));
+      skipWs();
+      if (peekIs(',')) {
+        ++pos_;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+
+  const std::string& s_;
+  std::string& err_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void Json::dumpTo(std::string& out) const {
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Number: appendNumber(out, number_); break;
+    case Type::String: appendEscaped(out, string_); break;
+    case Type::Array:
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ", ";
+        items_[i].dumpTo(out);
+      }
+      out += ']';
+      break;
+    case Type::Object:
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ", ";
+        appendEscaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.dumpTo(out);
+      }
+      out += '}';
+      break;
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dumpTo(out);
+  return out;
+}
+
+bool Json::parse(const std::string& text, Json& out, std::string& err) {
+  return Parser(text, err).run(out);
+}
+
+bool Json::parseFile(const std::string& path, Json& out, std::string& err) {
+  std::ifstream f(path);
+  if (!f) {
+    err = "cannot open \"" + path + "\"";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  if (!Json::parse(buf.str(), out, err)) {
+    err = path + ": " + err;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mcs

@@ -20,6 +20,24 @@ void OnlineStats::add(double x) noexcept {
   m2_ += delta * (x - mean_);
 }
 
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double OnlineStats::variance() const noexcept {
   if (n_ < 2) return 0.0;
   return m2_ / static_cast<double>(n_ - 1);
@@ -27,15 +45,28 @@ double OnlineStats::variance() const noexcept {
 
 double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
 
-double quantile(std::vector<double> xs, double q) {
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
+namespace {
+
+/// The q-quantile of an already sorted, non-empty sample.
+double quantileSorted(const std::vector<double>& xs, double q) {
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, xs.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  return quantileSorted(xs, q);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  return quantile(std::move(xs), p / 100.0);
 }
 
 Summary summarize(const std::vector<double>& xs) {
@@ -47,7 +78,13 @@ Summary summarize(const std::vector<double>& xs) {
   s.stddev = acc.stddev();
   s.min = acc.min();
   s.max = acc.max();
-  s.median = quantile(xs, 0.5);
+  // One sort for both percentiles.
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  if (!sorted.empty()) {
+    s.median = quantileSorted(sorted, 0.5);
+    s.p95 = quantileSorted(sorted, 0.95);
+  }
   return s;
 }
 

@@ -12,6 +12,12 @@ class OnlineStats {
  public:
   void add(double x) noexcept;
 
+  /// Folds another accumulator in (Chan's parallel update), as if every
+  /// sample of `other` had been add()ed here.  Order-independent up to
+  /// floating-point rounding, so independently filled accumulators (e.g.
+  /// per-shard or per-thread) can be combined after the fact.
+  void merge(const OnlineStats& other) noexcept;
+
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
@@ -34,13 +40,22 @@ class OnlineStats {
 /// `xs` is copied and sorted; empty input yields 0.
 [[nodiscard]] double quantile(std::vector<double> xs, double q);
 
-/// Five-number-ish summary of a sample, handy for bench tables.
+/// The p-th percentile (p in [0,100]); quantile() scaled the way bench
+/// tables and sweep summaries label it (p50, p95, ...).
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// Five-number-ish summary of a sample, handy for bench tables.  The
+/// median is the 50th percentile; p95 is the sweep engine's tail
+/// statistic.  Both linearly interpolate between order statistics, so for
+/// small samples p95 lands between the two largest values (p95 of {1, 2}
+/// is 1.95), reaching max only at p100.
 struct Summary {
   std::size_t count = 0;
   double mean = 0.0;
   double stddev = 0.0;
   double min = 0.0;
   double median = 0.0;
+  double p95 = 0.0;
   double max = 0.0;
 };
 

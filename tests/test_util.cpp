@@ -125,6 +125,95 @@ TEST(OnlineStats, KnownValues) {
   EXPECT_EQ(s.count(), 8u);
 }
 
+TEST(OnlineStats, WelfordMatchesTwoPass) {
+  // Welford's single-pass variance must agree with the textbook two-pass
+  // computation to 1e-12 relative, including on badly conditioned data
+  // (large mean, small spread).
+  Rng rng(77);
+  for (const double offset : {0.0, 100.0, 1e6}) {
+    OnlineStats s;
+    std::vector<double> xs;
+    for (int i = 0; i < 5000; ++i) {
+      const double x = offset + rng.uniform(-1.0, 1.0);
+      xs.push_back(x);
+      s.add(x);
+    }
+    double mean = 0.0;
+    for (const double x : xs) mean += x;
+    mean /= static_cast<double>(xs.size());
+    double m2 = 0.0;
+    for (const double x : xs) m2 += (x - mean) * (x - mean);
+    const double twoPass = m2 / static_cast<double>(xs.size() - 1);
+    // Both algorithms lose digits as the condition number mean/stddev
+    // grows; scale the 1e-12 bound accordingly (it is exact-tight for the
+    // well-conditioned cases).
+    const double kappa = std::max(1.0, std::abs(mean));
+    EXPECT_NEAR(s.mean(), mean, 1e-12 * kappa);
+    EXPECT_NEAR(s.variance(), twoPass, 1e-12 * std::max(1.0, twoPass) * kappa);
+  }
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Rng rng(5);
+  OnlineStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10.0, 10.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12 * whole.variance());
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+  EXPECT_NEAR(left.sum(), whole.sum(), 1e-9 * std::abs(whole.sum()));
+
+  // Merging into/from empty accumulators is the identity.
+  OnlineStats empty;
+  OnlineStats copy = whole;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), whole.count());
+  EXPECT_DOUBLE_EQ(copy.mean(), whole.mean());
+  empty.merge(whole);
+  EXPECT_EQ(empty.count(), whole.count());
+  EXPECT_DOUBLE_EQ(empty.variance(), whole.variance());
+}
+
+TEST(Percentile, EdgeCases) {
+  // n = 1: every percentile is the single sample.
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 50.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 100.0), 42.0);
+  // Ties collapse to the tied value.
+  EXPECT_DOUBLE_EQ(percentile({3.0, 3.0, 3.0, 3.0}, 95.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 3.0, 3.0, 3.0, 9.0}, 50.0), 3.0);
+  // p0 / p100 are min / max regardless of input order.
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 9.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 9.0}, 100.0), 9.0);
+  // Out-of-range p clamps; empty input yields 0.
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 150.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  // Interpolation between order statistics.
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 75.0), 7.5);
+}
+
+TEST(Summary, PercentileFields) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_NEAR(s.p95, 95.05, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  // Tiny samples: p95 interpolates toward the max.
+  const Summary two = summarize({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(two.p95, 1.95);
+  const Summary empty = summarize({});
+  EXPECT_DOUBLE_EQ(empty.p95, 0.0);
+}
+
 TEST(Quantile, Basics) {
   const std::vector<double> xs{1, 2, 3, 4, 5};
   EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
@@ -166,6 +255,17 @@ TEST(Csv, Escape) {
   EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
   EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
   EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, SharedEscapeAndJoin) {
+  // The free functions are the one escaping implementation shared by
+  // CsvWriter and the sweep reports (metric names and preset
+  // descriptions may contain commas/quotes).
+  EXPECT_EQ(csvEscape("agg_value"), "agg_value");
+  EXPECT_EQ(csvEscape("slots, total"), "\"slots, total\"");
+  EXPECT_EQ(csvEscape("the \"naive\" bound"), "\"the \"\"naive\"\" bound\"");
+  EXPECT_EQ(csvJoin({"a", "b,c", "d\"e\""}), "a,\"b,c\",\"d\"\"e\"\"\"");
+  EXPECT_EQ(csvJoin({}), "");
 }
 
 TEST(Csv, RowCounting) {
@@ -211,6 +311,19 @@ TEST(Args, BoolSpellings) {
   EXPECT_FALSE(args.getBool("b"));
   EXPECT_TRUE(args.getBool("c"));
   EXPECT_FALSE(args.getBool("d"));
+}
+
+TEST(Args, NamedOrderedPreservesCommandLineOrder) {
+  // Scenario/sweep overrides apply in this order, where key order is
+  // load-bearing (e.g. --range after --alpha); std::map order is not it.
+  const char* argv[] = {"prog", "--zeta=1", "--alpha=2", "--zeta=3", "--beta", "4"};
+  Args args(6, argv);
+  const auto& ordered = args.namedOrdered();
+  ASSERT_EQ(ordered.size(), 3u);
+  EXPECT_EQ(ordered[0], (std::pair<std::string, std::string>{"zeta", "3"}));
+  EXPECT_EQ(ordered[1], (std::pair<std::string, std::string>{"alpha", "2"}));
+  EXPECT_EQ(ordered[2], (std::pair<std::string, std::string>{"beta", "4"}));
+  EXPECT_EQ(args.get("zeta"), "3");  // named() agrees on the value
 }
 
 TEST(Args, NamedExposesAllFlags) {
