@@ -3,13 +3,17 @@
 //   scenario_runner --list
 //   scenario_runner --scenario=<preset> [--seeds=K] [--seed0=S] [overrides]
 //   scenario_runner --file=spec.txt [overrides]
+//   scenario_runner --scenario=<preset> [overrides] --print-spec
 //
 // Spec resolution order: preset (--scenario) -> scenario file (--file) ->
 // any other --key=value flag as a spec override (unknown keys abort; see
 // scenario/spec.h for the key list).  Runner-owned flags: --list, --file,
 // --scenario, --threads (batch lanes), --out-dir (report directory; the
 // deterministic BENCH_scenario_<name>.json lands there instead of the
-// cwd; --out is a compatibility alias), --csv (per-seed CSV path).
+// cwd; --out is a compatibility alias), --csv (per-seed CSV path), and
+// --print-spec (echo the fully-resolved spec as canonical `key = value`
+// lines and exit without running — what a sweep cell or a preset plus
+// overrides actually resolves to).
 //
 // Every ProtocolKind runs through its ProtocolDriver, so one CLI covers
 // all ten workloads (`--protocol=coloring`, `--protocol=ruling_set`,
@@ -35,6 +39,10 @@ int main(int argc, char** argv) {
     for (const ScenarioPresetInfo& info : ScenarioRegistry::list()) {
       std::printf("%-20s %s\n", info.name.c_str(), info.description.c_str());
     }
+    std::printf("\nmobility models (the `mobility` scenario key):\n");
+    for (const MobilityModelInfo& info : mobilityModelList()) {
+      std::printf("  %-18s %s\n", info.name, info.description);
+    }
     return 0;
   }
 
@@ -52,9 +60,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 2;
   }
-  if (!applyScenarioArgs(spec, args,
-                         {"list", "scenario", "file", "threads", "out", "out-dir", "csv"},
-                         err)) {
+  if (!applyScenarioArgs(
+          spec, args,
+          {"list", "scenario", "file", "threads", "out", "out-dir", "csv", "print-spec"},
+          err)) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 2;
   }
@@ -62,6 +71,12 @@ int main(int argc, char** argv) {
   if (!invalid.empty()) {
     std::fprintf(stderr, "invalid scenario: %s\n", invalid.c_str());
     return 2;
+  }
+
+  if (args.getBool("print-spec")) {
+    // The canonical serialization: feed it back via --file to reproduce.
+    std::fputs(scenarioToKeyValues(spec).c_str(), stdout);
+    return 0;
   }
 
   const int threads = static_cast<int>(args.getInt(

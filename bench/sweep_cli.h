@@ -18,8 +18,8 @@ namespace mcs::bench {
 /// is applied as a sweep override (fixed value, or a sweep./zip. axis).
 inline const std::vector<std::string>& sweepReservedFlags() {
   static const std::vector<std::string> kReserved = {
-      "list", "cells", "sweep", "preset", "shard", "threads", "out-dir", "out", "csv",
-      "resume"};
+      "list", "cells", "dry-run", "sweep", "preset", "shard", "threads", "out-dir", "out",
+      "csv", "resume"};
   return kReserved;
 }
 
@@ -63,16 +63,30 @@ inline int runSweepCampaignCli(const SweepSpec& spec, const Args& args,
     return 2;
   }
 
-  if (args.getBool("cells")) {
+  if (args.getBool("cells") || args.getBool("dry-run")) {
     std::vector<SweepCell> cells;
     if (!expandSweep(spec, cells, err)) {
       std::fprintf(stderr, "%s\n", err.c_str());
       return 2;
     }
+    const bool dryRun = args.getBool("dry-run");
     for (const SweepCell& cell : cells) {
       std::printf("%-6d %-5s %s\n", cell.index,
                   cellInShard(cell.index, opts.shardIndex, opts.shardCount) ? "run" : "skip",
                   cell.label.c_str());
+      if (dryRun) {
+        // The fully-resolved cell spec, indented: exactly what the seed
+        // batch would run (debug sweep files without paying for a run).
+        const std::string kv = scenarioToKeyValues(cell.spec);
+        std::size_t lineStart = 0;
+        while (lineStart < kv.size()) {
+          std::size_t lineEnd = kv.find('\n', lineStart);
+          if (lineEnd == std::string::npos) lineEnd = kv.size();
+          std::printf("       %.*s\n", static_cast<int>(lineEnd - lineStart),
+                      kv.c_str() + lineStart);
+          lineStart = lineEnd + 1;
+        }
+      }
     }
     return 0;
   }

@@ -9,10 +9,12 @@
 // sweep./zip. axis; overrides replace same-key assignments, so
 // `--preset=e2_scaling --seeds=1` shrinks the campaign).  Runner-owned
 // flags: --list, --cells (print the expansion and shard membership
-// without running), --shard=i/k (deterministic cell partition for CI
-// matrices), --threads (batch lanes per cell), --out-dir (report + cell
-// JSON root), --csv (long-form CSV path), --resume (skip cells whose
-// cell JSON already exists).
+// without running), --dry-run (like --cells plus each cell's fully
+// resolved `key = value` scenario — debug a sweep file without running
+// it), --shard=i/k (deterministic cell partition for CI matrices),
+// --threads (batch lanes per cell), --out-dir (report + cell JSON root),
+// --csv (long-form CSV path), --resume (skip cells whose cell JSON
+// already exists).
 //
 // Output: BENCH_sweep_<name>.json (per-cell summary statistics over every
 // named metric and wall time, plus per-seed rows) and a long-form CSV —
@@ -45,7 +47,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: sweep_runner --list | --preset=<name> | --sweep=<file> "
                  "[--shard=i/k] [--threads=N] [--out-dir=DIR] [--csv=PATH] [--resume] "
-                 "[--cells] [overrides]\n");
+                 "[--cells] [--dry-run] [overrides]\n");
     return 2;
   }
   if (!preset.empty() && !SweepRegistry::find(preset, spec, err)) {

@@ -17,15 +17,21 @@ cd build
 mkdir -p bench-artifacts
 (cd bench-artifacts && ../bench/bench_medium --budget=0.05)
 
-# --list prints `name  description`; the first column is the preset name.
+# --list prints `name  description`, one preset per line, then a blank
+# line and the mobility-model list; the preset names are the first column
+# of the first block only.
 ./bench/scenario_runner --list
-presets=$(./bench/scenario_runner --list | awk '{print $1}')
+presets=$(./bench/scenario_runner --list | awk 'NF == 0 { exit } { print $1 }')
 
-# The registry must keep at least one preset per ProtocolKind, so the
-# smoke loop below exercises every protocol driver end-to-end.
+# The registry must keep at least one preset per ProtocolKind — static
+# AND mobile — so the smoke loop below exercises every protocol driver
+# end-to-end on both static and dynamic topologies.
 for required in uniform_square corridor aloha_patch exponential_chain \
                 coloring_patch cluster_palette csa_patch ruling_field \
-                dominators chain_lowerbound; do
+                dominators chain_lowerbound \
+                mobile_agg_max mobile_agg_sum mobile_aloha mobile_structure \
+                mobile_coloring mobile_palette mobile_csa mobile_ruling \
+                mobile_dominators mobile_chain mobile_nearfar; do
   echo "${presets}" | grep -qx "${required}" \
     || { echo "FAIL: registry is missing required preset ${required}"; exit 1; }
 done
@@ -44,6 +50,14 @@ done
 ./bench/sweep_runner --sweep=../sweeps/smoke.sweep --out-dir=bench-artifacts --threads=2
 ./bench/sweep_check --baseline=../sweeps/baseline.json \
   --candidate=bench-artifacts/BENCH_sweep_smoke.json --metric-tol=0.2 --wall-tol=9
+
+# The E10 mobility campaign's smoke slice (one seed per cell) behind the
+# same gate: drift metrics and re-delivery are deterministic per seed, so
+# any mean moving against sweeps/e10_baseline.json is a real change.
+./bench/sweep_runner --sweep=../sweeps/e10_mobility.sweep --seeds=1 \
+  --out-dir=bench-artifacts --threads=2
+./bench/sweep_check --baseline=../sweeps/e10_baseline.json \
+  --candidate=bench-artifacts/BENCH_sweep_e10_mobility.json --metric-tol=0.2 --wall-tol=9
 
 for report in bench-artifacts/BENCH_*.json; do
   if [ ! -s "${report}" ] || grep -qE '"(rows|cells)": \[\]' "${report}"; then

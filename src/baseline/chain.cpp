@@ -12,22 +12,24 @@ double chainBetaThreshold(double alpha) noexcept { return std::pow(2.0, 1.0 / al
 
 ChainSlotStats chainConcurrency(const Network& net, int numChannels, int trials,
                                 std::uint64_t seed) {
+  Simulator sim(net, numChannels, seed);
+  return chainConcurrency(sim, trials);
+}
+
+ChainSlotStats chainConcurrency(Simulator& sim, int trials) {
   ChainSlotStats stats;
   stats.trials = trials;
-  Simulator sim(net, numChannels, seed);
-  const int n = net.size();
+  const int numChannels = sim.numChannels();
 
   long totalSuccesses = 0;
   long totalDescending = 0;
   std::set<NodeId> descendingSenders;
   for (int t = 0; t < trials; ++t) {
-    std::vector<char> tx(static_cast<std::size_t>(n), 0);
     int successes = 0;
     sim.step(
         [&](NodeId v) -> Intent {
           const auto c = static_cast<ChannelId>(v % numChannels);
           if (sim.rng(v).bernoulli(0.5)) {
-            tx[static_cast<std::size_t>(v)] = 1;
             Message m;
             m.type = MsgType::Data;
             m.src = v;
@@ -38,7 +40,10 @@ ChainSlotStats chainConcurrency(const Network& net, int numChannels, int trials,
         [&](NodeId v, const Reception& r) {
           if (!r.received) return;
           ++successes;
-          if (net.position(v).x < net.position(r.msg.src).x) {
+          // Current positions: under mobility the descending direction is
+          // judged where the nodes are, not where they started.
+          const std::span<const Vec2> pos = sim.positions();
+          if (pos[static_cast<std::size_t>(v)].x < pos[static_cast<std::size_t>(r.msg.src)].x) {
             descendingSenders.insert(r.msg.src);
           }
         });

@@ -47,6 +47,15 @@ struct ChainSlotStats {
 ChainSlotStats chainConcurrency(const Network& net, int numChannels, int trials,
                                 std::uint64_t seed);
 
+class Simulator;
+
+/// Same sampling driven through a caller-owned Simulator: each trial is
+/// one sim.step(), so attached topology dynamics (churn gating senders,
+/// drifting positions) apply to the sampled slots and the caller's drift
+/// metrics cover them.  The net/seed overload above delegates here with a
+/// fresh Simulator, so its draws and results are unchanged.
+ChainSlotStats chainConcurrency(Simulator& sim, int trials);
+
 /// The beta threshold 2^(1/alpha) above which the single-success property
 /// is guaranteed on the exponential chain.
 [[nodiscard]] double chainBetaThreshold(double alpha) noexcept;

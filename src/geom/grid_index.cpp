@@ -34,15 +34,22 @@ void GridIndex::rebuild(std::span<const Vec2> points, double cellSize) {
   ny_ = static_cast<long>(std::floor((maxY - minY_) / cellSize_)) + 1;
   cells_ = static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
 
-  // Counting sort of points into cells (CSR layout).
-  start_.assign(cells_ + 1, 0);
   cellOfPoint_.resize(points_.size());
   for (std::size_t i = 0; i < points_.size(); ++i) {
-    const auto [cx, cy] = cellOf(points_[i]);
-    const long cell = cellIndex(cx, cy);
+    const long cell = cellIndex(cellOf(points_[i]).first, cellOf(points_[i]).second);
     assert(cell >= 0);
     cellOfPoint_[i] = cell;
-    ++start_[static_cast<std::size_t>(cell) + 1];
+  }
+  fillCells();
+}
+
+void GridIndex::fillCells() {
+  // Counting sort of points into cells (CSR layout) from cellOfPoint_,
+  // preserving id order per cell.  Shared by rebuild() and update() so
+  // the layout cannot diverge between the two paths.
+  start_.assign(cells_ + 1, 0);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    ++start_[static_cast<std::size_t>(cellOfPoint_[i]) + 1];
   }
   for (std::size_t c = 0; c < cells_; ++c) start_[c + 1] += start_[c];
   ids_.resize(points_.size());
@@ -50,6 +57,44 @@ void GridIndex::rebuild(std::span<const Vec2> points, double cellSize) {
   for (std::size_t i = 0; i < points_.size(); ++i) {
     ids_[cursor_[static_cast<std::size_t>(cellOfPoint_[i])]++] = static_cast<NodeId>(i);
   }
+}
+
+void GridIndex::ensure(std::span<const Vec2> points, double cellSize) {
+  if (points_.size() != points.size() || cellSize_ != cellSize) {
+    rebuild(points, cellSize);
+  } else {
+    update(points);
+  }
+}
+
+bool GridIndex::update(std::span<const Vec2> points) {
+  if (points.size() != points_.size() || cells_ == 0) {
+    rebuild(points, cellSize_ > 0.0 ? cellSize_ : 1.0);
+    return false;
+  }
+  // Pass 1: recompute cell assignments against the retained geometry.
+  // Any point outside the original bounding box forces the fallback (the
+  // box must re-anchor, which moves every cell).
+  newCellOf_.resize(points.size());
+  bool moved = false;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto [cx, cy] = cellOf(points[i]);
+    const long cell = cellIndex(cx, cy);
+    if (cell < 0) {
+      rebuild(points, cellSize_);
+      return false;
+    }
+    newCellOf_[i] = cell;
+    moved = moved || cell != cellOfPoint_[i];
+  }
+  points_.assign(points.begin(), points.end());
+  if (!moved) return true;  // same partition: positions refreshed in place
+
+  // Pass 2: move points between cells — a counting re-sort over the
+  // retained grid (no bounding-box rescan).
+  cellOfPoint_.swap(newCellOf_);
+  fillCells();
+  return true;
 }
 
 std::pair<long, long> GridIndex::cellOf(Vec2 p) const noexcept {

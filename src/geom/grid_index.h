@@ -24,6 +24,24 @@ class GridIndex {
   /// buffers' capacity (for callers that rebuild every slot).
   void rebuild(std::span<const Vec2> points, double cellSize);
 
+  /// Incremental re-index over a same-size point set with bounded drift
+  /// (the mobility hot path): grid geometry (origin, extents, cell size)
+  /// is retained and only points whose cell assignment changed are moved
+  /// between cells — when nothing moved cells, the update is a position
+  /// copy.  Falls back to a full rebuild (returning false) when the point
+  /// count changed, the index is empty, or any point left the original
+  /// bounding box.  Either way the index is valid afterwards and query
+  /// results are identical to a fresh rebuild over `points` (cell
+  /// partitions may differ after a fallback re-anchors the box; ball
+  /// queries never do).
+  bool update(std::span<const Vec2> points);
+
+  /// Persistent-index maintenance in one call: rebuild() when the point
+  /// count or cell size changed, update() otherwise.  The idiom of every
+  /// per-slot mobility consumer (Medium's dynamic NearFar grid, the
+  /// drift-metric sampler).
+  void ensure(std::span<const Vec2> points, double cellSize);
+
   /// Appends the ids of all points within distance `radius` of `center`
   /// (inclusive) to `out`.  `out` is cleared first.
   void queryBall(Vec2 center, double radius, std::vector<NodeId>& out) const;
@@ -82,10 +100,20 @@ class GridIndex {
     return points_[static_cast<std::size_t>(id)];
   }
 
+  /// Flat cell index of an indexed point (valid after rebuild/update).
+  [[nodiscard]] long cellOfId(NodeId id) const noexcept {
+    return cellOfPoint_[static_cast<std::size_t>(id)];
+  }
+  /// (cx, cy) coordinates of a flat cell index.
+  [[nodiscard]] std::pair<long, long> cellCoords(long cell) const noexcept {
+    return {cell % nx_, cell / nx_};
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
   [[nodiscard]] double cellSize() const noexcept { return cellSize_; }
 
  private:
+  void fillCells();
   [[nodiscard]] std::pair<long, long> cellOf(Vec2 p) const noexcept;
   /// Flat cell index, or -1 when outside the indexed bounding box.
   [[nodiscard]] long cellIndex(long cx, long cy) const noexcept;
@@ -93,7 +121,8 @@ class GridIndex {
   std::vector<Vec2> points_;
   std::vector<NodeId> ids_;         // point ids sorted by cell
   std::vector<std::size_t> start_;  // CSR offsets per cell, size cells_+1
-  std::vector<long> cellOfPoint_;   // rebuild scratch
+  std::vector<long> cellOfPoint_;    // cell of each point (maintained by update)
+  std::vector<long> newCellOf_;      // update scratch
   std::vector<std::size_t> cursor_;  // rebuild scratch
   double cellSize_ = 0.0;
   double minX_ = 0.0, minY_ = 0.0;

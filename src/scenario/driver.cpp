@@ -98,6 +98,16 @@ ProtocolOutcome runAggregationWorkload(Simulator& sim, const ScenarioSpec& spec,
   out.metrics.set("uplink_slots", u64(run.costs.uplink));
   out.metrics.set("agg_slots", u64(run.costs.aggregationTotal()));
   out.validity = verdict(run.delivered && aggregateMatches(got, truth, kind));
+  if (sim.dynamic()) {
+    // Re-delivery under motion: a second data phase over the now-stale
+    // structure, after the network kept drifting through the first one.
+    // How much of the aggregation machinery survives the decay is the
+    // drift stress the static metrics cannot show.
+    const AggregateRun re = aloha ? runAlohaAggregation(sim, s, values, kind)
+                                  : runAggregation(sim, s, values, kind);
+    out.metrics.set("redelivered", re.delivered ? 1.0 : 0.0);
+    out.metrics.set("redelivery_slots", u64(re.costs.aggregationTotal()));
+  }
   return out;
 }
 
@@ -316,11 +326,16 @@ struct ChainBaselineDriver final : ProtocolDriver {
   }
   ProtocolOutcome run(Simulator& sim, const ScenarioSpec& spec, Rng& valueRng) const override {
     const Network& net = sim.network();
-    // The chain sampler drives slots outside the Simulator; its seed
-    // comes from the value stream so the draw is per-seed deterministic.
+    // The sampler's seed comes from the value stream so the draw is
+    // per-seed deterministic.
     const std::uint64_t chainSeed = valueRng();
+    // Static runs sample on a private Simulator (bit-identical to the
+    // pre-mobility driver); dynamic runs sample through the scenario's
+    // own Simulator, so churn gates the senders and the runner's drift
+    // metrics cover the sampled slots.
     const ChainSlotStats st =
-        chainConcurrency(net, sim.numChannels(), spec.chainTrials, chainSeed);
+        sim.dynamic() ? chainConcurrency(sim, spec.chainTrials)
+                      : chainConcurrency(net, sim.numChannels(), spec.chainTrials, chainSeed);
     ProtocolOutcome out;
     out.delivered = st.trials > 0;
     out.metrics.set("chain_trials", st.trials);

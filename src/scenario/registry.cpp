@@ -1,5 +1,7 @@
 #include "scenario/registry.h"
 
+#include <utility>
+
 namespace mcs {
 
 namespace {
@@ -179,6 +181,123 @@ std::vector<Entry> buildRegistry() {
     s.deployment.chainMaxGap = 0.9;
     s.chainTrials = 300;
     add(s, "§1 chain concurrency sampling: <= 1 descending sender per channel per slot");
+  }
+
+  // -- mobility & churn (one mobile preset per ProtocolKind) ---------------
+  // Speeds are units of R_T per slot: 5e-4 drifts a node by ~half a
+  // cluster radius over a typical structure construction — enough to
+  // decay the graph measurably while letting every protocol still finish.
+  const auto mobile = [](ScenarioSpec s, const char* name, MobilityKind kind, double speed,
+                         double dep = 0.0, double arr = 0.0) {
+    s.name = name;
+    s.topology.mobility.kind = kind;
+    s.topology.mobility.speed = speed;
+    s.topology.churn.departureRate = dep;
+    s.topology.churn.arrivalRate = arr;
+    return s;
+  };
+
+  add(mobile(preset("mobile_agg_max", DeploymentKind::UniformSquare,
+                    ProtocolKind::AggregateMax, 400, 8),
+             "mobile_agg_max", MobilityKind::RandomWalk, 5e-4),
+      "MAX aggregation while every node random-walks (drift + re-delivery metrics)");
+
+  {
+    // SUM's exact backbone tree is the most drift-fragile machinery in
+    // the repo: ballistic motion at any practical speed starves the
+    // convergecast, so this preset stresses it with diffusive drift plus
+    // churn instead (waypoint motion lives on the sturdier kinds).
+    ScenarioSpec s = preset("mobile_agg_sum", DeploymentKind::UniformSquare,
+                            ProtocolKind::AggregateSum, 350, 8);
+    s.deployment.side = 1.2;
+    add(mobile(std::move(s), "mobile_agg_sum", MobilityKind::RandomWalk, 5e-5, 5e-5, 2e-2),
+        "SUM over the exact backbone tree under slow diffusive drift plus churn");
+  }
+
+  {
+    ScenarioSpec s =
+        preset("mobile_aloha", DeploymentKind::UniformSquare, ProtocolKind::Aloha, 300, 1);
+    s.deployment.side = 0.9;
+    add(mobile(std::move(s), "mobile_aloha", MobilityKind::RandomWalk, 5e-4),
+        "single-channel ALOHA baseline with random-walking nodes");
+  }
+
+  {
+    ScenarioSpec s = preset("mobile_structure", DeploymentKind::Clustered,
+                            ProtocolKind::Structure, 400, 8);
+    s.deployment.side = 1.8;
+    s.deployment.clusters = 8;
+    s.deployment.spread = 0.07;
+    s = mobile(std::move(s), "mobile_structure", MobilityKind::GroupReference, 1e-3);
+    s.topology.mobility.groups = 8;
+    s.topology.mobility.groupRadius = 0.25;
+    add(s, "structure construction while clusters drift as mobile groups (RPGM)");
+  }
+
+  {
+    ScenarioSpec s = preset("mobile_coloring", DeploymentKind::UniformSquare,
+                            ProtocolKind::Coloring, 350, 8);
+    s.deployment.side = 1.0;
+    add(mobile(std::move(s), "mobile_coloring", MobilityKind::RandomWalk, 5e-4),
+        "node coloring under random-walk drift: how stale does proper get?");
+  }
+
+  {
+    ScenarioSpec s = preset("mobile_palette", DeploymentKind::Clustered,
+                            ProtocolKind::ClusterColoring, 350, 8);
+    s.deployment.side = 1.6;
+    s.deployment.clusters = 8;
+    s.deployment.spread = 0.07;
+    s = mobile(std::move(s), "mobile_palette", MobilityKind::GroupReference, 1e-3);
+    s.topology.mobility.groups = 8;
+    add(s, "cluster coloring/TDMA while the clusters themselves move (group mobility)");
+  }
+
+  {
+    ScenarioSpec s =
+        preset("mobile_csa", DeploymentKind::UniformSquare, ProtocolKind::Csa, 350, 8);
+    s.deployment.side = 1.0;
+    add(mobile(std::move(s), "mobile_csa", MobilityKind::RandomWalk, 5e-4, 2e-4, 5e-3),
+        "cluster-size approximation under drift plus light churn");
+  }
+
+  {
+    ScenarioSpec s = preset("mobile_ruling", DeploymentKind::UniformSquare,
+                            ProtocolKind::RulingSet, 400, 1);
+    s.deployment.side = 1.4;
+    s = mobile(std::move(s), "mobile_ruling", MobilityKind::RandomWaypoint, 1e-3);
+    s.topology.mobility.pause = 20;
+    add(s, "(r, 2r)-ruling set under random-waypoint motion");
+  }
+
+  {
+    ScenarioSpec s = preset("mobile_dominators", DeploymentKind::UniformSquare,
+                            ProtocolKind::DominatingSet, 400, 1);
+    s.deployment.side = 1.4;
+    add(mobile(std::move(s), "mobile_dominators", MobilityKind::RandomWalk, 1e-3, 2e-4, 5e-3),
+        "r_c-dominating set while nodes walk and churn in and out");
+  }
+
+  {
+    // Dynamic chain runs sample through the scenario Simulator, so churn
+    // gates the senders slot by slot.  Motion stays off: the exponential
+    // chain's geometry IS the instance.
+    ScenarioSpec s = preset("mobile_chain", DeploymentKind::ExponentialChain,
+                            ProtocolKind::ChainBaseline, 32, 4);
+    s.deployment.chainBase = 2.0;
+    s.deployment.chainMaxGap = 0.9;
+    s.chainTrials = 300;
+    add(mobile(std::move(s), "mobile_chain", MobilityKind::Static, 0.0, 1e-3, 1e-2),
+        "§1 chain sampling with churn-only dynamics (alive-mask plumbing smoke)");
+  }
+
+  {
+    ScenarioSpec s = preset("mobile_nearfar", DeploymentKind::UniformSquare,
+                            ProtocolKind::AggregateMax, 600, 8);
+    s.deployment.side = 0.8;
+    s.sinr.mediumMode = MediumMode::NearFar;
+    add(mobile(std::move(s), "mobile_nearfar", MobilityKind::RandomWalk, 5e-4),
+        "dense mobile MAX aggregation on the incremental-grid NearFar medium");
   }
 
   return r;

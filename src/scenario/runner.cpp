@@ -89,6 +89,10 @@ SeedResult runScenarioSeed(const ScenarioSpec& spec, std::uint64_t seed) {
                                   : SinrBounds::exact(spec.sinr);
     Network net(std::move(pts), spec.sinr, Tuning{}, &bounds);
     Simulator sim(net, spec.channels, seed);
+    // Dynamic topologies attach the per-slot mobility/churn hook; static
+    // specs attach nothing and stay bit-identical to the pre-mobility
+    // engine (the dynamics keys are root-Rng forks, never draws).
+    if (spec.topology.dynamic()) sim.attachDynamics(spec.topology);
     Rng valueRng = Rng(seed).fork(kValueStream);
 
     ProtocolOutcome out = protocolDriver(spec.protocol).run(sim, spec, valueRng);
@@ -103,6 +107,20 @@ SeedResult runScenarioSeed(const ScenarioSpec& spec, std::uint64_t seed) {
     res.listens = ms.listens;
     res.decodes = ms.decodes;
     res.decodeRate = ms.decodeRate();
+
+    if (sim.dynamic()) {
+      // Drift metrics: how much the communication graph decayed under the
+      // run's motion/churn (sampled every mobility_sample_every slots via
+      // the incremental GridIndex; see mobility/mobility.h).
+      sim.finalizeDynamics();
+      const TopologyStats& ts = sim.dynamics()->stats();
+      res.metrics.set("alive_final", sim.aliveCount());
+      res.metrics.set("churn_departures", static_cast<double>(ts.departures));
+      res.metrics.set("churn_arrivals", static_cast<double>(ts.arrivals));
+      res.metrics.set("mean_displacement", ts.meanDisplacement);
+      res.metrics.set("edge_churn_per_slot", ts.edgeChurnPerSlot(ms.slots));
+      res.metrics.set("edge_survival", ts.edgeSurvival());
+    }
   } catch (const std::exception& e) {
     res.error = e.what();
   } catch (...) {

@@ -17,6 +17,7 @@
 ///   auto pts = materializeDeployment(spec.deployment, deployRng);
 ///   Network net(std::move(pts), spec.sinr);
 ///   Simulator sim(net, spec.channels, seed);
+///   if (spec.topology.dynamic()) sim.attachDynamics(spec.topology);
 ///   Rng valueRng = Rng(seed).fork(kValueStream);
 ///   protocolDriver(spec.protocol).run(sim, spec, valueRng);
 ///

@@ -56,6 +56,13 @@ constexpr KindName kMediumModeNames[] = {
     {"nearfar", static_cast<std::uint8_t>(MediumMode::NearFar)},
 };
 
+constexpr KindName kMobilityNames[] = {
+    {"static", static_cast<std::uint8_t>(MobilityKind::Static)},
+    {"random_walk", static_cast<std::uint8_t>(MobilityKind::RandomWalk)},
+    {"random_waypoint", static_cast<std::uint8_t>(MobilityKind::RandomWaypoint)},
+    {"group", static_cast<std::uint8_t>(MobilityKind::GroupReference)},
+};
+
 template <std::size_t N>
 std::string nameOf(const KindName (&table)[N], std::uint8_t value) {
   for (const KindName& k : table) {
@@ -134,6 +141,9 @@ std::string toString(MediumMode mode) {
 std::string toString(CsaVariant variant) {
   return nameOf(kCsaVariantNames, static_cast<std::uint8_t>(variant));
 }
+std::string toString(MobilityKind kind) {
+  return nameOf(kMobilityNames, static_cast<std::uint8_t>(kind));
+}
 
 bool applyScenarioKey(ScenarioSpec& spec, const std::string& key, const std::string& value,
                       std::string& err) {
@@ -168,6 +178,11 @@ bool applyScenarioKey(ScenarioSpec& spec, const std::string& key, const std::str
   if (key == "csa_variant") {
     if (!valueOf(kCsaVariantNames, value, enumValue, err, "CSA variant")) return false;
     spec.csaVariant = static_cast<CsaVariant>(enumValue);
+    return true;
+  }
+  if (key == "mobility") {
+    if (!valueOf(kMobilityNames, value, enumValue, err, "mobility model")) return false;
+    spec.topology.mobility.kind = static_cast<MobilityKind>(enumValue);
     return true;
   }
   if (key == "range") {
@@ -215,6 +230,19 @@ bool applyScenarioKey(ScenarioSpec& spec, const std::string& key, const std::str
   if (key == "ruling_radius") return setDouble(spec.rulingRadius, key, value, err);
   if (key == "ruling_rounds") return setInt(spec.rulingRounds, key, value, err);
   if (key == "chain_trials") return setInt(spec.chainTrials, key, value, err);
+  if (key == "mobility_speed") return setDouble(spec.topology.mobility.speed, key, value, err);
+  if (key == "mobility_pause") return setInt(spec.topology.mobility.pause, key, value, err);
+  if (key == "mobility_groups") return setInt(spec.topology.mobility.groups, key, value, err);
+  if (key == "mobility_group_radius") {
+    return setDouble(spec.topology.mobility.groupRadius, key, value, err);
+  }
+  if (key == "churn_departure_rate") {
+    return setDouble(spec.topology.churn.departureRate, key, value, err);
+  }
+  if (key == "churn_arrival_rate") {
+    return setDouble(spec.topology.churn.arrivalRate, key, value, err);
+  }
+  if (key == "mobility_sample_every") return setInt(spec.topology.sampleEvery, key, value, err);
   if (key == "seeds") return setInt(spec.seeds, key, value, err);
 
   err = "unknown scenario key \"" + key + "\"";
@@ -326,6 +354,22 @@ std::string validateScenario(const ScenarioSpec& spec) {
   if (spec.boundsWidth < 0.0) return "bounds_width must be >= 0 (0 = exact knowledge)";
   if (spec.rulingRounds < 0) return "ruling_rounds must be >= 0 (0 = auto)";
   if (spec.rulingRadius < 0.0) return "ruling_radius must be >= 0 (0 = auto r_c)";
+  const TopologyParams& t = spec.topology;
+  if (t.mobility.speed < 0.0) return "mobility_speed must be >= 0";
+  if (t.mobility.kind != MobilityKind::Static && t.mobility.speed <= 0.0) {
+    return "mobility model \"" + toString(t.mobility.kind) +
+           "\" needs mobility_speed > 0 (or set mobility = static)";
+  }
+  if (t.mobility.pause < 0) return "mobility_pause must be >= 0";
+  if (t.mobility.groups < 1) return "mobility_groups must be >= 1";
+  if (t.mobility.groupRadius <= 0.0) return "mobility_group_radius must be > 0";
+  if (t.churn.departureRate < 0.0 || t.churn.departureRate > 1.0) {
+    return "churn_departure_rate is a per-slot probability (0..1)";
+  }
+  if (t.churn.arrivalRate < 0.0 || t.churn.arrivalRate > 1.0) {
+    return "churn_arrival_rate is a per-slot probability (0..1)";
+  }
+  if (t.sampleEvery < 1) return "mobility_sample_every must be >= 1";
   return "";
 }
 
@@ -340,6 +384,14 @@ std::string describeScenario(const ScenarioSpec& spec) {
     os << "(" << spec.sinr.fading.shadowSigmaDb << "dB)";
   }
   if (spec.boundsWidth > 0.0) os << " bounds_width=" << spec.boundsWidth;
+  if (spec.topology.mobility.moving()) {
+    os << " mobility=" << toString(spec.topology.mobility.kind) << "@"
+       << spec.topology.mobility.speed;
+  }
+  if (spec.topology.churn.enabled()) {
+    os << " churn=" << spec.topology.churn.departureRate << "/"
+       << spec.topology.churn.arrivalRate;
+  }
   os << " seeds=" << spec.seeds << "@" << spec.seed0;
   return os.str();
 }
@@ -391,6 +443,14 @@ std::string scenarioToKeyValues(const ScenarioSpec& spec) {
   add("ruling_radius", num(spec.rulingRadius));
   add("ruling_rounds", std::to_string(spec.rulingRounds));
   add("chain_trials", std::to_string(spec.chainTrials));
+  add("mobility", toString(spec.topology.mobility.kind));
+  add("mobility_speed", num(spec.topology.mobility.speed));
+  add("mobility_pause", std::to_string(spec.topology.mobility.pause));
+  add("mobility_groups", std::to_string(spec.topology.mobility.groups));
+  add("mobility_group_radius", num(spec.topology.mobility.groupRadius));
+  add("churn_departure_rate", num(spec.topology.churn.departureRate));
+  add("churn_arrival_rate", num(spec.topology.churn.arrivalRate));
+  add("mobility_sample_every", std::to_string(spec.topology.sampleEvery));
   add("seeds", std::to_string(spec.seeds));
   add("seed0", std::to_string(spec.seed0));
   return out;

@@ -6,6 +6,7 @@
 #include "agg/structure.h"
 #include "geom/deployment.h"
 #include "geom/vec2.h"
+#include "mobility/mobility.h"
 #include "sinr/params.h"
 #include "util/args.h"
 #include "util/rng.h"
@@ -108,6 +109,12 @@ struct ScenarioSpec {
   int rulingRounds = 0;
   /// ChainBaseline: random slots sampled per seed.
   int chainTrials = 400;
+  /// Topology dynamics (mobility model + churn process); the static
+  /// default attaches nothing, keeping every pre-mobility run
+  /// bit-identical.  Keys: mobility, mobility_speed, mobility_pause,
+  /// mobility_groups, mobility_group_radius, churn_departure_rate,
+  /// churn_arrival_rate, mobility_sample_every.
+  TopologyParams topology;
   /// Seed batch: seeds seed0, seed0+1, ..., seed0+seeds-1.
   int seeds = 8;
   std::uint64_t seed0 = 1;
@@ -119,6 +126,7 @@ struct ScenarioSpec {
 [[nodiscard]] std::string toString(FadingModel model);
 [[nodiscard]] std::string toString(MediumMode mode);
 [[nodiscard]] std::string toString(CsaVariant variant);
+[[nodiscard]] std::string toString(MobilityKind kind);
 
 /// Applies one `key = value` assignment.  Unknown keys and malformed
 /// values return false with a diagnostic in `err`; the spec is only

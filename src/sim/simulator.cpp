@@ -7,12 +7,30 @@ Simulator::Simulator(const Network& net, int numChannels, std::uint64_t seed, in
   const auto n = static_cast<std::size_t>(net.size());
   rngs_.reserve(n);
   // Stream layout of the root fork space: 0 is the fading layer, 1..n are
-  // the per-node streams (scenario-level value streams use 2^63; see
-  // scenario/runner.h).
+  // the per-node streams, 2^62+1 / 2^62+2 the mobility/churn keys
+  // (mobility/mobility.h), and scenario-level value streams use 2^63
+  // (scenario/runner.h).
   for (std::size_t v = 0; v < n; ++v) rngs_.push_back(root_.fork(v + 1));
   medium_.seedFading(root_.fork(0)());
   intents_.resize(n);
   receptions_.resize(n);
+}
+
+void Simulator::attachDynamics(const TopologyParams& params) {
+  const std::span<const Vec2> initial = net_->positions();
+  positions_.assign(initial.begin(), initial.end());
+  // fork() is const on the root stream, so keying the dynamics consumes
+  // no root draws: the per-node and fading streams are untouched.
+  Rng mobilityRng = root_.fork(kMobilityStream);
+  Rng churnRng = root_.fork(kChurnStream);
+  dyn_ = std::make_unique<TopologyDynamics>(params, initial, net_->rEps(), mobilityRng(),
+                                            churnRng());
+  // Drifting positions unlock the Medium's incremental NearFar path.
+  medium_.setDynamicPositions(true);
+}
+
+void Simulator::finalizeDynamics() {
+  if (dyn_) dyn_->finalize(positions_);
 }
 
 }  // namespace mcs

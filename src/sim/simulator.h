@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "mobility/mobility.h"
 #include "sim/message.h"
 #include "sim/network.h"
 #include "sinr/medium.h"
@@ -18,6 +21,15 @@
 /// Medium's fading layer (when enabled via SinrParams::fading) is keyed
 /// by a dedicated fork of the root Rng (stream 0), so impaired runs are
 /// just as reproducible per seed.
+///
+/// Topology dynamics: attachDynamics() arms a per-slot hook that advances
+/// a mobility model and a churn process (mobility/mobility.h) before the
+/// intents of each slot are collected.  Dynamic runs resolve against the
+/// Simulator's own drifting position buffer; nodes whose churn state is
+/// "departed" are forced to Idle and their protocol callbacks are
+/// skipped, so protocol state freezes until they re-arrive.  Without
+/// dynamics nothing changes: intents, positions, and every RNG stream
+/// are bit-identical to the pre-mobility engine.
 namespace mcs {
 
 class Simulator {
@@ -27,15 +39,23 @@ class Simulator {
   /// persistent thread pool; slot results are identical either way.
   Simulator(const Network& net, int numChannels, std::uint64_t seed, int numThreads = 1);
 
+  /// Arms per-slot topology dynamics (no-op topology params are rejected
+  /// by the caller: check TopologyParams::dynamic() first).  Keys both
+  /// processes off dedicated root-Rng forks, so attaching never perturbs
+  /// the per-node or fading streams.
+  void attachDynamics(const TopologyParams& params);
+
   /// Runs one slot.  `intentOf(NodeId) -> Intent` is called for every
   /// node; `onReception(NodeId, const Reception&)` for every listener.
   template <class IntentFn, class RecvFn>
   void step(IntentFn&& intentOf, RecvFn&& onReception) {
     const int n = net_->size();
+    if (dyn_) dyn_->advance(slots_, positions_);
     for (NodeId v = 0; v < n; ++v) {
-      intents_[static_cast<std::size_t>(v)] = intentOf(v);
+      intents_[static_cast<std::size_t>(v)] =
+          (dyn_ && !dyn_->alive(v)) ? Intent::idle() : intentOf(v);
     }
-    medium_.resolveSlot(net_->positions(), intents_, receptions_);
+    medium_.resolveSlot(positions(), intents_, receptions_);
     for (NodeId v = 0; v < n; ++v) {
       if (intents_[static_cast<std::size_t>(v)].action == Action::Listen) {
         onReception(v, receptions_[static_cast<std::size_t>(v)]);
@@ -52,6 +72,24 @@ class Simulator {
   [[nodiscard]] std::uint64_t slots() const noexcept { return slots_; }
   [[nodiscard]] const MediumStats& mediumStats() const noexcept { return medium_.stats(); }
 
+  /// True when topology dynamics are attached.
+  [[nodiscard]] bool dynamic() const noexcept { return dyn_ != nullptr; }
+  /// The attached dynamics (nullptr when static).
+  [[nodiscard]] const TopologyDynamics* dynamics() const noexcept { return dyn_.get(); }
+  /// Current node positions: the drifting buffer when dynamic, the
+  /// Network's immutable ground truth otherwise.
+  [[nodiscard]] std::span<const Vec2> positions() const noexcept {
+    return dyn_ ? std::span<const Vec2>(positions_) : net_->positions();
+  }
+  /// Churn state (always alive when static).
+  [[nodiscard]] bool alive(NodeId v) const noexcept { return !dyn_ || dyn_->alive(v); }
+  [[nodiscard]] int aliveCount() const noexcept {
+    return dyn_ ? dyn_->aliveCount() : net_->size();
+  }
+  /// Takes the dynamics' final drift sample (no-op when static); call
+  /// once after the workload finishes, before reading dynamics()->stats().
+  void finalizeDynamics();
+
   /// Per-node deterministic random stream.
   [[nodiscard]] Rng& rng(NodeId v) noexcept { return rngs_[static_cast<std::size_t>(v)]; }
   /// Simulation-wide stream (harness-level choices, e.g. channel hashes).
@@ -64,6 +102,8 @@ class Simulator {
   std::vector<Rng> rngs_;
   std::vector<Intent> intents_;
   std::vector<Reception> receptions_;
+  std::unique_ptr<TopologyDynamics> dyn_;
+  std::vector<Vec2> positions_;  ///< Mutable copy, populated iff dynamic.
   std::uint64_t slots_ = 0;
 };
 

@@ -47,6 +47,51 @@ void Medium::buildFields(std::span<const Vec2> positions) {
   }
 }
 
+void Medium::buildFieldsDynamic(std::span<const Vec2> positions) {
+  // One persistent grid over every node position, advanced incrementally:
+  // bounded per-slot displacement moves points between cells inside
+  // GridIndex::update; leaving the box falls back to a rebuild there.
+  allGrid_.ensure(positions, nearRadius_ * 0.5);
+
+  fields_.resize(static_cast<std::size_t>(numChannels_));
+  for (int c = 0; c < numChannels_; ++c) {
+    ChannelField& f = fields_[static_cast<std::size_t>(c)];
+    f.lo = txByChannelStart_[static_cast<std::size_t>(c)];
+    const std::int32_t hi = txByChannelStart_[static_cast<std::size_t>(c) + 1];
+    f.cells.clear();
+    f.sortedLocals.clear();
+    if (f.lo == hi) continue;
+
+    // Group this channel's transmitters by their shared-grid cell.
+    cellLocal_.clear();
+    for (std::int32_t i = f.lo; i < hi; ++i) {
+      const NodeId w = txByChannel_[static_cast<std::size_t>(i)];
+      cellLocal_.emplace_back(allGrid_.cellOfId(w), static_cast<NodeId>(i - f.lo));
+    }
+    std::sort(cellLocal_.begin(), cellLocal_.end());
+    f.sortedLocals.reserve(cellLocal_.size());
+    for (const auto& [cell, local] : cellLocal_) f.sortedLocals.push_back(local);
+
+    std::size_t i = 0;
+    while (i < cellLocal_.size()) {
+      const long cell = cellLocal_[i].first;
+      std::size_t j = i;
+      Vec2 sum{};
+      while (j < cellLocal_.size() && cellLocal_[j].first == cell) {
+        const NodeId w =
+            txByChannel_[static_cast<std::size_t>(f.lo) +
+                         static_cast<std::size_t>(cellLocal_[j].second)];
+        sum = sum + positions[static_cast<std::size_t>(w)];
+        ++j;
+      }
+      const auto [cx, cy] = allGrid_.cellCoords(cell);
+      f.cells.push_back({sum * (1.0 / static_cast<double>(j - i)), cx, cy,
+                         std::span<const NodeId>(f.sortedLocals.data() + i, j - i)});
+      i = j;
+    }
+  }
+}
+
 void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent> intents,
                          std::vector<Reception>& out) {
   const std::size_t n = positions.size();
@@ -89,7 +134,13 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
   }
 
   const bool nearFar = params_.mediumMode == MediumMode::NearFar;
-  if (nearFar && txTotal > 0) buildFields(positions);
+  if (nearFar && txTotal > 0) {
+    if (dynamicPositions_) {
+      buildFieldsDynamic(positions);
+    } else {
+      buildFields(positions);
+    }
+  }
 
   const PowerKernel kern = kernel_;
   const double beta = params_.beta;
@@ -134,13 +185,17 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
         }
       } else {
         const ChannelField& f = fields_[static_cast<std::size_t>(c)];
+        // Static path: the per-channel grid built this slot.  Dynamic
+        // path: cells/coords come from the shared incremental allGrid_,
+        // member positions from the caller's drifting span.
+        const GridIndex& geom = dynamicPositions_ ? allGrid_ : f.grid;
         // Single pass over non-empty cells: cells entirely beyond the near
         // radius contribute count * P/d(centroid)^alpha in one kernel call;
         // cells touching the near ball have every member summed exactly.
         // Any transmitter that could decode is within R_T <= nearR, hence
         // inside a touching cell, hence an exact `best` candidate.
         for (const FarCell& cell : f.cells) {
-          if (f.grid.cellDist2(cell.cx, cell.cy, pv) > nearR2) {
+          if (geom.cellDist2(cell.cx, cell.cy, pv) > nearR2) {
             const double d2c = dist2(cell.centroid, pv);
             double cellRx = static_cast<double>(cell.ids.size()) * kern(d2c > 0.0 ? d2c : kMinD2);
             if (hasFading) {
@@ -159,7 +214,9 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
           for (const NodeId local : cell.ids) {
             const NodeId w =
                 txByChannel_[static_cast<std::size_t>(f.lo) + static_cast<std::size_t>(local)];
-            const double d2raw = dist2(f.grid.point(local), pv);
+            const Vec2 pw = dynamicPositions_ ? positions[static_cast<std::size_t>(w)]
+                                              : f.grid.point(local);
+            const double d2raw = dist2(pw, pv);
             double rx = kern(d2raw > 0.0 ? d2raw : kMinD2);
             if (hasFading) rx *= fad.gain(slotIdx, static_cast<std::uint64_t>(w), static_cast<std::uint64_t>(v));
             total += rx;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "geom/grid_index.h"
@@ -103,6 +104,18 @@ class Medium {
   }
   [[nodiscard]] const FadingField& fading() const noexcept { return fading_; }
 
+  /// Declares that callers pass *drifting* positions (mobility).  In
+  /// NearFar mode this switches buildFields to the incremental path: one
+  /// persistent GridIndex over all node positions, advanced per slot via
+  /// GridIndex::update (bounded displacement moves points between cells;
+  /// full rebuild fallback), with per-channel far cells grouped off that
+  /// shared index instead of rebuilding a per-channel grid from each
+  /// slot's transmitter set.  Static runs keep the original per-channel
+  /// path bit-for-bit; Exact mode ignores the flag entirely (positions
+  /// are always read fresh).
+  void setDynamicPositions(bool on) noexcept { dynamicPositions_ = on; }
+  [[nodiscard]] bool dynamicPositions() const noexcept { return dynamicPositions_; }
+
  private:
   /// Far-field aggregate of one grid cell (NearFar mode): the member
   /// centroid, the member ids (channel-local), and the cell coordinates.
@@ -114,12 +127,16 @@ class Medium {
 
   /// Per-channel spatial structure rebuilt each slot in NearFar mode.
   struct ChannelField {
-    GridIndex grid;          // over this channel's transmitter positions
+    GridIndex grid;          // over this channel's transmitter positions (static path)
     std::int32_t lo = 0;     // slice start in txByChannel_
     std::vector<FarCell> cells;
+    /// Dynamic path: channel-local tx indices sorted by allGrid_ cell
+    /// (FarCell::ids spans into this instead of the per-channel grid).
+    std::vector<NodeId> sortedLocals;
   };
 
   void buildFields(std::span<const Vec2> positions);
+  void buildFieldsDynamic(std::span<const Vec2> positions);
 
   SinrParams params_;
   PowerKernel kernel_;
@@ -139,6 +156,12 @@ class Medium {
   std::vector<NodeId> listeners_;
   std::vector<ChannelField> fields_;
   std::vector<Vec2> fieldPts_;
+
+  // Incremental NearFar path (setDynamicPositions): a persistent index
+  // over ALL node positions, updated in place each slot.
+  bool dynamicPositions_ = false;
+  GridIndex allGrid_;
+  std::vector<std::pair<long, NodeId>> cellLocal_;  // (cell, local) scratch
 };
 
 }  // namespace mcs

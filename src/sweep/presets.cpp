@@ -128,6 +128,21 @@ constexpr PresetEntry kPresets[] = {
      "seeds = 1\n"
      "seed0 = 9\n"
      "sweep.n = 500,1000,2000,4000\n"},
+
+    {"e10_mobility",
+     "E10: aggregation under mobility x churn — graph drift, survival, re-delivery",
+     "name = e10_mobility\n"
+     "base = uniform_square\n"
+     "protocol = agg_max\n"
+     "n = 350\n"
+     "side = 1.3\n"
+     "channels = 8\n"
+     "seeds = 2\n"
+     "seed0 = 10\n"
+     "mobility = random_walk\n"
+     "churn_arrival_rate = 0.01\n"
+     "sweep.mobility_speed = 0.0005,0.002,0.008\n"
+     "sweep.churn_departure_rate = 0,0.0005\n"},
 };
 
 }  // namespace

@@ -15,6 +15,7 @@ Json summaryToJson(const Summary& s) {
   j.set("count", s.count);
   j.set("mean", s.mean);
   j.set("stddev", s.stddev);
+  j.set("ci95", s.ci95);
   j.set("min", s.min);
   j.set("p50", s.median);
   j.set("p95", s.p95);
@@ -232,6 +233,20 @@ bool writeCampaignCsv(const CampaignResult& campaign, const std::string& path,
       emit("delivered", r.delivered ? 1.0 : 0.0);
       emit("wall_sec", r.wallSec);
       for (const auto& [name, value] : r.metrics.entries()) emit(name, value);
+    }
+    // Per-cell summary rows: the batch mean and its 95% CI half-width,
+    // one pair per summarized metric, with the literal words "mean" /
+    // "ci95" in the seed column (long-form consumers filter on it).
+    for (const auto& [metric, summary] : cell.summaries()) {
+      const auto emitSummary = [&](const char* stat, double value) {
+        std::vector<std::string> cols = prefix;
+        cols.emplace_back(stat);
+        cols.push_back(metric);
+        cols.push_back(formatDouble(value, 9));
+        f << csvJoin(cols) << '\n';
+      };
+      emitSummary("mean", summary.mean);
+      emitSummary("ci95", summary.ci95);
     }
   }
   f.flush();

@@ -76,6 +76,9 @@ Summary summarize(const std::vector<double>& xs) {
   s.count = acc.count();
   s.mean = acc.mean();
   s.stddev = acc.stddev();
+  if (s.count >= 2) {
+    s.ci95 = 1.959963984540054 * s.stddev / std::sqrt(static_cast<double>(s.count));
+  }
   s.min = acc.min();
   s.max = acc.max();
   // One sort for both percentiles.

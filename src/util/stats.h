@@ -53,6 +53,10 @@ struct Summary {
   std::size_t count = 0;
   double mean = 0.0;
   double stddev = 0.0;
+  /// Half-width of the 95% normal-approximation confidence interval on
+  /// the mean: 1.96 * stddev / sqrt(count) (0 below two samples).  The
+  /// sweep reports surface it so per-cell means carry their uncertainty.
+  double ci95 = 0.0;
   double min = 0.0;
   double median = 0.0;
   double p95 = 0.0;

@@ -59,6 +59,80 @@ TEST(GridIndex, QueryOutsideBounds) {
   EXPECT_EQ(grid.ball({100, 100}, 200.0).size(), 2u);
 }
 
+/// Sorted ball answers for every point of a fixed probe set.
+std::vector<std::vector<NodeId>> probeBalls(const GridIndex& grid, double radius) {
+  std::vector<std::vector<NodeId>> out;
+  const std::vector<Vec2> probes{{0.1, 0.1}, {1.0, 1.0}, {1.9, 0.3}, {0.5, 1.7}};
+  for (const Vec2 c : probes) {
+    auto ids = grid.ball(c, radius);
+    std::sort(ids.begin(), ids.end());
+    out.push_back(std::move(ids));
+  }
+  return out;
+}
+
+TEST(GridIndex, IncrementalUpdateMatchesRebuild) {
+  // Bounded drift inside the original bounding box: the incremental path
+  // must stay incremental (return true) and answer every query exactly
+  // like a fresh rebuild over the same geometry, slot after slot.
+  Rng rng(99);
+  std::vector<Vec2> pts = deployUniformSquare(400, 2.0, rng);
+  double loX = 1e30, loY = 1e30, hiX = -1e30, hiY = -1e30;
+  for (const Vec2& p : pts) {
+    loX = std::min(loX, p.x);
+    loY = std::min(loY, p.y);
+    hiX = std::max(hiX, p.x);
+    hiY = std::max(hiY, p.y);
+  }
+  GridIndex incremental(pts, 0.3);
+  GridIndex rebuilt(pts, 0.3);
+  for (int slot = 0; slot < 40; ++slot) {
+    for (Vec2& p : pts) {
+      p.x = std::clamp(p.x + rng.uniform(-0.02, 0.02), loX, hiX);
+      p.y = std::clamp(p.y + rng.uniform(-0.02, 0.02), loY, hiY);
+    }
+    EXPECT_TRUE(incremental.update(pts));
+    rebuilt.rebuild(pts, 0.3);
+    EXPECT_EQ(probeBalls(incremental, 0.3), probeBalls(rebuilt, 0.3)) << "slot " << slot;
+    for (NodeId id = 0; id < 400; ++id) {
+      EXPECT_EQ(incremental.point(id), pts[static_cast<std::size_t>(id)]);
+    }
+    // Id order within a cell is part of the contract (insertion order);
+    // the incremental re-sort must preserve it like a rebuild does.
+    incremental.forEachCell([](long, long, std::span<const NodeId> ids) {
+      for (std::size_t i = 1; i < ids.size(); ++i) EXPECT_LT(ids[i - 1], ids[i]);
+    });
+  }
+}
+
+TEST(GridIndex, UpdateFallsBackOutsideTheBox) {
+  Rng rng(7);
+  std::vector<Vec2> pts = deployUniformSquare(50, 1.0, rng);
+  GridIndex grid(pts, 0.25);
+  pts[13] = {5.0, 5.0};  // leaves the original bounding box
+  EXPECT_FALSE(grid.update(pts));  // fallback: full rebuild, re-anchored
+  auto got = grid.ball({5.0, 5.0}, 0.1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 13);
+
+  // Size change also falls back (and stays correct).
+  pts.push_back({0.5, 0.5});
+  EXPECT_FALSE(grid.update(pts));
+  EXPECT_EQ(grid.size(), 51u);
+}
+
+TEST(GridIndex, UpdateWithoutCellMovesIsAPositionRefresh) {
+  // Sub-cell jitter: no point changes cells, but queries must see the
+  // fresh positions (a point jittered out of a query ball disappears).
+  const std::vector<Vec2> pts{{0.10, 0.10}, {0.90, 0.90}};
+  GridIndex grid(pts, 1.0);
+  std::vector<Vec2> moved = pts;
+  moved[1] = {0.60, 0.60};  // same cell, different position
+  EXPECT_TRUE(grid.update(moved));
+  EXPECT_EQ(grid.ball({0.9, 0.9}, 0.05).size(), 0u);
+  EXPECT_EQ(grid.ball({0.6, 0.6}, 0.05).size(), 1u);
+}
+
 TEST(Deploy, UniformSquareBounds) {
   Rng rng(1);
   const auto pts = deployUniformSquare(500, 3.0, rng);

@@ -497,7 +497,7 @@ TEST(SweepPresets, EveryPresetParsesAndExpands) {
 TEST(SweepPresets, CommittedFilesMatchPresets) {
   // The committed sweeps/*.sweep files and the embedded presets must
   // expand to the same campaigns (same cells, same specs).
-  for (const char* name : {"e2_scaling", "e8_robustness", "e8_uncertainty"}) {
+  for (const char* name : {"e2_scaling", "e8_robustness", "e8_uncertainty", "e10_mobility"}) {
     SweepSpec fromPreset, fromFile;
     std::string err;
     ASSERT_TRUE(SweepRegistry::find(name, fromPreset, err)) << err;
