@@ -1,8 +1,10 @@
 // M2: SINR medium regression bench.  Measures slot-resolution throughput
 // (slots/sec, decodes/sec) across n and channel counts for:
 //   - pow:     the original per-pair std::pow kernel (reference replica)
-//   - fast:    the alpha-specialized PowerKernel, exact summation (default)
+//   - fast:    the alpha-specialized PowerKernel, exact SoA summation
+//              (default; auto-vectorized distance/kernel sweep)
 //   - nearfar: grid-batched far-field approximation (MediumMode::NearFar)
+//   - hier:    pyramid-batched far field (MediumMode::Hierarchical)
 //   - threads: exact summation with the per-listener loop parallelized
 // Plus the mobility-era cases:
 //   - grid_rebuild / grid_update: GridIndex full re-sort vs the
@@ -216,6 +218,8 @@ int main(int argc, char** argv) {
   params = params.withRange(1.0);
   SinrParams nearFarParams = params;
   nearFarParams.mediumMode = MediumMode::NearFar;
+  SinrParams hierParams = params;
+  hierParams.mediumMode = MediumMode::Hierarchical;
 
   header("M2: SINR medium throughput (slots/sec)",
          "fast alpha-specialized kernel >= 3x the std::pow reference at the "
@@ -252,6 +256,11 @@ int main(int argc, char** argv) {
           measure([&] { nearFar.resolveSlot(w.pts, w.intents, rx); },
                   [&] { return nearFar.stats().decodes; }, budget);
 
+      Medium hier(hierParams, channels);
+      const Measured hierM =
+          measure([&] { hier.resolveSlot(w.pts, w.intents, rx); },
+                  [&] { return hier.stats().decodes; }, budget);
+
       Medium threaded(params, channels, hw);
       const Measured threadedM =
           measure([&] { threaded.resolveSlot(w.pts, w.intents, rx); },
@@ -260,8 +269,11 @@ int main(int argc, char** argv) {
       const struct {
         const char* name;
         const Measured& m;
-      } variants[] = {
-          {"pow", pow}, {"fast", fastM}, {"nearfar", nearFarM}, {"threads", threadedM}};
+      } variants[] = {{"pow", pow},
+                      {"fast", fastM},
+                      {"nearfar", nearFarM},
+                      {"hier", hierM},
+                      {"threads", threadedM}};
       for (const auto& [name, m] : variants) {
         const double speedup = m.slotsPerSec / pow.slotsPerSec;
         row("%-6d %4d %10s %12.1f %12.1f %12llu %9.2fx", n, channels, name, m.slotsPerSec,
@@ -276,6 +288,57 @@ int main(int argc, char** argv) {
             .col("speedup_vs_pow", speedup);
       }
     }
+  }
+
+  // --- Huge tier: the ROADMAP's million-node target ------------------------
+  // Exact mode is omitted (O(n * tx) is ~6e9 kernel calls per slot at this
+  // size); the point of the tier is that the hierarchical pyramid resolves
+  // million-node slots at a pace NearFar's O(occupied cells) per listener
+  // cannot match.  Slot counts are tiny (warm-up + budget), so this stays
+  // CI-runnable.
+  if (args.getBool("huge")) {
+    const int n = 1'000'000;
+    const int channels = 8;
+    // A sparser field than the small-n configs (side ~50 vs ~33): the
+    // hierarchical advantage is asymptotic in the occupied-cell count,
+    // which the denser default would cap at ~1.1k cells.
+    const double hugeDensity = args.getDouble("huge-density", 400.0);
+    header("Huge tier: n=1,000,000 F=8 (slots/sec)",
+           "hierarchical far-field vs NearFar at the million-node scale");
+    const Workload w = makeWorkload(n, channels, hugeDensity, seed);
+    std::vector<Reception> rx;
+
+    Medium nearFar(nearFarParams, channels);
+    const Measured nearFarM =
+        measure([&] { nearFar.resolveSlot(w.pts, w.intents, rx); },
+                [&] { return nearFar.stats().decodes; }, budget);
+
+    Medium hier(hierParams, channels);
+    const Measured hierM =
+        measure([&] { hier.resolveSlot(w.pts, w.intents, rx); },
+                [&] { return hier.stats().decodes; }, budget);
+
+    const double ratio = hierM.slotsPerSec / nearFarM.slotsPerSec;
+    row("%-8s %4s %14s %12s %12s %10s", "n", "F", "variant", "slots/s", "dec/slot",
+        "vs nearfar");
+    row("%-8d %4d %14s %12.3f %12llu %10s", n, channels, "nearfar_huge",
+        nearFarM.slotsPerSec, static_cast<unsigned long long>(nearFarM.decodesPerSlot), "");
+    row("%-8d %4d %14s %12.3f %12llu %9.2fx", n, channels, "grid_hier", hierM.slotsPerSec,
+        static_cast<unsigned long long>(hierM.decodesPerSlot), ratio);
+    report.row()
+        .col("n", n)
+        .col("channels", channels)
+        .col("variant", "nearfar_huge")
+        .col("slots_per_sec", nearFarM.slotsPerSec)
+        .col("decodes_per_slot", static_cast<double>(nearFarM.decodesPerSlot));
+    report.row()
+        .col("n", n)
+        .col("channels", channels)
+        .col("variant", "grid_hier")
+        .col("slots_per_sec", hierM.slotsPerSec)
+        .col("decodes_per_slot", static_cast<double>(hierM.decodesPerSlot))
+        .col("hier_vs_nearfar", ratio);
+    report.meta("hier_vs_nearfar_huge", ratio);
   }
 
   // --- Mobility cases ------------------------------------------------------

@@ -37,9 +37,24 @@ for required in uniform_square corridor aloha_patch exponential_chain \
 done
 
 for preset in ${presets}; do
+  case "${preset}" in
+    huge_*)
+      # Million-node presets are smoked separately below at a reduced
+      # round budget; at --seeds=2 with default rounds they would
+      # dominate the whole verify wall time.
+      echo "--- scenario smoke: ${preset} (deferred to the huge-tier smoke)"
+      continue
+      ;;
+  esac
   echo "--- scenario smoke: ${preset}"
   ./bench/scenario_runner --scenario="${preset}" --seeds=2 --out-dir=bench-artifacts
 done
+
+# --- Huge-tier smoke ---------------------------------------------------------
+# One seed, two ruling-set rounds: enough to prove the hierarchical medium
+# resolves million-node slots end-to-end without paying a full election.
+./bench/scenario_runner --scenario=huge_hier --seeds=1 --ruling_rounds=2 \
+  --out-dir=bench-artifacts
 
 # --- Sweep campaign smoke + perf-regression gate -----------------------------
 # Runs the committed smoke campaign and diffs it against the committed

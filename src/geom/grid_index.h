@@ -112,6 +112,13 @@ class GridIndex {
   [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
   [[nodiscard]] double cellSize() const noexcept { return cellSize_; }
 
+  /// Grid geometry: box origin and cell extents.  HierGrid builds its
+  /// coarse pyramid levels on top of these base-level coordinates.
+  [[nodiscard]] double minX() const noexcept { return minX_; }
+  [[nodiscard]] double minY() const noexcept { return minY_; }
+  [[nodiscard]] long nxCells() const noexcept { return nx_; }
+  [[nodiscard]] long nyCells() const noexcept { return ny_; }
+
  private:
   void fillCells();
   [[nodiscard]] std::pair<long, long> cellOf(Vec2 p) const noexcept;

@@ -1,0 +1,86 @@
+#include "geom/hier_grid.h"
+
+#include <cassert>
+
+namespace mcs {
+
+void HierGrid::build(double minX, double minY, double cellSize, long nx, long ny,
+                     std::span<const HierBaseCell> base) {
+  numLevels_ = 0;
+  if (base.empty() || nx <= 0 || ny <= 0 || cellSize <= 0.0) return;
+  minX_ = minX;
+  minY_ = minY;
+
+  // Level dimensions halve until a single root cell covers everything.
+  int numLevels = 1;
+  {
+    long w = nx, h = ny;
+    while (w > 1 || h > 1) {
+      w = (w + 1) / 2;
+      h = (h + 1) / 2;
+      ++numLevels;
+    }
+  }
+  assert(numLevels <= kMaxLevels);
+
+  // Grow-only resize: Level vectors past numLevels_ keep their capacity
+  // for later builds, and assign() below reuses the live ones' storage.
+  if (static_cast<int>(levels_.size()) < numLevels) {
+    levels_.resize(static_cast<std::size_t>(numLevels));
+  }
+  numLevels_ = numLevels;
+  {
+    long w = nx, h = ny;
+    double s = cellSize;
+    for (int k = 0; k < numLevels_; ++k) {
+      Level& L = levels_[static_cast<std::size_t>(k)];
+      L.nx = w;
+      L.ny = h;
+      L.cellSize = s;
+      const auto cells = static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
+      L.count.assign(cells, 0);
+      L.sumX.assign(cells, 0.0);
+      L.sumY.assign(cells, 0.0);
+      w = (w + 1) / 2;
+      h = (h + 1) / 2;
+      s *= 2.0;
+    }
+  }
+
+  // Scatter the occupied base cells, then aggregate child -> parent.
+  Level& L0 = levels_.front();
+  ref_.assign(L0.count.size(), -1);
+  for (const HierBaseCell& c : base) {
+    assert(c.cx >= 0 && c.cx < L0.nx && c.cy >= 0 && c.cy < L0.ny);
+    assert(c.count > 0);
+    const auto idx = static_cast<std::size_t>(c.cy * L0.nx + c.cx);
+    L0.count[idx] = c.count;
+    L0.sumX[idx] = c.sumX;
+    L0.sumY[idx] = c.sumY;
+    ref_[idx] = c.ref;
+  }
+  for (int k = 1; k < numLevels_; ++k) {
+    const Level& child = levels_[static_cast<std::size_t>(k - 1)];
+    Level& parent = levels_[static_cast<std::size_t>(k)];
+    for (long cy = 0; cy < child.ny; ++cy) {
+      for (long cx = 0; cx < child.nx; ++cx) {
+        const auto ci = static_cast<std::size_t>(cy * child.nx + cx);
+        if (child.count[ci] == 0) continue;
+        const auto pi = static_cast<std::size_t>((cy / 2) * parent.nx + cx / 2);
+        parent.count[pi] += child.count[ci];
+        parent.sumX[pi] += child.sumX[ci];
+        parent.sumY[pi] += child.sumY[ci];
+      }
+    }
+  }
+}
+
+std::int64_t HierGrid::totalCount() const noexcept {
+  if (numLevels_ == 0) return 0;
+  const Level& root = levels_[static_cast<std::size_t>(numLevels_ - 1)];
+  std::int64_t total = 0;
+  for (const std::int64_t c : root.count) total += c;
+  return total;
+}
+
+}  // namespace mcs

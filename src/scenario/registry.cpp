@@ -136,6 +136,23 @@ std::vector<Entry> buildRegistry() {
     add(s, "dense MAX aggregation under the grid-batched NearFar medium");
   }
 
+  {
+    // The million-node scale target (ROADMAP item 1) under the
+    // hierarchical far-field medium.  Ruling set keeps per-slot traffic
+    // sparse (initial tx probability ~ 1/n) and never builds the O(n
+    // Delta) communication graph, so the deployment + slot loop is the
+    // whole cost; side = 1000 keeps the density near one node per unit
+    // square.  CI smokes it with --ruling_rounds=2 --seeds=1; defaults
+    // here are for real (minutes-long) runs.  The "huge_" name prefix
+    // excludes it from the every-preset smoke loop in ci/verify.sh.
+    ScenarioSpec s = preset("huge_hier", DeploymentKind::UniformSquare,
+                            ProtocolKind::RulingSet, 1'000'000, 1);
+    s.deployment.side = 1000.0;
+    s.sinr.mediumMode = MediumMode::Hierarchical;
+    s.seeds = 1;
+    add(s, "million-node (r, 2r)-ruling set under the hierarchical far-field medium");
+  }
+
   // -- symmetry-breaking / structure workloads (one per new ProtocolKind) --
   {
     ScenarioSpec s =

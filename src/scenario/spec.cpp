@@ -54,6 +54,7 @@ constexpr KindName kFadingNames[] = {
 constexpr KindName kMediumModeNames[] = {
     {"exact", static_cast<std::uint8_t>(MediumMode::Exact)},
     {"nearfar", static_cast<std::uint8_t>(MediumMode::NearFar)},
+    {"hier", static_cast<std::uint8_t>(MediumMode::Hierarchical)},
 };
 
 constexpr KindName kMobilityNames[] = {
@@ -223,6 +224,7 @@ bool applyScenarioKey(ScenarioSpec& spec, const std::string& key, const std::str
   if (key == "noise") return setDouble(p.noise, key, value, err);
   if (key == "power") return setDouble(p.power, key, value, err);
   if (key == "near_field") return setDouble(p.nearField, key, value, err);
+  if (key == "hier_theta") return setDouble(p.hierTheta, key, value, err);
   if (key == "bounds_width") return setDouble(spec.boundsWidth, key, value, err);
   if (key == "shadow_sigma_db") return setDouble(p.fading.shadowSigmaDb, key, value, err);
   if (key == "channels") return setInt(spec.channels, key, value, err);
@@ -309,7 +311,7 @@ std::string validateScenario(const ScenarioSpec& spec) {
   if (spec.seeds < 1) return "seeds must be >= 1";
   if (!spec.sinr.valid()) {
     return "invalid SINR parameters (need alpha > 2, beta >= 1, noise > 0, power > 0, "
-           "near_field >= 1, shadow_sigma_db >= 0)";
+           "near_field >= 1, 0 < hier_theta <= 1, shadow_sigma_db >= 0)";
   }
   switch (d.kind) {
     case DeploymentKind::UniformSquare:
@@ -433,6 +435,7 @@ std::string scenarioToKeyValues(const ScenarioSpec& spec) {
   add("power", num(p.power));
   add("medium_mode", toString(p.mediumMode));
   add("near_field", num(p.nearField));
+  add("hier_theta", num(p.hierTheta));
   add("fading", toString(p.fading.model));
   add("shadow_sigma_db", num(p.fading.shadowSigmaDb));
   add("bounds_width", num(spec.boundsWidth));

@@ -20,34 +20,44 @@ Medium::Medium(SinrParams params, int numChannels, int numThreads)
   assert(numChannels_ >= 1);
   assert(numThreads >= 1);
   if (numThreads > 1) pool_ = std::make_unique<ThreadPool>(numThreads);
-  txByChannelStart_.assign(static_cast<std::size_t>(numChannels_) + 1, 0);
 }
 
-void Medium::buildFields(std::span<const Vec2> positions) {
+void Medium::buildFields(bool buildHier) {
   fields_.resize(static_cast<std::size_t>(numChannels_));
   // Half the near radius balances batching (fewer kernel calls per far
   // cell) against centroid accuracy (smaller spread within a cell).
   const double cellSize = nearRadius_ * 0.5;
   for (int c = 0; c < numChannels_; ++c) {
     ChannelField& f = fields_[static_cast<std::size_t>(c)];
-    f.lo = txByChannelStart_[static_cast<std::size_t>(c)];
-    const std::int32_t hi = txByChannelStart_[static_cast<std::size_t>(c) + 1];
+    f.lo = ws_.bucketBegin(static_cast<ChannelId>(c));
+    const std::int32_t hi = ws_.bucketEnd(static_cast<ChannelId>(c));
     f.cells.clear();
+    if (buildHier) f.hier.clear();
     if (f.lo == hi) continue;  // no transmitters: cells stay empty
     fieldPts_.clear();
     for (std::int32_t i = f.lo; i < hi; ++i) {
-      fieldPts_.push_back(positions[static_cast<std::size_t>(txByChannel_[static_cast<std::size_t>(i)])]);
+      fieldPts_.push_back({ws_.txX[static_cast<std::size_t>(i)],
+                           ws_.txY[static_cast<std::size_t>(i)]});
     }
     f.grid.rebuild(fieldPts_, cellSize);
-    f.grid.forEachCell([&f](long cx, long cy, std::span<const NodeId> ids) {
+    hierBase_.clear();
+    f.grid.forEachCell([&](long cx, long cy, std::span<const NodeId> ids) {
       Vec2 sum{};
       for (const NodeId id : ids) sum = sum + f.grid.point(id);
       f.cells.push_back({sum * (1.0 / static_cast<double>(ids.size())), cx, cy, ids});
+      if (buildHier) {
+        hierBase_.push_back({cx, cy, sum.x, sum.y, static_cast<std::int64_t>(ids.size()),
+                             static_cast<std::int32_t>(f.cells.size()) - 1});
+      }
     });
+    if (buildHier) {
+      f.hier.build(f.grid.minX(), f.grid.minY(), cellSize, f.grid.nxCells(), f.grid.nyCells(),
+                   hierBase_);
+    }
   }
 }
 
-void Medium::buildFieldsDynamic(std::span<const Vec2> positions) {
+void Medium::buildFieldsDynamic(std::span<const Vec2> positions, bool buildHier) {
   // One persistent grid over every node position, advanced incrementally:
   // bounded per-slot displacement moves points between cells inside
   // GridIndex::update; leaving the box falls back to a rebuild there.
@@ -56,38 +66,47 @@ void Medium::buildFieldsDynamic(std::span<const Vec2> positions) {
   fields_.resize(static_cast<std::size_t>(numChannels_));
   for (int c = 0; c < numChannels_; ++c) {
     ChannelField& f = fields_[static_cast<std::size_t>(c)];
-    f.lo = txByChannelStart_[static_cast<std::size_t>(c)];
-    const std::int32_t hi = txByChannelStart_[static_cast<std::size_t>(c) + 1];
+    f.lo = ws_.bucketBegin(static_cast<ChannelId>(c));
+    const std::int32_t hi = ws_.bucketEnd(static_cast<ChannelId>(c));
     f.cells.clear();
     f.sortedLocals.clear();
+    if (buildHier) f.hier.clear();
     if (f.lo == hi) continue;
 
     // Group this channel's transmitters by their shared-grid cell.
     cellLocal_.clear();
     for (std::int32_t i = f.lo; i < hi; ++i) {
-      const NodeId w = txByChannel_[static_cast<std::size_t>(i)];
+      const NodeId w = ws_.txIds[static_cast<std::size_t>(i)];
       cellLocal_.emplace_back(allGrid_.cellOfId(w), static_cast<NodeId>(i - f.lo));
     }
     std::sort(cellLocal_.begin(), cellLocal_.end());
     f.sortedLocals.reserve(cellLocal_.size());
     for (const auto& [cell, local] : cellLocal_) f.sortedLocals.push_back(local);
 
+    hierBase_.clear();
     std::size_t i = 0;
     while (i < cellLocal_.size()) {
       const long cell = cellLocal_[i].first;
       std::size_t j = i;
       Vec2 sum{};
       while (j < cellLocal_.size() && cellLocal_[j].first == cell) {
-        const NodeId w =
-            txByChannel_[static_cast<std::size_t>(f.lo) +
-                         static_cast<std::size_t>(cellLocal_[j].second)];
+        const NodeId w = ws_.txIds[static_cast<std::size_t>(f.lo) +
+                                   static_cast<std::size_t>(cellLocal_[j].second)];
         sum = sum + positions[static_cast<std::size_t>(w)];
         ++j;
       }
       const auto [cx, cy] = allGrid_.cellCoords(cell);
       f.cells.push_back({sum * (1.0 / static_cast<double>(j - i)), cx, cy,
                          std::span<const NodeId>(f.sortedLocals.data() + i, j - i)});
+      if (buildHier) {
+        hierBase_.push_back({cx, cy, sum.x, sum.y, static_cast<std::int64_t>(j - i),
+                             static_cast<std::int32_t>(f.cells.size()) - 1});
+      }
       i = j;
+    }
+    if (buildHier) {
+      f.hier.build(allGrid_.minX(), allGrid_.minY(), allGrid_.cellSize(), allGrid_.nxCells(),
+                   allGrid_.nyCells(), hierBase_);
     }
   }
 }
@@ -99,46 +118,22 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
   out.assign(n, Reception{});
   ++stats_.slots;
 
-  // Bucket transmitters by channel (counting sort) and collect listeners.
-  txByChannelStart_.assign(static_cast<std::size_t>(numChannels_) + 1, 0);
-  listeners_.clear();
-  std::size_t txTotal = 0;
-  for (std::size_t v = 0; v < n; ++v) {
-    const Intent& it = intents[v];
-    if (it.action == Action::Idle) continue;
-    assert(it.channel >= 0 && it.channel < numChannels_);
-    if (it.action == Action::Transmit) {
-      ++txByChannelStart_[static_cast<std::size_t>(it.channel) + 1];
-      ++txTotal;
-    } else {
-      listeners_.push_back(static_cast<NodeId>(v));
-    }
-  }
+  // Stage the slot in the SoA workspace: channel-bucketed transmitter
+  // ids/coordinates (counting sort) plus the listener list.  populate
+  // also validates every intent's channel with a Release-armed check.
+  const std::size_t txTotal = ws_.populate(positions, intents, numChannels_);
   stats_.transmissions += txTotal;
-  stats_.listens += listeners_.size();
-  if (listeners_.empty()) return;
+  stats_.listens += ws_.listeners.size();
+  if (ws_.listeners.empty()) return;
 
-  for (int c = 0; c < numChannels_; ++c) {
-    txByChannelStart_[static_cast<std::size_t>(c) + 1] +=
-        txByChannelStart_[static_cast<std::size_t>(c)];
-  }
-  txByChannel_.resize(txTotal);
-  {
-    std::vector<std::int32_t> cursor(txByChannelStart_.begin(), txByChannelStart_.end() - 1);
-    for (std::size_t v = 0; v < n; ++v) {
-      const Intent& it = intents[v];
-      if (it.action != Action::Transmit) continue;
-      txByChannel_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(it.channel)]++)] =
-          static_cast<NodeId>(v);
-    }
-  }
-
-  const bool nearFar = params_.mediumMode == MediumMode::NearFar;
-  if (nearFar && txTotal > 0) {
+  const MediumMode mode = params_.mediumMode;
+  const bool gridded = mode != MediumMode::Exact;
+  if (gridded && txTotal > 0) {
+    const bool buildHier = mode == MediumMode::Hierarchical;
     if (dynamicPositions_) {
-      buildFieldsDynamic(positions);
+      buildFieldsDynamic(positions, buildHier);
     } else {
-      buildFields(positions);
+      buildFields(buildHier);
     }
   }
 
@@ -147,6 +142,7 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
   const double noise = params_.noise;
   const double nearR = nearRadius_;
   const double nearR2 = nearR * nearR;
+  const double theta = params_.hierTheta;
   constexpr double kMinD2 = SinrParams::kMinDistance * SinrParams::kMinDistance;
   const FadingField fad = fading_;
   const bool hasFading = fad.enabled();
@@ -155,12 +151,23 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
 
   std::atomic<std::uint64_t> decodes{0};
   const auto processRange = [&](std::size_t rangeBegin, std::size_t rangeEnd) {
+    // Exact-mode sweep tile: distances and kernel values for up to kTile
+    // transmitters are staged in flat buffers so the distance and
+    // PowerKernel::batch phases auto-vectorize, while the reduction that
+    // follows stays scalar and in bucket order — bit-identical totals.
+    constexpr std::size_t kTile = 2048;
+    double d2Tile[kTile];
+    double rxTile[kTile];
+    const double* xs = ws_.txX.data();
+    const double* ys = ws_.txY.data();
+    const NodeId* ids = ws_.txIds.data();
+
     std::uint64_t localDecodes = 0;
     for (std::size_t li = rangeBegin; li < rangeEnd; ++li) {
-      const NodeId v = listeners_[li];
+      const NodeId v = ws_.listeners[li];
       const ChannelId c = intents[static_cast<std::size_t>(v)].channel;
-      const std::int32_t lo = txByChannelStart_[static_cast<std::size_t>(c)];
-      const std::int32_t hi = txByChannelStart_[static_cast<std::size_t>(c) + 1];
+      const std::int32_t lo = ws_.bucketBegin(c);
+      const std::int32_t hi = ws_.bucketEnd(c);
       if (lo == hi) continue;  // silent channel
 
       double total = 0.0;
@@ -168,22 +175,52 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
       NodeId bestTx = kNoNode;
       const Vec2 pv = positions[static_cast<std::size_t>(v)];
 
-      if (!nearFar) {
-        for (std::int32_t i = lo; i < hi; ++i) {
-          const NodeId w = txByChannel_[static_cast<std::size_t>(i)];
-          // Distinct positions are a model requirement; exactly co-located
-          // pairs are clamped to kMinDistance so power and ranging stay
-          // finite (any positive distance passes through untouched).
-          const double d2raw = dist2(positions[static_cast<std::size_t>(w)], pv);
-          double rx = kern(d2raw > 0.0 ? d2raw : kMinD2);
-          if (hasFading) rx *= fad.gain(slotIdx, static_cast<std::uint64_t>(w), static_cast<std::uint64_t>(v));
-          total += rx;
-          if (rx > best) {
-            best = rx;
-            bestTx = w;
+      // Exact accumulation of one transmitter; shared by the NearFar and
+      // Hierarchical near paths.  Distinct positions are a model
+      // requirement; exactly co-located pairs are clamped to kMinDistance
+      // so power and ranging stay finite (any positive distance passes
+      // through untouched).
+      const auto accumulatePair = [&](NodeId w, Vec2 pw) {
+        const double d2raw = dist2(pw, pv);
+        double rx = kern(d2raw > 0.0 ? d2raw : kMinD2);
+        if (hasFading) {
+          rx *= fad.gain(slotIdx, static_cast<std::uint64_t>(w), static_cast<std::uint64_t>(v));
+        }
+        total += rx;
+        if (rx > best) {
+          best = rx;
+          bestTx = w;
+        }
+      };
+
+      if (mode == MediumMode::Exact) {
+        for (std::int32_t i0 = lo; i0 < hi; i0 += static_cast<std::int32_t>(kTile)) {
+          const std::size_t base = static_cast<std::size_t>(i0);
+          const std::size_t m = std::min(kTile, static_cast<std::size_t>(hi) - base);
+          for (std::size_t j = 0; j < m; ++j) {
+            // Same operand order as dist2(pw, pv) in the scalar path.
+            const double dx = xs[base + j] - pv.x;
+            const double dy = ys[base + j] - pv.y;
+            const double d2raw = dx * dx + dy * dy;
+            d2Tile[j] = d2raw > 0.0 ? d2raw : kMinD2;
+          }
+          kern.batch(d2Tile, rxTile, m);
+          if (hasFading) {
+            for (std::size_t j = 0; j < m; ++j) {
+              rxTile[j] *= fad.gain(slotIdx, static_cast<std::uint64_t>(ids[base + j]),
+                                    static_cast<std::uint64_t>(v));
+            }
+          }
+          for (std::size_t j = 0; j < m; ++j) {
+            const double rx = rxTile[j];
+            total += rx;
+            if (rx > best) {
+              best = rx;
+              bestTx = ids[base + j];
+            }
           }
         }
-      } else {
+      } else if (mode == MediumMode::NearFar) {
         const ChannelField& f = fields_[static_cast<std::size_t>(c)];
         // Static path: the per-channel grid built this slot.  Dynamic
         // path: cells/coords come from the shared incremental allGrid_,
@@ -213,19 +250,45 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
           }
           for (const NodeId local : cell.ids) {
             const NodeId w =
-                txByChannel_[static_cast<std::size_t>(f.lo) + static_cast<std::size_t>(local)];
+                ws_.txIds[static_cast<std::size_t>(f.lo) + static_cast<std::size_t>(local)];
             const Vec2 pw = dynamicPositions_ ? positions[static_cast<std::size_t>(w)]
                                               : f.grid.point(local);
-            const double d2raw = dist2(pw, pv);
-            double rx = kern(d2raw > 0.0 ? d2raw : kMinD2);
-            if (hasFading) rx *= fad.gain(slotIdx, static_cast<std::uint64_t>(w), static_cast<std::uint64_t>(v));
-            total += rx;
-            if (rx > best) {
-              best = rx;
-              bestTx = w;
-            }
+            accumulatePair(w, pw);
           }
         }
+      } else {
+        const ChannelField& f = fields_[static_cast<std::size_t>(c)];
+        // Coarse-to-fine pyramid walk: admissible regions contribute one
+        // centroid kernel call at the coarsest level; base cells near the
+        // listener resolve through the same exact member summation as
+        // NearFar (so every decodable transmitter is a `best` candidate).
+        f.hier.forEachField(
+            pv, nearR, theta,
+            [&](std::int64_t count, Vec2 centroid, int level, long cx, long cy) {
+              const double d2c = dist2(centroid, pv);
+              double cellRx = static_cast<double>(count) * kern(d2c > 0.0 ? d2c : kMinD2);
+              if (hasFading) {
+                // Shared draw per (slot, level, cell, listener); the
+                // level tag keeps draws distinct across pyramid levels.
+                const std::uint64_t cellId = mix64(
+                    (static_cast<std::uint64_t>(c) << 52) ^
+                    (static_cast<std::uint64_t>(static_cast<unsigned>(level + 1)) << 46) ^
+                    (static_cast<std::uint64_t>(static_cast<std::int64_t>(cx)) << 23) ^
+                    static_cast<std::uint64_t>(static_cast<std::int64_t>(cy)));
+                cellRx *= fad.gain(slotIdx, cellId, static_cast<std::uint64_t>(v));
+              }
+              total += cellRx;
+            },
+            [&](std::int32_t ref) {
+              const FarCell& cell = f.cells[static_cast<std::size_t>(ref)];
+              for (const NodeId local : cell.ids) {
+                const NodeId w =
+                    ws_.txIds[static_cast<std::size_t>(f.lo) + static_cast<std::size_t>(local)];
+                const Vec2 pw = dynamicPositions_ ? positions[static_cast<std::size_t>(w)]
+                                                  : f.grid.point(local);
+                accumulatePair(w, pw);
+              }
+            });
       }
 
       Reception& r = out[static_cast<std::size_t>(v)];
@@ -245,9 +308,9 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
   };
 
   if (pool_) {
-    pool_->parallelFor(listeners_.size(), processRange);
+    pool_->parallelFor(ws_.listeners.size(), processRange);
   } else {
-    processRange(0, listeners_.size());
+    processRange(0, ws_.listeners.size());
   }
   stats_.decodes += decodes.load(std::memory_order_relaxed);
 }

@@ -7,10 +7,12 @@
 #include <vector>
 
 #include "geom/grid_index.h"
+#include "geom/hier_grid.h"
 #include "geom/vec2.h"
 #include "sim/message.h"
 #include "sinr/fading.h"
 #include "sinr/params.h"
+#include "sinr/workspace.h"
 #include "util/ids.h"
 #include "util/thread_pool.h"
 
@@ -30,14 +32,19 @@ struct MediumStats {
   }
 };
 
-/// Resolves slots under one of two interference-summation modes, selected
-/// by SinrParams::mediumMode:
+/// Resolves slots under one of three interference-summation modes,
+/// selected by SinrParams::mediumMode:
 ///
 ///  - MediumMode::Exact (default): every same-channel transmitter
 ///    contributes P/d^alpha to every listener individually.  Results are
 ///    reproducible bit-for-bit for a given parameter set, independent of
 ///    the thread count (each listener is resolved independently and the
-///    per-listener summation order is fixed).
+///    per-listener summation order is fixed).  The slot's transmitters
+///    are staged in MediumWorkspace's structure-of-arrays buffers, so
+///    the sweep is a unit-stride pass over flat double arrays evaluated
+///    through PowerKernel::batch — auto-vectorizable distance/kernel
+///    phases followed by a fixed-order scalar reduction, which is how
+///    the speedup coexists with the bit-reproducibility contract.
 ///
 ///  - MediumMode::NearFar: per channel, transmitters are indexed in a
 ///    uniform grid.  Transmitters within `nearField * R_T` of a listener
@@ -48,9 +55,25 @@ struct MediumStats {
 ///    first-order error term vanishes; what remains is a second-order
 ///    far-field approximation of the interference sum.  Decode decisions
 ///    can differ from Exact only for listeners whose SINR is within that
-///    approximation error of beta.
+///    approximation error of beta.  Per-listener cost is O(occupied
+///    cells).
 ///
-/// Both modes evaluate path loss through PowerKernel, which specializes
+///  - MediumMode::Hierarchical: NearFar's near ball (identical exact
+///    member summation within `nearField * R_T`), with the far field
+///    batched through a HierGrid pyramid over the same base cells:
+///    distant regions contribute one centroid kernel call at the
+///    coarsest level whose cell passes the SinrParams::hierTheta
+///    admissibility rule (cell side <= theta * distance), taking the
+///    per-listener far-field cost from O(occupied cells) toward
+///    O(log n).  The admissibility rule bounds each batched
+///    contribution's centroid displacement by sqrt(2) * theta relative
+///    to its distance — the same style of bound the NearFar cell size
+///    provides, now holding uniformly at every level.  At the default
+///    theta = 0.5, level-0 admissibility coincides exactly with
+///    NearFar's near-ball test, so Hierarchical refines NearFar by
+///    re-batching only regions NearFar already approximated.
+///
+/// All modes evaluate path loss through PowerKernel, which specializes
 /// integer/half-integer alpha to multiply/sqrt sequences (no std::pow on
 /// the hot path).  Co-located node pairs are clamped to
 /// SinrParams::kMinDistance so received power and RSSI ranging stay
@@ -105,10 +128,11 @@ class Medium {
   [[nodiscard]] const FadingField& fading() const noexcept { return fading_; }
 
   /// Declares that callers pass *drifting* positions (mobility).  In
-  /// NearFar mode this switches buildFields to the incremental path: one
-  /// persistent GridIndex over all node positions, advanced per slot via
-  /// GridIndex::update (bounded displacement moves points between cells;
-  /// full rebuild fallback), with per-channel far cells grouped off that
+  /// NearFar and Hierarchical modes this switches buildFields to the
+  /// incremental path: one persistent GridIndex over all node positions,
+  /// advanced per slot via GridIndex::update (bounded displacement moves
+  /// points between cells; full rebuild fallback), with per-channel far
+  /// cells (and, in Hierarchical mode, the pyramid) grouped off that
   /// shared index instead of rebuilding a per-channel grid from each
   /// slot's transmitter set.  Static runs keep the original per-channel
   /// path bit-for-bit; Exact mode ignores the flag entirely (positions
@@ -125,18 +149,22 @@ class Medium {
     std::span<const NodeId> ids;  // into the channel grid's CSR storage
   };
 
-  /// Per-channel spatial structure rebuilt each slot in NearFar mode.
+  /// Per-channel spatial structure rebuilt each slot in NearFar and
+  /// Hierarchical modes.
   struct ChannelField {
     GridIndex grid;          // over this channel's transmitter positions (static path)
-    std::int32_t lo = 0;     // slice start in txByChannel_
+    std::int32_t lo = 0;     // slice start in the workspace's txIds
     std::vector<FarCell> cells;
     /// Dynamic path: channel-local tx indices sorted by allGrid_ cell
     /// (FarCell::ids spans into this instead of the per-channel grid).
     std::vector<NodeId> sortedLocals;
+    /// Hierarchical mode: the coarse-to-fine pyramid over this channel's
+    /// occupied base cells (near() refs index into `cells`).
+    HierGrid hier;
   };
 
-  void buildFields(std::span<const Vec2> positions);
-  void buildFieldsDynamic(std::span<const Vec2> positions);
+  void buildFields(bool buildHier);
+  void buildFieldsDynamic(std::span<const Vec2> positions, bool buildHier);
 
   SinrParams params_;
   PowerKernel kernel_;
@@ -150,12 +178,12 @@ class Medium {
   MediumStats stats_;
   std::unique_ptr<ThreadPool> pool_;  // present iff numThreads > 1
 
-  // Scratch buffers reused across slots to avoid per-slot allocation.
-  std::vector<std::int32_t> txByChannelStart_;
-  std::vector<NodeId> txByChannel_;
-  std::vector<NodeId> listeners_;
+  // Per-slot SoA staging (channel buckets, flat tx coordinates,
+  // listeners); buffers reused across slots to avoid allocation.
+  MediumWorkspace ws_;
   std::vector<ChannelField> fields_;
   std::vector<Vec2> fieldPts_;
+  std::vector<HierBaseCell> hierBase_;  // pyramid-build scratch
 
   // Incremental NearFar path (setDynamicPositions): a persistent index
   // over ALL node positions, updated in place each slot.

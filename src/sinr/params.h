@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 
@@ -12,7 +13,12 @@ namespace mcs {
 ///  - Exact: every transmitter contributes P/d^alpha individually.
 ///  - NearFar: transmitters within `nearField * R_T` contribute exactly;
 ///    farther ones are batched per grid cell around the cell's centroid.
-enum class MediumMode : std::uint8_t { Exact = 0, NearFar = 1 };
+///  - Hierarchical: NearFar's near ball, plus a coarse-to-fine grid
+///    pyramid over the far field — distant regions contribute one
+///    centroid kernel call at the coarsest level whose cell passes the
+///    `hierTheta` admissibility rule, taking the per-listener far-field
+///    cost from O(occupied cells) toward O(log n).
+enum class MediumMode : std::uint8_t { Exact = 0, NearFar = 1, Hierarchical = 2 };
 
 /// Stochastic channel-impairment model applied multiplicatively on top of
 /// the deterministic P/d^alpha path loss (see sinr/fading.h for the draw):
@@ -78,6 +84,15 @@ class PowerKernel {
     return power_ / p;
   }
 
+  /// Evaluates the kernel elementwise over contiguous arrays:
+  /// out[i] = (*this)(d2[i]), bit-for-bit (locked by test).  The fast
+  /// path dispatches once per call to a fixed-exponent inner loop of
+  /// plain multiplies/sqrts over the flat buffers — no libm call, no
+  /// per-element branching on the exponent — which the compiler unrolls
+  /// and auto-vectorizes in Release builds (no intrinsics).  `d2` and
+  /// `out` may alias only if identical.
+  void batch(const double* d2, double* out, std::size_t count) const noexcept;
+
   /// True when the integer/half-integer specialization is active.
   [[nodiscard]] bool fastPath() const noexcept { return fast_; }
 
@@ -104,9 +119,21 @@ struct SinrParams {
   /// default; its results are bit-reproducible for a given parameter
   /// set, independent of thread count.
   MediumMode mediumMode = MediumMode::Exact;
-  /// Near-field radius in units of R_T (NearFar mode only).  Must be
-  /// >= 1 so every decodable transmitter is still summed exactly.
+  /// Near-field radius in units of R_T (NearFar and Hierarchical modes).
+  /// Must be >= 1 so every decodable transmitter is still summed exactly.
   double nearField = 2.0;
+
+  /// Hierarchical-mode opening angle (0 < hierTheta <= 1): a pyramid
+  /// cell of side s is admissible for batching at distance d iff
+  /// s / d <= hierTheta (and the cell clears the near radius).  The
+  /// centroid displacement within an admissible cell is at most
+  /// s * sqrt(2) <= hierTheta * sqrt(2) * d, bounding the relative error
+  /// of each batched contribution the same way the NearFar cell-size
+  /// bound does; smaller values open more cells (finer, slower, more
+  /// accurate).  The default 0.5 matches NearFar's base cells
+  /// (cellSize = nearRadius / 2), so level-0 admissibility decisions
+  /// coincide exactly with NearFar's near-ball test.
+  double hierTheta = 0.5;
 
   /// Stochastic channel impairments layered on the deterministic path
   /// loss (off by default; every existing result is unchanged).
@@ -154,7 +181,7 @@ struct SinrParams {
   /// and a near-field radius covering the transmission range).
   [[nodiscard]] bool valid() const noexcept {
     return alpha > 2.0 && beta >= 1.0 && noise > 0.0 && power > 0.0 && nearField >= 1.0 &&
-           fading.valid();
+           hierTheta > 0.0 && hierTheta <= 1.0 && fading.valid();
   }
 
   /// Returns parameters rescaled so that transmissionRange() == rt.

@@ -1,0 +1,59 @@
+#include "sinr/workspace.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcs {
+namespace {
+
+// Out-of-range channels corrupt the CSR buckets (and, pre-refactor, the
+// txByChannelStart_ indexing) silently in -DNDEBUG builds where asserts
+// compile out.  This fires in every build type.
+[[noreturn]] void channelRangeFailure(std::size_t node, int channel, int numChannels) {
+  std::fprintf(stderr,
+               "mcs: fatal: node %zu declared intent on channel %d, outside [0, %d)\n",
+               node, channel, numChannels);
+  std::abort();
+}
+
+}  // namespace
+
+std::size_t MediumWorkspace::populate(std::span<const Vec2> positions,
+                                      std::span<const Intent> intents, int numChannels) {
+  const std::size_t n = positions.size();
+  chanStart.assign(static_cast<std::size_t>(numChannels) + 1, 0);
+  listeners.clear();
+  std::size_t txTotal = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const Intent& it = intents[v];
+    if (it.action == Action::Idle) continue;
+    if (it.channel < 0 || it.channel >= numChannels) {
+      channelRangeFailure(v, it.channel, numChannels);
+    }
+    if (it.action == Action::Transmit) {
+      ++chanStart[static_cast<std::size_t>(it.channel) + 1];
+      ++txTotal;
+    } else {
+      listeners.push_back(static_cast<NodeId>(v));
+    }
+  }
+  for (int c = 0; c < numChannels; ++c) {
+    chanStart[static_cast<std::size_t>(c) + 1] += chanStart[static_cast<std::size_t>(c)];
+  }
+
+  txIds.resize(txTotal);
+  txX.resize(txTotal);
+  txY.resize(txTotal);
+  cursor_.assign(chanStart.begin(), chanStart.end() - 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    const Intent& it = intents[v];
+    if (it.action != Action::Transmit) continue;
+    const auto slot = static_cast<std::size_t>(cursor_[static_cast<std::size_t>(it.channel)]++);
+    txIds[slot] = static_cast<NodeId>(v);
+    txX[slot] = positions[v].x;
+    txY[slot] = positions[v].y;
+  }
+  return txTotal;
+}
+
+}  // namespace mcs

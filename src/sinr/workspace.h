@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "sim/message.h"
+#include "util/ids.h"
+
+/// Per-slot structure-of-arrays staging area for Medium::resolveSlot.
+namespace mcs {
+
+/// Flat, channel-bucketed views of one slot's transmitters and listeners,
+/// populated once per slot from the caller's AoS spans.  Transmitter
+/// positions are split into contiguous x[] / y[] arrays in channel-bucket
+/// order, so the Exact-mode interference sweep is a unit-stride pass over
+/// doubles that Release builds auto-vectorize (see PowerKernel::batch);
+/// NearFar/Hierarchical grid construction reads the same buckets.  All
+/// buffers are reused across slots (no steady-state allocation).
+struct MediumWorkspace {
+  /// CSR channel buckets: channel c's transmitters occupy indices
+  /// [chanStart[c], chanStart[c+1]) of txIds/txX/txY.  Within a bucket,
+  /// transmitters appear in ascending node id — the fixed summation
+  /// order the Exact-mode bit-reproducibility contract relies on.
+  std::vector<std::int32_t> chanStart;
+  std::vector<NodeId> txIds;
+  std::vector<double> txX;
+  std::vector<double> txY;
+  std::vector<NodeId> listeners;
+
+  /// Rebuilds every buffer from this slot's intents (counting sort by
+  /// channel).  Validates that every non-idle intent names a channel in
+  /// [0, numChannels) with a check that stays armed in Release builds:
+  /// an out-of-range channel would otherwise index out of bounds with
+  /// asserts compiled out, so it aborts loudly instead.  Returns the
+  /// transmitter count.
+  std::size_t populate(std::span<const Vec2> positions, std::span<const Intent> intents,
+                       int numChannels);
+
+  [[nodiscard]] std::int32_t bucketBegin(ChannelId c) const noexcept {
+    return chanStart[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::int32_t bucketEnd(ChannelId c) const noexcept {
+    return chanStart[static_cast<std::size_t>(c) + 1];
+  }
+
+ private:
+  std::vector<std::int32_t> cursor_;  // counting-sort scratch
+};
+
+}  // namespace mcs

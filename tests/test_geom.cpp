@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "geom/deployment.h"
 #include "geom/grid_index.h"
+#include "geom/hier_grid.h"
 #include "geom/vec2.h"
 #include "util/rng.h"
 
@@ -119,6 +123,228 @@ TEST(GridIndex, UpdateFallsBackOutsideTheBox) {
   pts.push_back({0.5, 0.5});
   EXPECT_FALSE(grid.update(pts));
   EXPECT_EQ(grid.size(), 51u);
+}
+
+TEST(GridIndex, FuzzAdversarialMotionMatchesFullRebuild) {
+  // Randomized adversarial motion over many steps: a mix of sub-cell
+  // jitter, multi-cell jumps, teleports to the box corners, and
+  // occasional out-of-box excursions that force the rebuild fallback.
+  // After every step, ball queries against a fresh rebuild over the same
+  // points must agree exactly (as sorted id sets — after a fallback
+  // re-anchors the box, cell partitions and hence iteration order may
+  // legitimately differ).
+  Rng rng(1234);
+  const int n = 300;
+  std::vector<Vec2> pts = deployUniformSquare(n, 4.0, rng);
+  GridIndex incremental(pts, 0.35);
+
+  const auto queryBoth = [&](const GridIndex& fresh) {
+    for (int q = 0; q < 20; ++q) {
+      const Vec2 c{rng.uniform(-1.0, 5.0), rng.uniform(-1.0, 5.0)};
+      const double radius = rng.uniform(0.05, 1.5);
+      auto a = incremental.ball(c, radius);
+      auto b = fresh.ball(c, radius);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      ASSERT_EQ(a, b) << "center (" << c.x << ", " << c.y << ") radius " << radius;
+    }
+  };
+
+  int fallbacks = 0;
+  for (int step = 0; step < 60; ++step) {
+    const int kind = step % 6;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      Vec2& p = pts[i];
+      switch (kind) {
+        case 0:  // sub-cell jitter
+          p.x += rng.uniform(-0.01, 0.01);
+          p.y += rng.uniform(-0.01, 0.01);
+          break;
+        case 1:  // multi-cell jumps for a third of the points
+          if (i % 3 == 0) {
+            p.x += rng.uniform(-1.2, 1.2);
+            p.y += rng.uniform(-1.2, 1.2);
+          }
+          break;
+        case 2:  // teleport a few points onto the corners (cell pile-up)
+          if (i % 37 == 0) p = {rng.bernoulli(0.5) ? 0.0 : 4.0, rng.bernoulli(0.5) ? 0.0 : 4.0};
+          break;
+        case 3:  // shear: everything drifts the same direction
+          p.x += 0.05;
+          break;
+        case 4:  // full scramble within the field
+          p = {rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+          break;
+        default:  // out-of-box excursion: must force the rebuild fallback
+          if (i == static_cast<std::size_t>(step) % pts.size()) {
+            p = {6.0 + rng.uniform(0.0, 1.0), -2.0 - rng.uniform(0.0, 1.0)};
+          }
+          break;
+      }
+      // Clamp the non-excursion kinds inside a loose box so steps 0-4
+      // keep exercising the incremental path rather than the fallback.
+      if (kind != 5) {
+        p.x = std::clamp(p.x, 0.0, 4.0);
+        p.y = std::clamp(p.y, 0.0, 4.0);
+      }
+    }
+    const bool incrementalPath = incremental.update(pts);
+    if (!incrementalPath) ++fallbacks;
+    const GridIndex fresh(pts, 0.35);
+    queryBoth(fresh);
+    // Positions must always reflect the new point set, whichever path ran.
+    for (NodeId id = 0; id < n; ++id) {
+      ASSERT_EQ(incremental.point(id), pts[static_cast<std::size_t>(id)]) << "step " << step;
+    }
+  }
+  // The excursion steps leave the original bounding box, so the fallback
+  // must actually have been exercised (and only the excursion steps plus
+  // the post-excursion re-anchored steps may fall back).
+  EXPECT_GE(fallbacks, 5);
+}
+
+// ---------------------------------------------------------------------------
+// HierGrid: the far-field pyramid
+// ---------------------------------------------------------------------------
+
+/// Builds a HierGrid over the occupied cells of a GridIndex, mirroring
+/// how Medium::buildFields feeds it (cell sums + a ref per base cell).
+HierGrid buildHier(const GridIndex& grid, std::vector<std::span<const NodeId>>& cellIds) {
+  std::vector<HierBaseCell> base;
+  cellIds.clear();
+  grid.forEachCell([&](long cx, long cy, std::span<const NodeId> ids) {
+    Vec2 sum{};
+    for (const NodeId id : ids) sum = sum + grid.point(id);
+    base.push_back({cx, cy, sum.x, sum.y, static_cast<std::int64_t>(ids.size()),
+                    static_cast<std::int32_t>(cellIds.size())});
+    cellIds.push_back(ids);
+  });
+  HierGrid hier;
+  hier.build(grid.minX(), grid.minY(), grid.cellSize(), grid.nxCells(), grid.nyCells(), base);
+  return hier;
+}
+
+TEST(HierGrid, EveryPointSurfacesExactlyOnce) {
+  // Conservation: for any query point, the counts reported by far()
+  // batches plus the members of near() cells partition the point set.
+  Rng rng(5);
+  const int n = 500;
+  const std::vector<Vec2> pts = deployUniformSquare(n, 6.0, rng);
+  const GridIndex grid(pts, 0.5);
+  std::vector<std::span<const NodeId>> cellIds;
+  const HierGrid hier = buildHier(grid, cellIds);
+  EXPECT_EQ(hier.totalCount(), n);
+  EXPECT_GT(hier.levels(), 2);
+
+  for (int q = 0; q < 30; ++q) {
+    const Vec2 p{rng.uniform(-1.0, 7.0), rng.uniform(-1.0, 7.0)};
+    std::int64_t farCount = 0;
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    hier.forEachField(
+        p, 1.0, 0.5,
+        [&](std::int64_t count, Vec2, int, long, long) { farCount += count; },
+        [&](std::int32_t ref) {
+          for (const NodeId id : cellIds[static_cast<std::size_t>(ref)]) {
+            ASSERT_EQ(seen[static_cast<std::size_t>(id)], 0) << "duplicate near member";
+            seen[static_cast<std::size_t>(id)] = 1;
+          }
+        });
+    std::int64_t nearCount = 0;
+    for (const char s : seen) nearCount += s;
+    EXPECT_EQ(farCount + nearCount, n) << "query " << q;
+  }
+}
+
+TEST(HierGrid, NearBallAlwaysResolvesExactly) {
+  // No admissible (batched) cell may contain a point within the near
+  // radius of the query — the guarantee that every decodable transmitter
+  // reaches the exact summation path in Medium.
+  Rng rng(9);
+  const int n = 400;
+  const std::vector<Vec2> pts = deployUniformSquare(n, 5.0, rng);
+  const GridIndex grid(pts, 0.5);
+  std::vector<std::span<const NodeId>> cellIds;
+  const HierGrid hier = buildHier(grid, cellIds);
+
+  const double nearRadius = 1.0;
+  for (int q = 0; q < 30; ++q) {
+    const Vec2 p{rng.uniform(0.0, 5.0), rng.uniform(0.0, 5.0)};
+    std::vector<char> nearMember(static_cast<std::size_t>(n), 0);
+    hier.forEachField(
+        p, nearRadius, 0.5, [&](std::int64_t, Vec2, int, long, long) {},
+        [&](std::int32_t ref) {
+          for (const NodeId id : cellIds[static_cast<std::size_t>(ref)]) {
+            nearMember[static_cast<std::size_t>(id)] = 1;
+          }
+        });
+    for (int id = 0; id < n; ++id) {
+      if (dist2(pts[static_cast<std::size_t>(id)], p) <= nearRadius * nearRadius) {
+        EXPECT_TRUE(nearMember[static_cast<std::size_t>(id)])
+            << "point " << id << " inside the near ball was batched";
+      }
+    }
+  }
+}
+
+TEST(HierGrid, AdmissibleBatchesRespectTheThetaRule) {
+  // Every far() callback must satisfy the admissibility inequality:
+  // the emitting cell's side over its box distance is at most theta.
+  Rng rng(31);
+  const std::vector<Vec2> pts = deployUniformSquare(600, 8.0, rng);
+  const GridIndex grid(pts, 0.5);
+  std::vector<std::span<const NodeId>> cellIds;
+  const HierGrid hier = buildHier(grid, cellIds);
+
+  for (const double theta : {0.25, 0.5, 1.0}) {
+    const Vec2 p{4.0, 4.0};
+    hier.forEachField(
+        p, 1.0, theta,
+        [&](std::int64_t count, Vec2 centroid, int level, long, long) {
+          ASSERT_GT(count, 0);
+          const double cellSide = grid.cellSize() * std::pow(2.0, level);
+          const double d = std::sqrt(dist2(centroid, p));
+          // The box distance is <= the centroid distance, so this is a
+          // weaker-but-sufficient check of side <= theta * boxDist:
+          // side / theta <= boxDist <= d + diagonal slack.
+          EXPECT_LE(cellSide / theta, d + cellSide * std::sqrt(2.0))
+              << "level " << level << " theta " << theta;
+        },
+        [](std::int32_t) {});
+  }
+}
+
+TEST(HierGrid, EmptyAndSingleCellInputs) {
+  HierGrid hier;
+  hier.build(0.0, 0.0, 1.0, 0, 0, {});
+  EXPECT_TRUE(hier.empty());
+  int visits = 0;
+  hier.forEachField(
+      {0, 0}, 1.0, 0.5, [&](std::int64_t, Vec2, int, long, long) { ++visits; },
+      [&](std::int32_t) { ++visits; });
+  EXPECT_EQ(visits, 0);
+
+  const std::vector<HierBaseCell> one{{0, 0, 0.5, 0.5, 1, 0}};
+  hier.build(0.0, 0.0, 1.0, 1, 1, one);
+  EXPECT_FALSE(hier.empty());
+  EXPECT_EQ(hier.levels(), 1);
+  EXPECT_EQ(hier.totalCount(), 1);
+  // Far query: the single cell batches.
+  Vec2 gotCentroid{};
+  hier.forEachField(
+      {100.0, 0.0}, 1.0, 0.5,
+      [&](std::int64_t count, Vec2 centroid, int, long, long) {
+        EXPECT_EQ(count, 1);
+        gotCentroid = centroid;
+        ++visits;
+      },
+      [&](std::int32_t) { FAIL() << "distant cell must batch"; });
+  EXPECT_EQ(visits, 1);
+  EXPECT_DOUBLE_EQ(gotCentroid.x, 0.5);
+  // Near query: the same cell resolves exactly.
+  hier.forEachField(
+      {0.5, 0.5}, 1.0, 0.5,
+      [](std::int64_t, Vec2, int, long, long) { FAIL() << "touching cell must open"; },
+      [&](std::int32_t ref) { EXPECT_EQ(ref, 0); });
 }
 
 TEST(GridIndex, UpdateWithoutCellMovesIsAPositionRefresh) {

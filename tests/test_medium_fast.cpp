@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 
@@ -237,11 +238,198 @@ TEST(MediumNearFar, RandomInstanceAgreesWithExact) {
 }
 
 // ---------------------------------------------------------------------------
+// Hierarchical far-field summation vs the exact reference
+// ---------------------------------------------------------------------------
+
+TEST(MediumHier, CoincidentFarClusterMatchesExactExactly) {
+  SinrParams exact;
+  SinrParams approx = exact;
+  approx.mediumMode = MediumMode::Hierarchical;
+
+  // One decodable near transmitter plus a tight far cluster at distance 10:
+  // all cluster members share one position, so every pyramid level's
+  // centroid coincides with them and the batched contribution equals the
+  // exact sum no matter which level the admissibility rule picks.
+  std::vector<Vec2> pos{{0, 0}, {0.5, 0}, {10, 0}, {10, 0}, {10, 0}};
+  Message m;
+  m.src = 1;
+  std::vector<Intent> intents{Intent::listen(0), Intent::transmit(0, m),
+                              Intent::transmit(0, {}), Intent::transmit(0, {}),
+                              Intent::transmit(0, {})};
+  std::vector<Reception> a, b;
+  Medium mediumExact(exact, 1);
+  Medium mediumApprox(approx, 1);
+  mediumExact.resolveSlot(pos, intents, a);
+  mediumApprox.resolveSlot(pos, intents, b);
+
+  ASSERT_TRUE(a[0].received);
+  ASSERT_TRUE(b[0].received);
+  EXPECT_EQ(b[0].msg.src, 1);
+  EXPECT_DOUBLE_EQ(a[0].totalPower, b[0].totalPower);
+  EXPECT_DOUBLE_EQ(a[0].signalPower, b[0].signalPower);
+}
+
+/// Shared harness for the hierarchical error-bound tests: resolves one
+/// random slot in Exact and Hierarchical modes and reports the worst
+/// relative totalPower error plus the decode disagreement count.
+struct HierVsExact {
+  double maxRelErr = 0.0;
+  int listeners = 0;
+  int decodeDisagreements = 0;
+};
+
+HierVsExact compareHierToExact(double theta, int n, double side, std::uint64_t seed) {
+  SinrParams exact;
+  SinrParams approx = exact;
+  approx.mediumMode = MediumMode::Hierarchical;
+  approx.hierTheta = theta;
+
+  Rng rng(seed);
+  auto pos = deployUniformSquare(n, side, rng);
+  std::vector<Intent> intents(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    const auto c = static_cast<ChannelId>(rng.below(2));
+    intents[static_cast<std::size_t>(v)] =
+        rng.bernoulli(0.1) ? Intent::transmit(c, {}) : Intent::listen(c);
+  }
+  std::vector<Reception> a, b;
+  Medium mediumExact(exact, 2);
+  Medium mediumApprox(approx, 2);
+  mediumExact.resolveSlot(pos, intents, a);
+  mediumApprox.resolveSlot(pos, intents, b);
+
+  HierVsExact r;
+  for (int v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (intents[vi].action != Action::Listen) continue;
+    ++r.listeners;
+    if (a[vi].received != b[vi].received) {
+      ++r.decodeDisagreements;
+    } else if (a[vi].received) {
+      EXPECT_EQ(a[vi].msg.src, b[vi].msg.src);
+      // Near-field members are summed exactly in both modes, so the
+      // decoded signal itself is bit-equal.
+      EXPECT_DOUBLE_EQ(a[vi].signalPower, b[vi].signalPower);
+    }
+    if (a[vi].totalPower > 0.0) {
+      r.maxRelErr = std::max(
+          r.maxRelErr, std::abs(b[vi].totalPower - a[vi].totalPower) / a[vi].totalPower);
+    }
+  }
+  return r;
+}
+
+TEST(MediumHier, RandomInstanceAgreesWithExact) {
+  // Extent 12 >> nearRadius 2 forces multi-level batching (a 5-level
+  // pyramid over the 1-unit base cells).
+  const HierVsExact r = compareHierToExact(0.5, 2000, 12.0, 7);
+  ASSERT_GT(r.listeners, 0);
+  // The admissibility rule bounds each batched contribution's centroid
+  // displacement by sqrt(2) * theta relative to its distance; with the
+  // centroid cancelling the first-order term, the aggregate interference
+  // error stays far inside 5% (the NearFar test's bound).
+  EXPECT_LT(r.maxRelErr, 0.05);
+  EXPECT_LE(r.decodeDisagreements, r.listeners / 100);
+}
+
+TEST(MediumHier, ThetaKnobTightensTheErrorBound) {
+  // Smaller theta opens more cells: the far field is resolved finer and
+  // the worst-case relative error must not grow.  theta = 1 is the
+  // documented loose end of the knob; even there the error stays within
+  // a usable envelope.
+  const HierVsExact loose = compareHierToExact(1.0, 2000, 12.0, 7);
+  const HierVsExact mid = compareHierToExact(0.5, 2000, 12.0, 7);
+  const HierVsExact tight = compareHierToExact(0.2, 2000, 12.0, 7);
+  ASSERT_GT(loose.listeners, 0);
+  EXPECT_LE(tight.maxRelErr, mid.maxRelErr * 1.01 + 1e-12);
+  EXPECT_LE(mid.maxRelErr, loose.maxRelErr * 1.01 + 1e-12);
+  EXPECT_LT(loose.maxRelErr, 0.15);
+  EXPECT_LT(tight.maxRelErr, 0.02);
+}
+
+TEST(MediumHier, DynamicPositionsPathStaysWithinBounds) {
+  // setDynamicPositions reroutes pyramid construction through the shared
+  // incremental allGrid_; the cell partition differs from the static
+  // per-channel grids, but the admissibility bound is geometry-independent
+  // so accuracy must hold all the same.
+  SinrParams exact;
+  SinrParams approx = exact;
+  approx.mediumMode = MediumMode::Hierarchical;
+
+  const int n = 1200;
+  Rng rng(19);
+  auto pos = deployUniformSquare(n, 10.0, rng);
+  std::vector<Intent> intents(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    const auto c = static_cast<ChannelId>(rng.below(2));
+    intents[static_cast<std::size_t>(v)] =
+        rng.bernoulli(0.1) ? Intent::transmit(c, {}) : Intent::listen(c);
+  }
+  Medium mediumExact(exact, 2);
+  Medium dynamicHier(approx, 2);
+  dynamicHier.setDynamicPositions(true);
+  std::vector<Reception> a, b;
+  for (int slot = 0; slot < 3; ++slot) {
+    // Small per-slot drift keeps the incremental update() path engaged.
+    for (Vec2& p : pos) {
+      p.x += 1e-4 * (2.0 * rng.uniform() - 1.0);
+      p.y += 1e-4 * (2.0 * rng.uniform() - 1.0);
+    }
+    mediumExact.resolveSlot(pos, intents, a);
+    dynamicHier.resolveSlot(pos, intents, b);
+    int decodeDisagreements = 0;
+    int listeners = 0;
+    for (int v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (intents[vi].action != Action::Listen) continue;
+      ++listeners;
+      decodeDisagreements += a[vi].received != b[vi].received;
+      if (a[vi].totalPower > 0.0) {
+        EXPECT_NEAR(b[vi].totalPower, a[vi].totalPower, 0.05 * a[vi].totalPower);
+      }
+    }
+    ASSERT_GT(listeners, 0);
+    EXPECT_LE(decodeDisagreements, listeners / 100);
+  }
+}
+
+TEST(MediumHier, FadingRunsAreDeterministicPerKey) {
+  // Far-cell fading gains are shared per (slot, level, cell, listener)
+  // draw; two media with the same key must produce identical slots.
+  SinrParams p;
+  p.mediumMode = MediumMode::Hierarchical;
+  p.fading.model = FadingModel::Rayleigh;
+  const int n = 600;
+  Rng rng(23);
+  auto pos = deployUniformSquare(n, 6.0, rng);
+  std::vector<Intent> intents(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    intents[static_cast<std::size_t>(v)] =
+        rng.bernoulli(0.1) ? Intent::transmit(0, {}) : Intent::listen(0);
+  }
+  Medium m1(p, 1);
+  Medium m2(p, 1);
+  m1.seedFading(42);
+  m2.seedFading(42);
+  std::vector<Reception> a, b;
+  for (int slot = 0; slot < 2; ++slot) {
+    m1.resolveSlot(pos, intents, a);
+    m2.resolveSlot(pos, intents, b);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].received, b[i].received);
+      EXPECT_EQ(a[i].totalPower, b[i].totalPower);
+    }
+  }
+  EXPECT_GT(m1.stats().decodes, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Threaded execution vs single-threaded reference
 // ---------------------------------------------------------------------------
 
 TEST(MediumThreads, ResultsBitIdenticalToSingleThread) {
-  for (const MediumMode mode : {MediumMode::Exact, MediumMode::NearFar}) {
+  for (const MediumMode mode :
+       {MediumMode::Exact, MediumMode::NearFar, MediumMode::Hierarchical}) {
     SinrParams p;
     p.mediumMode = mode;
     const int n = 800;

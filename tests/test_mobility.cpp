@@ -154,6 +154,23 @@ TEST(MobilityDeterminism, DynamicNearFarIsSeedAndThreadDeterministic) {
   EXPECT_TRUE(a.delivered);
 }
 
+TEST(MobilityDeterminism, DynamicHierIsSeedAndThreadDeterministic) {
+  // The hierarchical far-field shares the dynamic grid maintenance path
+  // with NearFar; its pyramid rebuild and fixed-order traversal must keep
+  // mobile runs reproducible run-to-run just like the flat modes.
+  ScenarioSpec spec = mobileSpec(MobilityKind::RandomWalk);
+  spec.deployment.n = 250;
+  spec.deployment.side = 0.8;
+  spec.sinr.mediumMode = MediumMode::Hierarchical;
+  const SeedResult a = runScenarioSeed(spec, 21);
+  const SeedResult b = runScenarioSeed(spec, 21);
+  ASSERT_TRUE(a.error.empty()) << a.error;
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.decodes, b.decodes);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_TRUE(a.delivered);
+}
+
 TEST(MobilityDeterminism, AttachingDynamicsLeavesProtocolStreamsUntouched) {
   // The dynamics keys are root forks, not draws: a node's protocol RNG
   // sequence must be identical with and without dynamics attached.

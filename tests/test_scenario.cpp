@@ -85,6 +85,29 @@ TEST(ScenarioSpec, ValidateCatchesCrossFieldErrors) {
   EXPECT_NE(validateScenario(spec), "");
 }
 
+TEST(ScenarioSpec, HierModeAndThetaRoundTrip) {
+  ScenarioSpec spec;
+  std::string err;
+  ASSERT_TRUE(applyScenarioKey(spec, "medium_mode", "hier", err)) << err;
+  ASSERT_TRUE(applyScenarioKey(spec, "hier_theta", "0.25", err)) << err;
+  EXPECT_EQ(spec.sinr.mediumMode, MediumMode::Hierarchical);
+  EXPECT_DOUBLE_EQ(spec.sinr.hierTheta, 0.25);
+  EXPECT_EQ(validateScenario(spec), "");
+
+  // Serialize -> reparse preserves the mode and the knob.
+  const std::string kv = scenarioToKeyValues(spec);
+  EXPECT_NE(kv.find("medium_mode = hier"), std::string::npos) << kv;
+  EXPECT_NE(kv.find("hier_theta = 0.25"), std::string::npos) << kv;
+
+  // theta must lie in (0, 1]: 0 and >1 are cross-field validation errors.
+  spec.sinr.hierTheta = 0.0;
+  EXPECT_NE(validateScenario(spec), "");
+  spec.sinr.hierTheta = 1.5;
+  EXPECT_NE(validateScenario(spec), "");
+  spec.sinr.hierTheta = 1.0;
+  EXPECT_EQ(validateScenario(spec), "");
+}
+
 TEST(ScenarioSpec, LoadsScenarioFile) {
   const std::string path = ::testing::TempDir() + "scenario_test_spec.txt";
   {
