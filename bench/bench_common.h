@@ -1,7 +1,6 @@
 #pragma once
 
 #include <charconv>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -21,9 +20,57 @@
 namespace mcs::bench {
 
 /// Monotonic wall-clock seconds (for throughput measurements).
-inline double now() {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+/// Kept as the bench-local name; the one steady-clock read lives in
+/// util/clock.h.
+inline double now() { return nowSec(); }
+
+/// Arms engine metrics (--metrics) and the slot-level trace recorder
+/// (--trace-out=<path>) from the shared CLI flags.  Call before the run;
+/// pair with finishTelemetryCli() after it.
+inline void armTelemetryCli(const Args& args) {
+  if (args.getBool("metrics")) telemetry::setEnabled(true);
+  if (!args.get("trace-out").empty()) telemetry::setTraceEnabled(true);
+}
+
+/// After a run: prints the merged counter/timer table (timer totals with
+/// their share of `wallSec` — shares can exceed 100% when several lanes
+/// time the same phase concurrently) when metrics are armed, and writes
+/// the Chrome trace file when --trace-out was given.  Returns false when
+/// the trace write fails, so binaries can propagate it to the exit code.
+inline bool finishTelemetryCli(const Args& args, double wallSec) {
+  if (telemetry::enabled()) {
+    const telemetry::MetricsSnapshot snap = telemetry::snapshotMetrics();
+    std::printf("\ntelemetry counters:\n");
+    for (const telemetry::CounterSample& c : snap.counters) {
+      if (c.value != 0) {
+        std::printf("  %-34s %llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+      }
+    }
+    std::printf("telemetry timers (wall %.3fs):\n", wallSec);
+    for (const telemetry::TimerSample& t : snap.timers) {
+      if (t.count == 0) continue;
+      const double pct = wallSec > 0.0 ? t.totalSec / wallSec * 100.0 : 0.0;
+      std::printf("  %-34s count=%-10llu total=%8.3fs (%5.1f%% of wall) mean=%9.1fus "
+                  "max=%9.1fus\n",
+                  t.name.c_str(), static_cast<unsigned long long>(t.count), t.totalSec, pct,
+                  t.count ? t.totalSec * 1e6 / static_cast<double>(t.count) : 0.0,
+                  t.maxSec * 1e6);
+    }
+    std::fflush(stdout);
+  }
+  const std::string tracePath = args.get("trace-out");
+  if (!tracePath.empty()) {
+    std::string terr;
+    if (!telemetry::writeTraceFile(tracePath, terr)) {
+      std::fprintf(stderr, "%s\n", terr.c_str());
+      return false;
+    }
+    std::printf("wrote %s (%zu trace events)\n", tracePath.c_str(),
+                telemetry::traceEventCount());
+    std::fflush(stdout);
+  }
+  return true;
 }
 
 /// Accumulates experiment output as ordered key -> (number | string) rows
@@ -61,7 +108,17 @@ class BenchReport {
       if (i > 0) out += ", ";
       appendObject(out, rows_[i]);
     }
-    out += "]}\n";
+    out += ']';
+    // Every BENCH_*.json grows a "telemetry" block when metrics are armed
+    // (--metrics); disabled runs keep the historical two-key layout.
+    if (telemetry::enabled()) {
+      const telemetry::MetricsSnapshot snap = telemetry::snapshotMetrics();
+      if (!snap.empty()) {
+        out += ", \"telemetry\": ";
+        out += snap.toJson().dump();
+      }
+    }
+    out += "}\n";
     return out;
   }
 

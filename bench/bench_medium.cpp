@@ -212,6 +212,10 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
   const int hw = static_cast<int>(args.getInt(
       "threads", static_cast<long>(std::max(2u, std::thread::hardware_concurrency()))));
+  // --metrics / --trace-out: engine telemetry for the measured slots (the
+  // telemetry-overhead smoke diffs a --metrics run against a plain one).
+  armTelemetryCli(args);
+  const double benchT0 = now();
 
   SinrParams params;
   params.alpha = alpha;
@@ -417,5 +421,6 @@ int main(int argc, char** argv) {
     report.meta("dynamic_vs_static", ratio);
   }
 
+  if (!finishTelemetryCli(args, now() - benchT0)) return 1;
   return report.write() ? 0 : 1;
 }

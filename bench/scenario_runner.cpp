@@ -60,10 +60,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 2;
   }
-  if (!applyScenarioArgs(
-          spec, args,
-          {"list", "scenario", "file", "threads", "out", "out-dir", "csv", "print-spec"},
-          err)) {
+  if (!applyScenarioArgs(spec, args,
+                         {"list", "scenario", "file", "threads", "out", "out-dir", "csv",
+                          "print-spec", "metrics", "trace-out"},
+                         err)) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 2;
   }
@@ -83,7 +83,10 @@ int main(int argc, char** argv) {
       "threads", static_cast<long>(std::max(2u, std::thread::hardware_concurrency()))));
   const std::string outDir = args.get("out-dir", args.get("out", "."));
 
-  // 2. Run the batch.
+  // 2. Run the batch.  --metrics arms the counter/timer registry (summary
+  //    table + "telemetry" block in the BENCH json); --trace-out=<path>
+  //    records the slot-level Chrome trace.
+  armTelemetryCli(args);
   header("scenario: " + spec.name, describeScenario(spec));
   const double t0 = now();
   const ScenarioBatchResult batch = runScenarioBatch(spec, threads);
@@ -187,6 +190,7 @@ int main(int argc, char** argv) {
     std::printf("wrote %s (%zu rows)\n", csvPath.c_str(), csv.rows());
   }
 
+  if (!finishTelemetryCli(args, wall)) return 1;
   if (!report.write(outDir)) return 1;
   if (failures > 0) return 1;
   if (delivered == 0) {

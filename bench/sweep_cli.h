@@ -18,8 +18,9 @@ namespace mcs::bench {
 /// is applied as a sweep override (fixed value, or a sweep./zip. axis).
 inline const std::vector<std::string>& sweepReservedFlags() {
   static const std::vector<std::string> kReserved = {
-      "list", "cells", "dry-run", "sweep", "preset", "shard", "threads", "out-dir", "out",
-      "csv", "resume"};
+      "list",    "cells", "dry-run", "sweep",   "preset",  "shard",
+      "threads", "out-dir", "out",   "csv",     "resume",  "metrics",
+      "trace-out", "no-heartbeat"};
   return kReserved;
 }
 
@@ -91,6 +92,12 @@ inline int runSweepCampaignCli(const SweepSpec& spec, const Args& args,
     return 0;
   }
 
+  // --metrics / --trace-out arm the engine telemetry (per-cell "telemetry"
+  // blocks + counter rows in the CSV); the stderr progress heartbeat is on
+  // for interactive campaigns unless --no-heartbeat.
+  armTelemetryCli(args);
+  opts.heartbeat = !args.getBool("no-heartbeat");
+
   header("sweep: " + spec.name, describeSweep(spec));
   row("%-6s %-32s %10s %9s %5s %8s  %s", "cell", "label", "slots", "dec.rate", "ok",
       "wall(s)", "status");
@@ -130,6 +137,8 @@ inline int runSweepCampaignCli(const SweepSpec& spec, const Args& args,
     return 1;
   }
   std::printf("wrote %s\n", csv.c_str());
+
+  if (!finishTelemetryCli(args, campaign.wallSec)) return 1;
 
   return campaign.failures() > 0 ? 1 : 0;
 }

@@ -1,0 +1,89 @@
+// trace_check: validate a Chrome trace_event JSON file produced by
+// --trace-out (telemetry/trace.h).
+//
+//   trace_check <trace.json> [--min-events=N]
+//
+// Checks that the file parses, has a non-empty "traceEvents" array (at
+// least --min-events entries, default 1), and that every event is
+// well-formed: a string "name", "ph" of "X" (complete, with a numeric
+// "dur") or "i" (instant), and numeric "ts"/"pid"/"tid".  CI runs this
+// against the smoke trace so a malformed emitter fails the build rather
+// than a later chrome://tracing load.  Exit 0 when valid, 1 when not,
+// 2 on usage errors.
+
+#include <cstdio>
+#include <string>
+
+#include "mcs.h"
+
+using namespace mcs;
+
+namespace {
+
+bool numberField(const Json& event, const char* key) {
+  const Json* v = event.find(key);
+  return v != nullptr && v->isNumber();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "usage: trace_check <trace.json> [--min-events=N]\n");
+    return 2;
+  }
+  const std::string path = args.positional().front();
+  const auto minEvents = static_cast<std::size_t>(args.getInt("min-events", 1));
+
+  Json j;
+  std::string err;
+  if (!Json::parseFile(path, j, err)) {
+    std::fprintf(stderr, "trace_check: %s\n", err.c_str());
+    return 1;
+  }
+  if (!j.isObject()) {
+    std::fprintf(stderr, "trace_check: %s: root is not an object\n", path.c_str());
+    return 1;
+  }
+  const Json* events = j.find("traceEvents");
+  if (events == nullptr || !events->isArray()) {
+    std::fprintf(stderr, "trace_check: %s: missing traceEvents array\n", path.c_str());
+    return 1;
+  }
+  if (events->items().size() < minEvents) {
+    std::fprintf(stderr, "trace_check: %s: %zu trace events (expected >= %zu)\n",
+                 path.c_str(), events->items().size(), minEvents);
+    return 1;
+  }
+
+  std::size_t spans = 0, instants = 0;
+  for (std::size_t i = 0; i < events->items().size(); ++i) {
+    const Json& e = events->items()[i];
+    const auto fail = [&](const char* what) {
+      std::fprintf(stderr, "trace_check: %s: event %zu: %s\n", path.c_str(), i, what);
+      return 1;
+    };
+    if (!e.isObject()) return fail("not an object");
+    const Json* name = e.find("name");
+    if (name == nullptr || !name->isString() || name->asString().empty()) {
+      return fail("missing string name");
+    }
+    const std::string ph = e.stringAt("ph");
+    if (ph != "X" && ph != "i") return fail("ph is neither \"X\" nor \"i\"");
+    if (!numberField(e, "ts")) return fail("missing numeric ts");
+    if (!numberField(e, "pid") || !numberField(e, "tid")) {
+      return fail("missing numeric pid/tid");
+    }
+    if (ph == "X") {
+      if (!numberField(e, "dur")) return fail("complete event missing numeric dur");
+      ++spans;
+    } else {
+      ++instants;
+    }
+  }
+
+  std::printf("trace_check: %s ok (%zu events: %zu spans, %zu instants)\n", path.c_str(),
+              events->items().size(), spans, instants);
+  return 0;
+}

@@ -56,6 +56,35 @@ done
 ./bench/scenario_runner --scenario=huge_hier --seeds=1 --ruling_rounds=2 \
   --out-dir=bench-artifacts
 
+# --- Telemetry smoke ---------------------------------------------------------
+# One preset with --metrics + --trace-out: the BENCH json must grow a
+# telemetry block, and the Chrome trace must pass the trace_check
+# validator (slot spans plus seed instants => well over 100 events).
+./bench/scenario_runner --scenario=corridor --seeds=2 --metrics \
+  --trace-out=bench-artifacts/trace_corridor.json --out-dir=bench-artifacts
+./bench/trace_check bench-artifacts/trace_corridor.json --min-events=100
+grep -q '"telemetry"' bench-artifacts/BENCH_scenario_corridor.json \
+  || { echo "FAIL: --metrics produced no telemetry block"; exit 1; }
+
+# Telemetry-overhead smoke: the same batch with metrics+trace armed must
+# stay within 1.5x + 0.2s of the plain run (the real budget is <5%,
+# measured on bench_medium locally; this loose gate only catches a
+# hot-path instrumentation blunder through CI noise).
+overhead_wall() {
+  grep -o '"batch_wall_sec": [0-9.e+-]*' "$1" | head -1 | awk '{print $2}'
+}
+./bench/scenario_runner --scenario=uniform_square --seeds=3 --threads=2 \
+  --out-dir=bench-artifacts
+base_wall=$(overhead_wall bench-artifacts/BENCH_scenario_uniform_square.json)
+./bench/scenario_runner --scenario=uniform_square --seeds=3 --threads=2 --metrics \
+  --trace-out=bench-artifacts/trace_uniform_square.json --out-dir=bench-artifacts
+telem_wall=$(overhead_wall bench-artifacts/BENCH_scenario_uniform_square.json)
+awk -v off="${base_wall}" -v on="${telem_wall}" 'BEGIN {
+  budget = off * 1.5 + 0.2;
+  printf "telemetry overhead smoke: off=%.3fs on=%.3fs budget=%.3fs\n", off, on, budget;
+  exit (on <= budget) ? 0 : 1;
+}' || { echo "FAIL: telemetry overhead exceeds the smoke budget"; exit 1; }
+
 # --- Sweep campaign smoke + perf-regression gate -----------------------------
 # Runs the committed smoke campaign and diffs it against the committed
 # baseline: metric drift beyond 20% or a wall-time regression beyond 9x

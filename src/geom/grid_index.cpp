@@ -4,7 +4,24 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/telemetry.h"
+
 namespace mcs {
+
+namespace {
+
+struct GridTelemetry {
+  telemetry::TimerId update = telemetry::timerId("geom.grid_update");
+  telemetry::CounterId updates = telemetry::counterId("geom.grid_updates");
+  telemetry::CounterId fallbacks = telemetry::counterId("geom.grid_rebuild_fallbacks");
+};
+
+const GridTelemetry& gridTm() {
+  static const GridTelemetry ids;
+  return ids;
+}
+
+}  // namespace
 
 GridIndex::GridIndex(std::span<const Vec2> points, double cellSize) {
   rebuild(points, cellSize);
@@ -68,7 +85,10 @@ void GridIndex::ensure(std::span<const Vec2> points, double cellSize) {
 }
 
 bool GridIndex::update(std::span<const Vec2> points) {
+  const telemetry::PhaseTimer timer(gridTm().update);
+  telemetry::counterAdd(gridTm().updates);
   if (points.size() != points_.size() || cells_ == 0) {
+    telemetry::counterAdd(gridTm().fallbacks);
     rebuild(points, cellSize_ > 0.0 ? cellSize_ : 1.0);
     return false;
   }
@@ -81,6 +101,7 @@ bool GridIndex::update(std::span<const Vec2> points) {
     const auto [cx, cy] = cellOf(points[i]);
     const long cell = cellIndex(cx, cy);
     if (cell < 0) {
+      telemetry::counterAdd(gridTm().fallbacks);
       rebuild(points, cellSize_);
       return false;
     }

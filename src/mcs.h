@@ -45,7 +45,10 @@
 #include "sinr/fading.h"
 #include "sinr/medium.h"
 #include "sinr/params.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/args.h"
+#include "util/clock.h"
 #include "util/csv.h"
 #include "util/ids.h"
 #include "util/log.h"

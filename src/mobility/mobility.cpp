@@ -3,9 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
 namespace mcs {
 
 namespace {
+
+struct ChurnTelemetry {
+  telemetry::CounterId departures = telemetry::counterId("churn.departures");
+  telemetry::CounterId arrivals = telemetry::counterId("churn.arrivals");
+  telemetry::TraceNameId depart = telemetry::traceName("churn.depart");
+  telemetry::TraceNameId arrive = telemetry::traceName("churn.arrive");
+};
+
+const ChurnTelemetry& churnTm() {
+  static const ChurnTelemetry ids;
+  return ids;
+}
 
 /// Salts separating the independent draw families (same key, disjoint
 /// streams).  Arbitrary odd constants.
@@ -106,11 +121,15 @@ void TopologyDynamics::advanceChurn(std::uint64_t slot) {
         alive_[v] = 0;
         --aliveCount_;
         ++stats_.departures;
+        telemetry::counterAdd(churnTm().departures);
+        telemetry::traceInstant(churnTm().depart, static_cast<std::int64_t>(v));
       }
     } else if (arr > 0.0 && unitDraw(churnKey_, slot, v ^ kArrivalSalt) < arr) {
       alive_[v] = 1;
       ++aliveCount_;
       ++stats_.arrivals;
+      telemetry::counterAdd(churnTm().arrivals);
+      telemetry::traceInstant(churnTm().arrive, static_cast<std::int64_t>(v));
     }
   }
 }

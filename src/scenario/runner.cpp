@@ -1,21 +1,31 @@
 #include "scenario/runner.h"
 
-#include <chrono>
 #include <exception>
 #include <stdexcept>
 #include <utility>
 
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+#include "util/clock.h"
 #include "util/thread_pool.h"
 
 namespace mcs {
 
 namespace {
 
-double wallNow() {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+struct SeedTelemetry {
+  telemetry::TimerId deploy = telemetry::timerId("scenario.deploy");
+  telemetry::TimerId driverRun = telemetry::timerId("driver.run");
+  telemetry::TraceNameId seedStart = telemetry::traceName("seed.start");
+  telemetry::TraceNameId seedDeployed = telemetry::traceName("seed.deployed");
+  telemetry::TraceNameId seedDone = telemetry::traceName("seed.done");
+};
+
+const SeedTelemetry& seedTm() {
+  static const SeedTelemetry ids;
+  return ids;
 }
 
 template <class Fn>
@@ -75,10 +85,17 @@ std::vector<std::string> ScenarioBatchResult::metricNames() const {
 SeedResult runScenarioSeed(const ScenarioSpec& spec, std::uint64_t seed) {
   SeedResult res;
   res.seed = seed;
-  const double t0 = wallNow();
+  const double t0 = nowSec();
+  const auto seedArg = static_cast<std::int64_t>(seed);
+  telemetry::traceInstant(seedTm().seedStart, seedArg);
   try {
     Rng deployRng(seed);
-    auto pts = materializeDeployment(spec.deployment, deployRng);
+    std::vector<Vec2> pts;
+    {
+      const telemetry::PhaseTimer t(seedTm().deploy);
+      pts = materializeDeployment(spec.deployment, deployRng);
+    }
+    telemetry::traceInstant(seedTm().seedDeployed, seedArg);
     res.deployedN = static_cast<int>(pts.size());
     if (pts.empty()) throw std::runtime_error("deployment produced no nodes");
 
@@ -95,7 +112,11 @@ SeedResult runScenarioSeed(const ScenarioSpec& spec, std::uint64_t seed) {
     if (spec.topology.dynamic()) sim.attachDynamics(spec.topology);
     Rng valueRng = Rng(seed).fork(kValueStream);
 
-    ProtocolOutcome out = protocolDriver(spec.protocol).run(sim, spec, valueRng);
+    ProtocolOutcome out;
+    {
+      const telemetry::PhaseTimer t(seedTm().driverRun);
+      out = protocolDriver(spec.protocol).run(sim, spec, valueRng);
+    }
     res.structureSlots = out.structureSlots;
     res.delivered = out.delivered;
     res.validity = out.validity;
@@ -126,7 +147,8 @@ SeedResult runScenarioSeed(const ScenarioSpec& spec, std::uint64_t seed) {
   } catch (...) {
     res.error = "unknown exception";
   }
-  res.wallSec = wallNow() - t0;
+  res.wallSec = nowSec() - t0;
+  telemetry::traceInstant(seedTm().seedDone, seedArg);
   return res;
 }
 

@@ -10,6 +10,7 @@
 #include "sim/message.h"
 #include "sim/network.h"
 #include "sinr/medium.h"
+#include "telemetry/trace.h"
 #include "util/rng.h"
 
 /// Slot-synchronous execution engine.
@@ -49,6 +50,10 @@ class Simulator {
   /// node; `onReception(NodeId, const Reception&)` for every listener.
   template <class IntentFn, class RecvFn>
   void step(IntentFn&& intentOf, RecvFn&& onReception) {
+    // One "slot" span per step (arg = slot ordinal) when tracing is on;
+    // a disarmed TraceScope costs one relaxed load.
+    static const telemetry::TraceNameId kSlotSpan = telemetry::traceName("slot");
+    const telemetry::TraceScope slotSpan(kSlotSpan, static_cast<std::int64_t>(slots_));
     const int n = net_->size();
     if (dyn_) dyn_->advance(slots_, positions_);
     for (NodeId v = 0; v < n; ++v) {

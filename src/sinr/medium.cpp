@@ -1,11 +1,54 @@
 #include "sinr/medium.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <string>
+
+#include "telemetry/telemetry.h"
 
 namespace mcs {
+
+namespace {
+
+/// Registered once; the ids are stable for the process.  Counter totals
+/// are deterministic per seed and thread-count invariant (the engine's
+/// reproducibility contracts make the underlying work deterministic);
+/// timers measure wall time and are not.
+struct MediumTelemetry {
+  telemetry::TimerId resolve = telemetry::timerId("medium.resolve_slot");
+  telemetry::TimerId populate = telemetry::timerId("medium.populate");
+  telemetry::TimerId buildFields = telemetry::timerId("medium.build_fields");
+  telemetry::TimerId sweep = telemetry::timerId("medium.sweep");
+  telemetry::TimerId hierTraverse = telemetry::timerId("geom.hier_traverse");
+  telemetry::CounterId slots = telemetry::counterId("medium.slots");
+  telemetry::CounterId txIntents = telemetry::counterId("medium.tx_intents");
+  telemetry::CounterId listenIntents = telemetry::counterId("medium.listen_intents");
+  telemetry::CounterId decodes = telemetry::counterId("medium.decodes");
+  telemetry::CounterId candidates = telemetry::counterId("medium.decode_candidates");
+  telemetry::CounterId exactPairs = telemetry::counterId("medium.exact_pairs");
+  telemetry::CounterId nearPairs = telemetry::counterId("medium.near_pairs_exact");
+  telemetry::CounterId farCells = telemetry::counterId("medium.far_cells_batched");
+};
+
+const MediumTelemetry& mediumTm() {
+  static const MediumTelemetry ids;
+  return ids;
+}
+
+/// Hier admissions are reported per pyramid level; ids are registered
+/// lazily the first time a level is seen.
+telemetry::CounterId hierLevelCounter(int level) {
+  return telemetry::counterId("medium.hier_far_cells.L" + std::to_string(level));
+}
+
+/// Matches HierGrid's private kMaxLevels bound (64 halvings cover any
+/// long-indexable grid); sized for the per-slot admission tally below.
+constexpr int kHierLevelSlots = 64;
+
+}  // namespace
 
 Medium::Medium(SinrParams params, int numChannels, int numThreads)
     : params_(params),
@@ -115,20 +158,31 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
                          std::vector<Reception>& out) {
   const std::size_t n = positions.size();
   assert(intents.size() == n);
+  const telemetry::PhaseTimer resolveTimer(mediumTm().resolve);
   out.assign(n, Reception{});
   ++stats_.slots;
 
   // Stage the slot in the SoA workspace: channel-bucketed transmitter
   // ids/coordinates (counting sort) plus the listener list.  populate
   // also validates every intent's channel with a Release-armed check.
-  const std::size_t txTotal = ws_.populate(positions, intents, numChannels_);
+  std::size_t txTotal;
+  {
+    const telemetry::PhaseTimer t(mediumTm().populate);
+    txTotal = ws_.populate(positions, intents, numChannels_);
+  }
   stats_.transmissions += txTotal;
   stats_.listens += ws_.listeners.size();
+  if (telemetry::enabled()) {
+    telemetry::counterAdd(mediumTm().slots);
+    telemetry::counterAdd(mediumTm().txIntents, txTotal);
+    telemetry::counterAdd(mediumTm().listenIntents, ws_.listeners.size());
+  }
   if (ws_.listeners.empty()) return;
 
   const MediumMode mode = params_.mediumMode;
   const bool gridded = mode != MediumMode::Exact;
   if (gridded && txTotal > 0) {
+    const telemetry::PhaseTimer t(mediumTm().buildFields);
     const bool buildHier = mode == MediumMode::Hierarchical;
     if (dynamicPositions_) {
       buildFieldsDynamic(positions, buildHier);
@@ -150,6 +204,14 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
   const std::uint64_t slotIdx = ++fadingSlot_;
 
   std::atomic<std::uint64_t> decodes{0};
+  // Per-slot telemetry tallies: lanes accumulate locally (an add per
+  // batched cell or near pair, noise next to the kernel work) and publish
+  // once per range; the registry is only touched when telemetry is on.
+  std::atomic<std::uint64_t> tmCandidates{0};
+  std::atomic<std::uint64_t> tmExactPairs{0};
+  std::atomic<std::uint64_t> tmNearPairs{0};
+  std::atomic<std::uint64_t> tmFarCells{0};
+  std::array<std::atomic<std::uint64_t>, kHierLevelSlots> tmHierLevels{};
   const auto processRange = [&](std::size_t rangeBegin, std::size_t rangeEnd) {
     // Exact-mode sweep tile: distances and kernel values for up to kTile
     // transmitters are staged in flat buffers so the distance and
@@ -163,12 +225,23 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
     const NodeId* ids = ws_.txIds.data();
 
     std::uint64_t localDecodes = 0;
+    std::uint64_t localCandidates = 0;
+    std::uint64_t localExactPairs = 0;
+    std::uint64_t localNearPairs = 0;
+    std::uint64_t localFarCells = 0;
+    std::array<std::uint64_t, kHierLevelSlots> localHierLevels{};
+    // Hier traversal is timed per worker range, not per listener: a clock
+    // read per listener costs more than the traversal it would measure
+    // (the per-level admission counters carry the fine-grained breakdown).
+    const bool timeHier = mode == MediumMode::Hierarchical && telemetry::enabled();
+    const std::uint64_t hierT0 = timeHier ? nowNanos() : 0;
     for (std::size_t li = rangeBegin; li < rangeEnd; ++li) {
       const NodeId v = ws_.listeners[li];
       const ChannelId c = intents[static_cast<std::size_t>(v)].channel;
       const std::int32_t lo = ws_.bucketBegin(c);
       const std::int32_t hi = ws_.bucketEnd(c);
       if (lo == hi) continue;  // silent channel
+      ++localCandidates;
 
       double total = 0.0;
       double best = -1.0;
@@ -181,6 +254,7 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
       // so power and ranging stay finite (any positive distance passes
       // through untouched).
       const auto accumulatePair = [&](NodeId w, Vec2 pw) {
+        ++localNearPairs;
         const double d2raw = dist2(pw, pv);
         double rx = kern(d2raw > 0.0 ? d2raw : kMinD2);
         if (hasFading) {
@@ -197,6 +271,7 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
         for (std::int32_t i0 = lo; i0 < hi; i0 += static_cast<std::int32_t>(kTile)) {
           const std::size_t base = static_cast<std::size_t>(i0);
           const std::size_t m = std::min(kTile, static_cast<std::size_t>(hi) - base);
+          localExactPairs += m;
           for (std::size_t j = 0; j < m; ++j) {
             // Same operand order as dist2(pw, pv) in the scalar path.
             const double dx = xs[base + j] - pv.x;
@@ -233,6 +308,7 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
         // inside a touching cell, hence an exact `best` candidate.
         for (const FarCell& cell : f.cells) {
           if (geom.cellDist2(cell.cx, cell.cy, pv) > nearR2) {
+            ++localFarCells;
             const double d2c = dist2(cell.centroid, pv);
             double cellRx = static_cast<double>(cell.ids.size()) * kern(d2c > 0.0 ? d2c : kMinD2);
             if (hasFading) {
@@ -265,6 +341,8 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
         f.hier.forEachField(
             pv, nearR, theta,
             [&](std::int64_t count, Vec2 centroid, int level, long cx, long cy) {
+              ++localFarCells;
+              ++localHierLevels[static_cast<std::size_t>(level)];
               const double d2c = dist2(centroid, pv);
               double cellRx = static_cast<double>(count) * kern(d2c > 0.0 ? d2c : kMinD2);
               if (hasFading) {
@@ -305,14 +383,43 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
       }
     }
     decodes.fetch_add(localDecodes, std::memory_order_relaxed);
+    if (timeHier) telemetry::timerRecordSlow(mediumTm().hierTraverse, nowNanos() - hierT0);
+    if (telemetry::enabled()) {
+      tmCandidates.fetch_add(localCandidates, std::memory_order_relaxed);
+      tmExactPairs.fetch_add(localExactPairs, std::memory_order_relaxed);
+      tmNearPairs.fetch_add(localNearPairs, std::memory_order_relaxed);
+      tmFarCells.fetch_add(localFarCells, std::memory_order_relaxed);
+      for (int k = 0; k < kHierLevelSlots; ++k) {
+        if (localHierLevels[static_cast<std::size_t>(k)] > 0) {
+          tmHierLevels[static_cast<std::size_t>(k)].fetch_add(
+              localHierLevels[static_cast<std::size_t>(k)], std::memory_order_relaxed);
+        }
+      }
+    }
   };
 
-  if (pool_) {
-    pool_->parallelFor(ws_.listeners.size(), processRange);
-  } else {
-    processRange(0, ws_.listeners.size());
+  {
+    const telemetry::PhaseTimer t(mediumTm().sweep);
+    if (pool_) {
+      pool_->parallelFor(ws_.listeners.size(), processRange);
+    } else {
+      processRange(0, ws_.listeners.size());
+    }
   }
   stats_.decodes += decodes.load(std::memory_order_relaxed);
+
+  if (telemetry::enabled()) {
+    telemetry::counterAdd(mediumTm().decodes, decodes.load(std::memory_order_relaxed));
+    telemetry::counterAdd(mediumTm().candidates, tmCandidates.load(std::memory_order_relaxed));
+    telemetry::counterAdd(mediumTm().exactPairs, tmExactPairs.load(std::memory_order_relaxed));
+    telemetry::counterAdd(mediumTm().nearPairs, tmNearPairs.load(std::memory_order_relaxed));
+    telemetry::counterAdd(mediumTm().farCells, tmFarCells.load(std::memory_order_relaxed));
+    for (int k = 0; k < kHierLevelSlots; ++k) {
+      const std::uint64_t adm = tmHierLevels[static_cast<std::size_t>(k)].load(
+          std::memory_order_relaxed);
+      if (adm > 0) telemetry::counterAdd(hierLevelCounter(k), adm);
+    }
+  }
 }
 
 }  // namespace mcs

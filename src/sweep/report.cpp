@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <fstream>
 
+#include "telemetry/telemetry.h"
 #include "util/csv.h"
 #include "util/stats.h"
 
@@ -97,6 +98,13 @@ Json cellToJson(const CellResult& cell) {
   Json perSeed = Json::array();
   for (const SeedResult& r : cell.batch.perSeed) perSeed.push_back(seedToJson(r));
   j.set("per_seed", std::move(perSeed));
+  // Telemetry block only when the runner captured one (telemetry enabled):
+  // default runs keep the historical cell layout byte-for-byte.
+  if (!cell.telemetry.entries().empty()) {
+    Json tm = Json::object();
+    for (const auto& [name, value] : cell.telemetry.entries()) tm.set(name, value);
+    j.set("telemetry", std::move(tm));
+  }
   return j;
 }
 
@@ -119,6 +127,12 @@ Json campaignToJson(const CampaignResult& campaign) {
   Json cells = Json::array();
   for (const CellResult& cell : campaign.cells) cells.push_back(cellToJson(cell));
   j.set("cells", std::move(cells));
+  // Campaign-wide counter/timer totals, present only when telemetry is
+  // enabled — the default report layout stays byte-identical.
+  if (telemetry::enabled()) {
+    const telemetry::MetricsSnapshot snap = telemetry::snapshotMetrics();
+    if (!snap.empty()) j.set("telemetry", snap.toJson());
+  }
   return j;
 }
 
@@ -163,6 +177,11 @@ bool loadCellResult(const std::string& path, CellResult& out, std::string& err) 
       return false;
     }
     out.batch.perSeed.push_back(std::move(r));
+  }
+  if (const Json* tm = j.find("telemetry"); tm != nullptr && tm->isObject()) {
+    for (const auto& [name, value] : tm->members()) {
+      out.telemetry.set(name, value.asDouble());
+    }
   }
   return true;
 }
@@ -247,6 +266,17 @@ bool writeCampaignCsv(const CampaignResult& campaign, const std::string& path,
       };
       emitSummary("mean", summary.mean);
       emitSummary("ci95", summary.ci95);
+    }
+    // Per-cell telemetry rows (engine counters / phase timings attributed
+    // to this cell), with the literal word "telemetry" in the seed column.
+    // Absent unless the campaign ran with --metrics, so default CSVs are
+    // unchanged.
+    for (const auto& [name, value] : cell.telemetry.entries()) {
+      std::vector<std::string> cols = prefix;
+      cols.emplace_back("telemetry");
+      cols.push_back(name);
+      cols.push_back(formatDouble(value, 9));
+      f << csvJoin(cols) << '\n';
     }
   }
   f.flush();

@@ -1,18 +1,15 @@
 #include "sweep/runner.h"
 
-#include <chrono>
+#include <cstdio>
 #include <filesystem>
 
 #include "sweep/report.h"
+#include "telemetry/telemetry.h"
+#include "util/clock.h"
 
 namespace mcs {
 
 namespace {
-
-double wallNow() {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 /// A cached cell is only trusted when it is the very same cell: the
 /// stored complete spec fingerprint must match the freshly expanded spec
@@ -22,6 +19,48 @@ bool cacheMatches(const CellResult& cached, const SweepCell& cell) {
          cached.specFingerprint == scenarioToKeyValues(cell.spec) &&
          static_cast<int>(cached.batch.perSeed.size()) == cell.spec.seeds;
 }
+
+/// Flattens a snapshot delta into the cell's MetricMap under a "tm."
+/// prefix (counters as totals, timers as ".sec"/".count" pairs) so the
+/// per-cell JSON/CSV machinery carries telemetry without new plumbing.
+void recordCellTelemetry(const telemetry::MetricsSnapshot& delta, MetricMap& out) {
+  for (const telemetry::CounterSample& c : delta.counters) {
+    if (c.value != 0) out.set("tm." + c.name, static_cast<double>(c.value));
+  }
+  for (const telemetry::TimerSample& t : delta.timers) {
+    if (t.count == 0) continue;
+    out.set("tm." + t.name + ".sec", t.totalSec);
+    out.set("tm." + t.name + ".count", static_cast<double>(t.count));
+  }
+}
+
+/// Campaign progress heartbeat on stderr: cells done, throughput, ETA.
+/// Cells vary wildly in cost across a sweep axis, so the ETA is the
+/// honest kind — average-so-far extrapolated, not a promise.
+struct Heartbeat {
+  bool enabled = false;
+  std::string campaign;
+  int shardCells = 0;
+  double t0 = 0.0;
+  double lastEmit = 0.0;
+  int done = 0;
+  int cached = 0;
+
+  void cellDone(bool fromCache) {
+    ++done;
+    if (fromCache) ++cached;
+    if (!enabled) return;
+    const double now = nowSec();
+    if (done < shardCells && now - lastEmit < 0.5) return;
+    lastEmit = now;
+    const double elapsed = now - t0;
+    const double rate = elapsed > 0.0 ? done / elapsed : 0.0;
+    const double eta = rate > 0.0 ? (shardCells - done) / rate : 0.0;
+    std::fprintf(stderr, "[sweep %s] %d/%d cells (%d cached) | %.2f cells/s | ETA %.0fs\n",
+                 campaign.c_str(), done, shardCells, cached, rate, eta);
+    std::fflush(stderr);
+  }
+};
 
 }  // namespace
 
@@ -64,7 +103,17 @@ bool runCampaign(const SweepSpec& spec, const CampaignOptions& opts, CampaignRes
   if (!expandSweep(spec, cells, err)) return false;
   out.totalCells = static_cast<int>(cells.size());
 
-  const double t0 = wallNow();
+  static const telemetry::TimerId kCellTimer = telemetry::timerId("sweep.cell");
+
+  const double t0 = nowSec();
+  Heartbeat beat;
+  beat.enabled = opts.heartbeat;
+  beat.campaign = spec.name;
+  beat.t0 = t0;
+  for (const SweepCell& cell : cells) {
+    if (cellInShard(cell.index, opts.shardIndex, opts.shardCount)) ++beat.shardCells;
+  }
+
   for (SweepCell& cell : cells) {
     if (!cellInShard(cell.index, opts.shardIndex, opts.shardCount)) continue;
     const std::string path = cellFilePath(opts.outDir, spec.name, cell.index);
@@ -77,6 +126,7 @@ bool runCampaign(const SweepSpec& spec, const CampaignOptions& opts, CampaignRes
         cached.fromCache = true;
         if (opts.onCell) opts.onCell(cell, true);
         out.cells.push_back(std::move(cached));
+        beat.cellDone(true);
         continue;
       }
       // Stale or unreadable: fall through and re-run the cell.
@@ -85,7 +135,19 @@ bool runCampaign(const SweepSpec& spec, const CampaignOptions& opts, CampaignRes
     if (opts.onCell) opts.onCell(cell, false);
     CellResult res;
     res.cell = cell;
-    res.batch = runScenarioBatch(cell.spec, opts.threads);
+    // Cells run sequentially and seed batches join before returning, so a
+    // snapshot delta around the batch attributes engine counters to this
+    // cell exactly (when telemetry is enabled; free otherwise).
+    const bool withTelemetry = telemetry::enabled();
+    telemetry::MetricsSnapshot before;
+    if (withTelemetry) before = telemetry::snapshotMetrics();
+    {
+      const telemetry::PhaseTimer cellTimer(kCellTimer);
+      res.batch = runScenarioBatch(cell.spec, opts.threads);
+    }
+    if (withTelemetry) {
+      recordCellTelemetry(telemetry::snapshotMetrics().diff(before), res.telemetry);
+    }
     if (opts.writeCellFiles) {
       std::error_code ec;
       std::filesystem::create_directories(std::filesystem::path(path).parent_path(), ec);
@@ -96,8 +158,9 @@ bool runCampaign(const SweepSpec& spec, const CampaignOptions& opts, CampaignRes
       }
     }
     out.cells.push_back(std::move(res));
+    beat.cellDone(false);
   }
-  out.wallSec = wallNow() - t0;
+  out.wallSec = nowSec() - t0;
   return true;
 }
 

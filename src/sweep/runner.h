@@ -28,6 +28,10 @@ struct CampaignOptions {
   /// Write per-cell JSONs as cells finish (the resume substrate; also
   /// what a crashed campaign leaves behind).  Tests turn this off.
   bool writeCellFiles = true;
+  /// Emit a progress heartbeat on stderr after cells finish (cells done /
+  /// cells-per-sec / ETA), throttled to roughly twice a second.  The CLIs
+  /// turn this on; library callers and tests default off.
+  bool heartbeat = false;
   /// Progress hook, called before each cell runs or is skipped.
   std::function<void(const SweepCell&, bool cached)> onCell;
 };
@@ -42,6 +46,12 @@ struct CellResult {
   /// the freshly expanded cell exactly.
   std::string specFingerprint;
   ScenarioBatchResult batch;
+  /// Telemetry delta attributed to this cell (counter totals plus
+  /// per-phase timer seconds/counts, "tm."-prefixed), captured around the
+  /// cell's seed batch when telemetry is enabled; empty otherwise — and
+  /// empty means the cell JSON/CSV layout is byte-identical to the
+  /// pre-telemetry engine.
+  MetricMap telemetry;
 
   /// The summary table the reports emit: slots, decode_rate,
   /// structure_slots, wall_sec, then every named protocol metric.

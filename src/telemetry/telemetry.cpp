@@ -1,0 +1,255 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace mcs::telemetry {
+
+namespace {
+
+struct TimerAcc {
+  std::uint64_t count = 0;
+  std::uint64_t totalNs = 0;
+  std::uint64_t maxNs = 0;
+};
+
+/// One thread's recording area.  Cells are plain integers written by the
+/// owning thread through relaxed std::atomic_ref stores; snapshot/reset
+/// read and write them the same way, so cross-thread access is race-free
+/// without per-record locking.  The vectors themselves only grow under
+/// the registry mutex (see growCounters/growTimers), which snapshot also
+/// holds, so reallocation never races a reader.
+struct Shard {
+  std::vector<std::uint64_t> counters;
+  std::vector<TimerAcc> timers;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::string> counterNames;
+  std::vector<std::string> timerNames;
+  std::vector<Shard*> live;
+  Shard retired;  ///< Folded-in shards of exited threads.
+};
+
+Registry& reg() {
+  // Leaked on purpose: worker threads may exit (and merge their shards)
+  // during static destruction, after a function-local static registry
+  // would already be gone.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+inline std::uint64_t relaxedLoad(const std::uint64_t& cell) noexcept {
+  return std::atomic_ref<const std::uint64_t>(cell).load(std::memory_order_relaxed);
+}
+
+inline void relaxedStore(std::uint64_t& cell, std::uint64_t v) noexcept {
+  std::atomic_ref<std::uint64_t>(cell).store(v, std::memory_order_relaxed);
+}
+
+/// Owner-thread increment (no RMW needed: a shard has exactly one writer).
+inline void relaxedAdd(std::uint64_t& cell, std::uint64_t delta) noexcept {
+  relaxedStore(cell, relaxedLoad(cell) + delta);
+}
+
+struct TlsShard {
+  Shard shard;
+
+  TlsShard() {
+    Registry& r = reg();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.live.push_back(&shard);
+  }
+
+  ~TlsShard() {
+    Registry& r = reg();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    // Fold this thread's totals into the retired accumulator so counts
+    // survive ThreadPool teardown (pools die before snapshots are read).
+    auto& rc = r.retired.counters;
+    if (rc.size() < shard.counters.size()) rc.resize(shard.counters.size());
+    for (std::size_t i = 0; i < shard.counters.size(); ++i) rc[i] += shard.counters[i];
+    auto& rt = r.retired.timers;
+    if (rt.size() < shard.timers.size()) rt.resize(shard.timers.size());
+    for (std::size_t i = 0; i < shard.timers.size(); ++i) {
+      rt[i].count += shard.timers[i].count;
+      rt[i].totalNs += shard.timers[i].totalNs;
+      rt[i].maxNs = std::max(rt[i].maxNs, shard.timers[i].maxNs);
+    }
+    r.live.erase(std::find(r.live.begin(), r.live.end(), &shard));
+  }
+};
+
+Shard& tls() {
+  thread_local TlsShard t;
+  return t.shard;
+}
+
+void growCounters(Shard& s, std::size_t atLeast) {
+  Registry& r = reg();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  s.counters.resize(std::max(atLeast, r.counterNames.size()));
+}
+
+void growTimers(Shard& s, std::size_t atLeast) {
+  Registry& r = reg();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  s.timers.resize(std::max(atLeast, r.timerNames.size()));
+}
+
+std::uint32_t internName(std::vector<std::string>& names, std::string_view name) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  names.emplace_back(name);
+  return static_cast<std::uint32_t>(names.size() - 1);
+}
+
+}  // namespace
+
+void setEnabled(bool on) noexcept {
+  detail::g_metricsEnabled.store(on, std::memory_order_relaxed);
+}
+
+CounterId counterId(std::string_view name) {
+  Registry& r = reg();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return internName(r.counterNames, name);
+}
+
+TimerId timerId(std::string_view name) {
+  Registry& r = reg();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return internName(r.timerNames, name);
+}
+
+void counterAddSlow(CounterId id, std::uint64_t delta) {
+  Shard& s = tls();
+  if (id >= s.counters.size()) growCounters(s, static_cast<std::size_t>(id) + 1);
+  relaxedAdd(s.counters[id], delta);
+}
+
+void timerRecordSlow(TimerId id, std::uint64_t ns) {
+  Shard& s = tls();
+  if (id >= s.timers.size()) growTimers(s, static_cast<std::size_t>(id) + 1);
+  TimerAcc& acc = s.timers[id];
+  relaxedAdd(acc.count, 1);
+  relaxedAdd(acc.totalNs, ns);
+  if (ns > relaxedLoad(acc.maxNs)) relaxedStore(acc.maxNs, ns);
+}
+
+std::uint64_t MetricsSnapshot::counterOr(std::string_view name,
+                                         std::uint64_t fallback) const noexcept {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return fallback;
+}
+
+const TimerSample* MetricsSnapshot::findTimer(std::string_view name) const noexcept {
+  for (const TimerSample& t : timers) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+bool MetricsSnapshot::empty() const noexcept {
+  for (const CounterSample& c : counters) {
+    if (c.value != 0) return false;
+  }
+  for (const TimerSample& t : timers) {
+    if (t.count != 0) return false;
+  }
+  return true;
+}
+
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& prev) const {
+  MetricsSnapshot out = *this;
+  for (CounterSample& c : out.counters) {
+    const std::uint64_t before = prev.counterOr(c.name);
+    c.value = c.value >= before ? c.value - before : 0;
+  }
+  for (TimerSample& t : out.timers) {
+    if (const TimerSample* before = prev.findTimer(t.name)) {
+      t.count = t.count >= before->count ? t.count - before->count : 0;
+      t.totalSec = std::max(0.0, t.totalSec - before->totalSec);
+      // maxSec stays the lifetime max: per-interval maxima are not
+      // recoverable from fold state, and the lifetime max is still a
+      // valid upper bound for the interval.
+    }
+  }
+  return out;
+}
+
+Json MetricsSnapshot::toJson() const {
+  Json j = Json::object();
+  Json c = Json::object();
+  for (const CounterSample& s : counters) c.set(s.name, static_cast<double>(s.value));
+  j.set("counters", std::move(c));
+  Json t = Json::object();
+  for (const TimerSample& s : timers) {
+    Json one = Json::object();
+    one.set("count", static_cast<double>(s.count));
+    one.set("total_sec", s.totalSec);
+    one.set("mean_us", s.count ? s.totalSec * 1e6 / static_cast<double>(s.count) : 0.0);
+    one.set("max_us", s.maxSec * 1e6);
+    t.set(s.name, std::move(one));
+  }
+  j.set("timers", std::move(t));
+  return j;
+}
+
+MetricsSnapshot snapshotMetrics() {
+  Registry& r = reg();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  MetricsSnapshot out;
+  out.counters.resize(r.counterNames.size());
+  for (std::size_t i = 0; i < r.counterNames.size(); ++i) {
+    out.counters[i].name = r.counterNames[i];
+    std::uint64_t sum = i < r.retired.counters.size() ? r.retired.counters[i] : 0;
+    for (const Shard* s : r.live) {
+      if (i < s->counters.size()) sum += relaxedLoad(s->counters[i]);
+    }
+    out.counters[i].value = sum;
+  }
+  out.timers.resize(r.timerNames.size());
+  for (std::size_t i = 0; i < r.timerNames.size(); ++i) {
+    TimerSample& t = out.timers[i];
+    t.name = r.timerNames[i];
+    std::uint64_t count = 0, totalNs = 0, maxNs = 0;
+    const auto fold = [&](const TimerAcc& acc) {
+      count += relaxedLoad(acc.count);
+      totalNs += relaxedLoad(acc.totalNs);
+      maxNs = std::max(maxNs, relaxedLoad(acc.maxNs));
+    };
+    if (i < r.retired.timers.size()) fold(r.retired.timers[i]);
+    for (const Shard* s : r.live) {
+      if (i < s->timers.size()) fold(s->timers[i]);
+    }
+    t.count = count;
+    t.totalSec = static_cast<double>(totalNs) * 1e-9;
+    t.maxSec = static_cast<double>(maxNs) * 1e-9;
+  }
+  const auto byName = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(out.counters.begin(), out.counters.end(), byName);
+  std::sort(out.timers.begin(), out.timers.end(), byName);
+  return out;
+}
+
+void resetMetrics() {
+  Registry& r = reg();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  const auto zero = [](Shard& s) {
+    for (std::uint64_t& c : s.counters) relaxedStore(c, 0);
+    for (TimerAcc& t : s.timers) {
+      relaxedStore(t.count, 0);
+      relaxedStore(t.totalNs, 0);
+      relaxedStore(t.maxNs, 0);
+    }
+  };
+  zero(r.retired);
+  for (Shard* s : r.live) zero(*s);
+}
+
+}  // namespace mcs::telemetry

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/json.h"
+
+/// Engine-wide observability: named monotonic counters and histogram
+/// timers, recorded from anywhere in the stack (medium hot path, geometry
+/// maintenance, drivers, campaign runner) without feeding anything back
+/// into simulation state — enabling or disabling telemetry never changes
+/// a Reception, an RNG draw, or any bit of protocol output, so all
+/// bit-reproducibility contracts hold with it on or off.
+///
+/// Design:
+///  - Disabled (the default), every record call is one relaxed atomic
+///    load and a predicted branch — no clock reads, no locks, no
+///    allocation — so instrumentation can live on per-slot and even
+///    per-listener paths permanently.
+///  - Enabled, each thread records into its own shard (registered on
+///    first use, folded into a retired accumulator on thread exit), so
+///    recording never contends.  Shard cells are accessed through
+///    std::atomic_ref with relaxed ordering: snapshots taken while
+///    workers are actively recording are approximate; taken at a quiesce
+///    point (after parallelFor/batch joins, where every caller in this
+///    repo reads them) they are exact.
+///  - snapshotMetrics() merges shards deterministically: counters sum,
+///    timers fold (sum count/total, max of max), and the result is
+///    sorted by name — so for deterministic work the merged counters are
+///    identical across thread counts (locked by tests/test_telemetry.cpp).
+///
+/// Names are registered once (mutex-protected, call-site statics cache
+/// the dense id) and live for the process; the registry never shrinks.
+namespace mcs::telemetry {
+
+namespace detail {
+inline std::atomic<bool> g_metricsEnabled{false};
+}  // namespace detail
+
+/// True when counters/timers are being recorded.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_metricsEnabled.load(std::memory_order_relaxed);
+}
+
+/// Arms or disarms metric recording (process-global).
+void setEnabled(bool on) noexcept;
+
+using CounterId = std::uint32_t;
+using TimerId = std::uint32_t;
+
+/// Registers (or looks up) a counter/timer by name.  Call once per site
+/// and cache the id (a function-local static is the idiom); the lookup
+/// takes a mutex.
+[[nodiscard]] CounterId counterId(std::string_view name);
+[[nodiscard]] TimerId timerId(std::string_view name);
+
+/// Slow paths: record unconditionally into this thread's shard.
+void counterAddSlow(CounterId id, std::uint64_t delta);
+void timerRecordSlow(TimerId id, std::uint64_t ns);
+
+/// Adds `delta` to a monotonic counter (no-op when disabled).
+inline void counterAdd(CounterId id, std::uint64_t delta = 1) {
+  if (enabled() && delta != 0) counterAddSlow(id, delta);
+}
+
+/// Records one duration sample into a histogram timer (no-op when disabled).
+inline void timerRecord(TimerId id, std::uint64_t ns) {
+  if (enabled()) timerRecordSlow(id, ns);
+}
+
+/// RAII scope timer: measures construction-to-destruction and records it
+/// into the timer.  When telemetry is disabled at construction the scope
+/// never reads the clock.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(TimerId id) noexcept
+      : id_(id), armed_(enabled()), t0_(armed_ ? nowNanos() : 0) {}
+  ~PhaseTimer() { stop(); }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  /// Records now, instead of at scope exit (idempotent).
+  void stop() {
+    if (armed_) {
+      timerRecordSlow(id_, nowNanos() - t0_);
+      armed_ = false;
+    }
+  }
+
+ private:
+  TimerId id_;
+  bool armed_;
+  std::uint64_t t0_;
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct TimerSample {
+  std::string name;
+  std::uint64_t count = 0;
+  double totalSec = 0.0;
+  double maxSec = 0.0;
+};
+
+/// A merged, name-sorted view of every registered counter and timer.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<TimerSample> timers;
+
+  /// Counter value by name (0 when absent).
+  [[nodiscard]] std::uint64_t counterOr(std::string_view name,
+                                        std::uint64_t fallback = 0) const noexcept;
+  /// Timer sample by name (nullptr when absent).
+  [[nodiscard]] const TimerSample* findTimer(std::string_view name) const noexcept;
+
+  /// True when nothing was recorded (all counters zero, all timers empty).
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// This snapshot minus an earlier one (per-name monotonic subtraction;
+  /// names absent from `prev` pass through).  The per-cell/per-run delta
+  /// idiom: snapshot before, snapshot after, diff.
+  [[nodiscard]] MetricsSnapshot diff(const MetricsSnapshot& prev) const;
+
+  /// {"counters": {name: value, ...},
+  ///  "timers": {name: {"count": n, "total_sec": s, "mean_us": u,
+  ///                    "max_us": m}, ...}}
+  [[nodiscard]] Json toJson() const;
+};
+
+/// Merges every shard (live + retired) into a snapshot.  Exact when no
+/// thread is concurrently recording (see the header comment).
+[[nodiscard]] MetricsSnapshot snapshotMetrics();
+
+/// Zeroes every counter and timer (registrations are kept).  Only call
+/// at a quiesce point — e.g. between a warmup and a measured phase.
+void resetMetrics();
+
+}  // namespace mcs::telemetry

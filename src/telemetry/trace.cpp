@@ -1,0 +1,151 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+namespace mcs::telemetry {
+
+namespace {
+
+struct TraceEvent {
+  std::uint32_t name = 0;  ///< Index into Ring::names.
+  std::uint32_t tid = 0;
+  std::uint64_t tsNs = 0;
+  std::uint64_t durNs = 0;  ///< 0 for instants.
+  std::int64_t arg = -1;    ///< < 0: no args object.
+  char ph = 'X';
+};
+
+struct Ring {
+  std::mutex mu;
+  std::vector<std::string> names;
+  std::vector<TraceEvent> events;  ///< Ring storage, at most `capacity`.
+  std::size_t capacity = 1 << 16;
+  std::size_t head = 0;  ///< Next overwrite position once full.
+  std::uint32_t nextTid = 1;
+};
+
+Ring& ring() {
+  static Ring* r = new Ring();  // leaked: outlives worker-thread exit
+  return *r;
+}
+
+/// Small dense per-thread id for the "tid" field (thread::id hashes are
+/// unreadable in the viewer).
+std::uint32_t threadTid() {
+  thread_local std::uint32_t tid = 0;
+  if (tid == 0) {
+    Ring& r = ring();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    tid = r.nextTid++;
+  }
+  return tid;
+}
+
+void push(TraceEvent e) {
+  Ring& r = ring();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  if (r.events.size() < r.capacity) {
+    r.events.push_back(e);
+  } else if (r.capacity > 0) {
+    r.events[r.head] = e;
+    r.head = (r.head + 1) % r.capacity;
+  }
+}
+
+}  // namespace
+
+void setTraceEnabled(bool on, std::size_t ringCapacity) {
+  if (on) {
+    Ring& r = ring();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.events.clear();
+    r.events.reserve(ringCapacity);
+    r.capacity = ringCapacity;
+    r.head = 0;
+  }
+  detail::g_traceEnabled.store(on, std::memory_order_relaxed);
+}
+
+void clearTrace() {
+  Ring& r = ring();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.events.clear();
+  r.head = 0;
+}
+
+TraceNameId traceName(std::string_view name) {
+  Ring& r = ring();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (std::size_t i = 0; i < r.names.size(); ++i) {
+    if (r.names[i] == name) return static_cast<TraceNameId>(i);
+  }
+  r.names.emplace_back(name);
+  return static_cast<TraceNameId>(r.names.size() - 1);
+}
+
+void traceCompleteSlow(TraceNameId name, std::uint64_t tsNs, std::uint64_t durNs,
+                       std::int64_t arg) {
+  push(TraceEvent{name, threadTid(), tsNs, durNs, arg, 'X'});
+}
+
+void traceInstantSlow(TraceNameId name, std::int64_t arg) {
+  push(TraceEvent{name, threadTid(), nowNanos(), 0, arg, 'i'});
+}
+
+std::size_t traceEventCount() {
+  Ring& r = ring();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return r.events.size();
+}
+
+Json traceToJson() {
+  Ring& r = ring();
+  std::vector<TraceEvent> events;
+  std::vector<std::string> names;
+  {
+    const std::lock_guard<std::mutex> lock(r.mu);
+    events = r.events;
+    names = r.names;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.tsNs < b.tsNs; });
+  const std::uint64_t base = events.empty() ? 0 : events.front().tsNs;
+
+  Json root = Json::object();
+  root.set("displayTimeUnit", "ms");
+  Json list = Json::array();
+  for (const TraceEvent& e : events) {
+    Json j = Json::object();
+    j.set("name", names[e.name]);
+    j.set("ph", std::string(1, e.ph));
+    j.set("ts", static_cast<double>(e.tsNs - base) * 1e-3);
+    if (e.ph == 'X') j.set("dur", static_cast<double>(e.durNs) * 1e-3);
+    if (e.ph == 'i') j.set("s", "t");  // instant scope: thread
+    j.set("pid", 1);
+    j.set("tid", static_cast<double>(e.tid));
+    if (e.arg >= 0) {
+      Json args = Json::object();
+      args.set("v", static_cast<double>(e.arg));
+      j.set("args", std::move(args));
+    }
+    list.push_back(std::move(j));
+  }
+  root.set("traceEvents", std::move(list));
+  return root;
+}
+
+bool writeTraceFile(const std::string& path, std::string& err) {
+  std::ofstream f(path);
+  f << traceToJson().dump() << '\n';
+  f.flush();
+  if (!f.good()) {
+    err = "cannot write trace file \"" + path + "\"";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mcs::telemetry

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/clock.h"
+#include "util/json.h"
+
+/// Slot-level trace recorder emitting Chrome `trace_event` JSON (load the
+/// file in chrome://tracing or https://ui.perfetto.dev).  Spans (`"X"`
+/// complete events) cover slot resolution and engine phases; instants
+/// (`"i"`) mark protocol/topology state transitions (churn departures and
+/// arrivals, seed milestones).  Events live in a bounded ring buffer:
+/// when a run emits more than the capacity, the oldest events are
+/// overwritten, so a million-slot run keeps its *last* N events — the
+/// window that matters when a run misbehaves at the end.
+///
+/// Like the metrics registry, tracing never feeds back into simulation
+/// state: recording is armed by a global flag checked with one relaxed
+/// atomic load per site, and emitting appends to the ring under a mutex
+/// (tracing is an opt-in debugging mode, so per-event locking is an
+/// acceptable cost; disabled cost is the flag check alone).
+namespace mcs::telemetry {
+
+namespace detail {
+inline std::atomic<bool> g_traceEnabled{false};
+}  // namespace detail
+
+[[nodiscard]] inline bool traceEnabled() noexcept {
+  return detail::g_traceEnabled.load(std::memory_order_relaxed);
+}
+
+/// Arms the recorder with a fresh ring of `ringCapacity` events (previous
+/// events are discarded); `on = false` disarms and keeps whatever was
+/// recorded for export.
+void setTraceEnabled(bool on, std::size_t ringCapacity = 1 << 16);
+
+/// Drops every recorded event (the ring capacity is kept).
+void clearTrace();
+
+/// Interns a span/instant name; cache the id in a call-site static.
+using TraceNameId = std::uint32_t;
+[[nodiscard]] TraceNameId traceName(std::string_view name);
+
+/// Records a complete span ("X"): `tsNs` start, `durNs` duration.
+/// `arg` >= 0 is attached as {"args": {"v": arg}} (slot ordinal, node id).
+void traceCompleteSlow(TraceNameId name, std::uint64_t tsNs, std::uint64_t durNs,
+                       std::int64_t arg);
+/// Records an instant event ("i") at the current time.
+void traceInstantSlow(TraceNameId name, std::int64_t arg);
+
+inline void traceInstant(TraceNameId name, std::int64_t arg = -1) {
+  if (traceEnabled()) traceInstantSlow(name, arg);
+}
+
+/// RAII span: construction-to-destruction becomes one complete event.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceNameId name, std::int64_t arg = -1) noexcept
+      : name_(name), arg_(arg), armed_(traceEnabled()), t0_(armed_ ? nowNanos() : 0) {}
+  ~TraceScope() {
+    if (armed_) traceCompleteSlow(name_, t0_, nowNanos() - t0_, arg_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceNameId name_;
+  std::int64_t arg_;
+  bool armed_;
+  std::uint64_t t0_;
+};
+
+/// Events currently held in the ring.
+[[nodiscard]] std::size_t traceEventCount();
+
+/// The Chrome trace object: {"displayTimeUnit": "ms", "traceEvents":
+/// [...]}.  Events are sorted by start time and rebased so the first one
+/// starts at ts = 0; timestamps/durations are microseconds (the
+/// trace_event convention).
+[[nodiscard]] Json traceToJson();
+
+/// Serializes traceToJson() to `path`.  False + `err` on I/O failure.
+bool writeTraceFile(const std::string& path, std::string& err);
+
+}  // namespace mcs::telemetry

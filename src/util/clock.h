@@ -1,0 +1,25 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+/// Monotonic wall-clock helpers shared by the runners, benches, and the
+/// telemetry subsystem.  All timing in the repo goes through these two
+/// functions so "seconds" always means the same steady clock.
+namespace mcs {
+
+/// Monotonic wall-clock seconds (steady_clock since its epoch).
+[[nodiscard]] inline double nowSec() noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Monotonic nanoseconds — the telemetry timer/trace resolution.
+[[nodiscard]] inline std::uint64_t nowNanos() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace mcs

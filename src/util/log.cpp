@@ -2,11 +2,20 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <unordered_set>
 
 namespace mcs {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+/// Serializes the actual writes; the level check stays lock-free so
+/// dropped messages cost one relaxed load.
+std::mutex& logMutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* levelName(LogLevel level) {
   switch (level) {
@@ -27,7 +36,27 @@ LogLevel logLevel() noexcept { return g_level.load(std::memory_order_relaxed); }
 
 void logMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(logLevel())) return;
-  std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+  // One formatted buffer, one write: concurrent loggers can interleave
+  // whole lines but never characters within a line.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += levelName(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(logMutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+bool logWarnOnce(const std::string& key, const std::string& message) {
+  {
+    static std::unordered_set<std::string> seen;
+    const std::lock_guard<std::mutex> lock(logMutex());
+    if (!seen.insert(key).second) return false;
+  }
+  logMessage(LogLevel::Warn, message);
+  return true;
 }
 
 }  // namespace mcs

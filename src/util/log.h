@@ -5,6 +5,10 @@
 /// Tiny leveled logger.  Protocol code logs at Debug level; benches and
 /// examples raise the level to Info.  All output goes to stderr so that
 /// experiment tables on stdout stay machine-readable.
+///
+/// Thread-safe: each line is formatted into one buffer and written with a
+/// single stdio call under a mutex, so lines from ThreadPool workers
+/// never interleave mid-line.
 namespace mcs {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
@@ -20,5 +24,11 @@ inline void logDebug(const std::string& m) { logMessage(LogLevel::Debug, m); }
 inline void logInfo(const std::string& m) { logMessage(LogLevel::Info, m); }
 inline void logWarn(const std::string& m) { logMessage(LogLevel::Warn, m); }
 inline void logError(const std::string& m) { logMessage(LogLevel::Error, m); }
+
+/// Warns exactly once per `key` for the process lifetime — the hot-loop
+/// idiom ("grid fell back to a rebuild", "fading gain clamped") where the
+/// first occurrence is signal and the next million are noise.  Returns
+/// true when this call actually logged.
+bool logWarnOnce(const std::string& key, const std::string& message);
 
 }  // namespace mcs
