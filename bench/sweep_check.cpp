@@ -8,6 +8,11 @@
 // --wall-tol relative (faster is always fine), or when a cell's
 // failure/delivery/validity counters get worse.  Exit 2 on unreadable or
 // malformed inputs, so a missing baseline cannot pass as "no drift".
+//
+// Also accepts BenchReport {"rows": [...]} artifacts (e.g.
+// BENCH_campaign.json): the layout is auto-detected from the baseline,
+// rows match by their string columns, "wall"/"speedup" columns gate perf
+// with --wall-tol, everything else drifts with --metric-tol.
 
 #include <cstdio>
 
@@ -43,7 +48,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const SweepCheckResult result = compareCampaigns(baseline, candidate, opts);
+  // Layout auto-detection: campaign reports carry "cells", bench reports
+  // carry "rows".  The baseline decides; a candidate of the other layout
+  // simply compares as all-missing (which fails, as it should).
+  const bool rowsLayout = baseline.find("rows") != nullptr && baseline.find("cells") == nullptr;
+  const SweepCheckResult result = rowsLayout ? compareBenchRows(baseline, candidate, opts)
+                                             : compareCampaigns(baseline, candidate, opts);
   for (const std::string& note : result.notes) std::printf("note: %s\n", note.c_str());
   for (const std::string& v : result.violations) std::printf("FAIL: %s\n", v.c_str());
   std::printf("sweep_check: %d cells, %d metrics compared, %zu violations -> %s\n",

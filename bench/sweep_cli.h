@@ -4,6 +4,8 @@
 #include <thread>
 
 #include "bench_common.h"
+#include "campaign/coordinator.h"
+#include "campaign/report.h"
 #include "sweep/report.h"
 #include "sweep/runner.h"
 
@@ -20,7 +22,7 @@ inline const std::vector<std::string>& sweepReservedFlags() {
   static const std::vector<std::string> kReserved = {
       "list",    "cells", "dry-run", "sweep",   "preset",  "shard",
       "threads", "out-dir", "out",   "csv",     "resume",  "metrics",
-      "trace-out", "no-heartbeat"};
+      "trace-out", "no-heartbeat", "workers", "fault-kill-cell"};
   return kReserved;
 }
 
@@ -104,6 +106,63 @@ inline int runSweepCampaignCli(const SweepSpec& spec, const Args& args,
   opts.onCell = [](const SweepCell& cell, bool cached) {
     if (cached) row("%-6d %-32s %46s", cell.index, cell.label.c_str(), "cached");
   };
+
+  // --workers N selects the multi-process work queue (0 = hardware
+  // concurrency); without the flag the in-process runner below is
+  // untouched.  Per-cell results and reports are byte-identical either
+  // way (wall times aside), so the same baselines gate both modes.
+  if (args.has("workers")) {
+    campaign::WorkQueueOptions wq;
+    wq.workers = static_cast<int>(args.getInt("workers", 0));
+    // Process-level parallelism replaces lane parallelism: one lane per
+    // worker unless --threads asks for more.
+    wq.threadsPerWorker = static_cast<int>(args.getInt("threads", 1));
+    wq.shardIndex = opts.shardIndex;
+    wq.shardCount = opts.shardCount;
+    wq.resume = opts.resume;
+    wq.outDir = opts.outDir;
+    wq.heartbeat = opts.heartbeat;
+    wq.faultKillCell = static_cast<int>(args.getInt("fault-kill-cell", -1));
+    wq.onCell = opts.onCell;
+
+    campaign::WorkQueueCampaign wqc;
+    if (!campaign::runCampaignWorkQueue(spec, wq, wqc, err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 2;
+    }
+    for (const campaign::CellRecord& rec : wqc.cells) {
+      row("%-6d %-32s %10.0f %9.3f %2d/%-2d %8.2f  %s", rec.cell.index,
+          rec.cell.label.c_str(), rec.slotsMean, rec.decodeRateMean, rec.delivered,
+          rec.cell.spec.seeds, rec.wallMeanSec, rec.fromCache ? "cached" : "ran");
+    }
+    row("%s", "");
+    row("campaign: %zu/%d cells (shard %d/%d), %d cached, %d seed failures, %.2fs",
+        wqc.cells.size(), wqc.totalCells, wqc.shardIndex, wqc.shardCount, wqc.cachedCells(),
+        wqc.failures(), wqc.wallSec);
+    row("work queue: %llu leases, %llu requeues, %llu worker deaths, peak %zu pending "
+        "reduce nodes",
+        static_cast<unsigned long long>(wqc.leases),
+        static_cast<unsigned long long>(wqc.requeues),
+        static_cast<unsigned long long>(wqc.workerDeaths), wqc.peakPendingNodes);
+
+    std::string jsonPath;
+    if (!campaign::writeWorkQueueCampaignReport(wqc, wq.outDir, wq.outDir, jsonPath, err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", jsonPath.c_str());
+    std::string csv = csvPath;
+    if (csv.empty()) csv = args.get("csv");
+    if (csv.empty()) csv = wq.outDir + "/BENCH_sweep_" + wqc.name + ".csv";
+    if (!campaign::writeWorkQueueCampaignCsv(wqc, wq.outDir, csv, err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", csv.c_str());
+
+    if (!finishTelemetryCli(args, wqc.wallSec)) return 1;
+    return wqc.failures() > 0 ? 1 : 0;
+  }
 
   CampaignResult campaign;
   if (!runCampaign(spec, opts, campaign, err)) {

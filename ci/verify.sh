@@ -103,6 +103,36 @@ awk -v off="${base_wall}" -v on="${telem_wall}" 'BEGIN {
 ./bench/sweep_check --baseline=../sweeps/e10_baseline.json \
   --candidate=bench-artifacts/BENCH_sweep_e10_mobility.json --metric-tol=0.2 --wall-tol=9
 
+# --- Work-queue campaign smoke -----------------------------------------------
+# The same smoke campaign through the multi-process coordinator
+# (--workers): the spliced report must pass the identical baseline gate
+# as the in-process run — the byte-identity contract makes one baseline
+# serve both execution modes.  Separate out-dirs keep the in-process
+# artifact intact.
+./bench/sweep_runner --sweep=../sweeps/smoke.sweep --workers=4 \
+  --out-dir=bench-artifacts/wq-smoke
+./bench/sweep_check --baseline=../sweeps/baseline.json \
+  --candidate=bench-artifacts/wq-smoke/BENCH_sweep_smoke.json --metric-tol=0.2 --wall-tol=9
+
+# Fault-injection smoke: SIGKILL the worker holding cell 0's first lease
+# mid-cell.  The requeue/respawn path must still produce a report that
+# passes the same baseline gate — worker deaths are invisible in output.
+./bench/sweep_runner --sweep=../sweeps/smoke.sweep --workers=2 --fault-kill-cell=0 \
+  --out-dir=bench-artifacts/wq-fault
+./bench/sweep_check --baseline=../sweeps/baseline.json \
+  --candidate=bench-artifacts/wq-fault/BENCH_sweep_smoke.json --metric-tol=0.2 --wall-tol=9
+
+# Scheduling bench + its committed baseline (sweep_check's rows mode):
+# the work queue must beat static round-robin shards by >= 1.5x makespan
+# on the adversarial 8-worker grid, and the recorded rows must not drift
+# from sweeps/campaign_baseline.json (lease/requeue counts are exact;
+# makespans and speedups ride the loose wall tolerance plus the hard
+# 1.5x floor).  After an intentional scheduling change, regenerate with
+#   cp bench-artifacts/BENCH_campaign.json ../sweeps/campaign_baseline.json
+(cd bench-artifacts && ../bench/bench_campaign --require-speedup=1.5)
+./bench/sweep_check --baseline=../sweeps/campaign_baseline.json \
+  --candidate=bench-artifacts/BENCH_campaign.json --metric-tol=0.2 --wall-tol=9
+
 for report in bench-artifacts/BENCH_*.json; do
   if [ ! -s "${report}" ] || grep -qE '"(rows|cells)": \[\]' "${report}"; then
     echo "FAIL: empty bench report ${report}"

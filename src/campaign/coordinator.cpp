@@ -1,0 +1,396 @@
+#include "campaign/coordinator.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <thread>
+#include <unordered_map>
+
+#include "campaign/protocol.h"
+#include "campaign/worker.h"
+#include "sweep/report.h"
+#include "sweep/runner.h"
+#include "telemetry/telemetry.h"
+#include "util/clock.h"
+#include "util/framing.h"
+#include "util/proc.h"
+
+namespace mcs::campaign {
+
+namespace {
+
+/// One live worker and its in-flight lease.
+struct WorkerSlot {
+  ChildProc proc;
+  FrameDecoder dec;
+  /// Leased cell index, or -1 when idle.
+  int leasedCell = -1;
+  double leaseSentAt = 0.0;
+};
+
+struct ProgressLine {
+  bool enabled = false;
+  std::string campaign;
+  int shardCells = 0;
+  double t0 = 0.0;
+  double lastEmit = 0.0;
+
+  void emit(int done, int cached, std::size_t queueDepth, int liveWorkers, bool force) {
+    if (!enabled) return;
+    const double now = nowSec();
+    if (!force && now - lastEmit < 0.5) return;
+    lastEmit = now;
+    const double elapsed = now - t0;
+    const double rate = elapsed > 0.0 ? done / elapsed : 0.0;
+    const double eta = rate > 0.0 ? (shardCells - done) / rate : 0.0;
+    std::fprintf(stderr,
+                 "[campaign %s] %d/%d cells (%d cached) | queue %zu | %d workers | "
+                 "%.2f cells/s | ETA %.0fs\n",
+                 campaign.c_str(), done, shardCells, cached, queueDepth, liveWorkers, rate,
+                 eta);
+    std::fflush(stderr);
+  }
+};
+
+}  // namespace
+
+bool runCampaignWorkQueue(const SweepSpec& spec, const WorkQueueOptions& opts,
+                          WorkQueueCampaign& out, std::string& err) {
+  out = WorkQueueCampaign{};
+  out.name = spec.name;
+  out.baseName = spec.baseName;
+  out.description = describeSweep(spec);
+  out.shardIndex = opts.shardIndex;
+  out.shardCount = opts.shardCount;
+
+  std::vector<SweepCell> cells;
+  if (!expandSweep(spec, cells, err)) return false;
+  out.totalCells = static_cast<int>(cells.size());
+
+  static const telemetry::CounterId kLeases = telemetry::counterId("campaign.leases");
+  static const telemetry::CounterId kRequeues = telemetry::counterId("campaign.requeues");
+  static const telemetry::CounterId kDeaths = telemetry::counterId("campaign.worker_deaths");
+  static const telemetry::TimerId kLeaseRtt = telemetry::timerId("campaign.lease_rtt");
+  static const telemetry::TimerId kReduce = telemetry::timerId("campaign.reduce");
+
+  const double t0 = nowSec();
+
+  // This shard's cells, in expansion order; leaf index in the reduction
+  // tree = position here, so the reduced root only depends on the shard's
+  // cell set, never on worker scheduling.
+  std::vector<const SweepCell*> shardCells;
+  for (const SweepCell& cell : cells) {
+    if (cellInShard(cell.index, opts.shardIndex, opts.shardCount)) shardCells.push_back(&cell);
+  }
+  out.cells.resize(shardCells.size());
+  for (std::size_t i = 0; i < shardCells.size(); ++i) out.cells[i].cell = *shardCells[i];
+  std::unordered_map<int, std::size_t> leafOf;  // cell.index -> leaf/record position
+  for (std::size_t i = 0; i < shardCells.size(); ++i) leafOf[shardCells[i]->index] = i;
+
+  const auto recordDisplayMeans = [](CellRecord& rec, const MetricStats& stats) {
+    for (const auto& [name, s] : stats) {
+      if (name == "slots") rec.slotsMean = s.mean();
+      if (name == "decode_rate") rec.decodeRateMean = s.mean();
+      if (name == "wall_sec") rec.wallMeanSec = s.mean();
+    }
+  };
+
+  TreeReducer reducer(shardCells.size());
+  const auto foldLeaf = [&](std::size_t leaf, MetricStats stats) {
+    const double r0 = nowSec();
+    reducer.addLeaf(leaf, std::move(stats));
+    telemetry::timerRecord(kReduce, static_cast<std::uint64_t>((nowSec() - r0) * 1e9));
+    if (reducer.pendingNodes() > out.peakPendingNodes) {
+      out.peakPendingNodes = reducer.pendingNodes();
+    }
+  };
+
+  int done = 0;
+  const int shardTotal = static_cast<int>(shardCells.size());
+
+  // Resume pass: fold trusted cached cells before anything is leased.
+  std::deque<int> queue;  // pending cell indices, expansion order
+  for (std::size_t i = 0; i < shardCells.size(); ++i) {
+    const SweepCell& cell = *shardCells[i];
+    if (opts.resume) {
+      const std::string path = cellFilePath(opts.outDir, spec.name, cell.index);
+      CellResult cached;
+      std::string loadErr;
+      if (std::filesystem::exists(path) && loadCellResult(path, cached, loadErr) &&
+          cellCacheMatches(cached, cell)) {
+        cached.cell = cell;
+        CellRecord& rec = out.cells[i];
+        rec.fromCache = true;
+        rec.failures = cached.batch.failures();
+        rec.delivered = cached.batch.deliveredCount();
+        rec.valid = cached.batch.validCount();
+        rec.invalid = cached.batch.invalidCount();
+        MetricStats stats = cellMetricStats(cached);
+        recordDisplayMeans(rec, stats);
+        foldLeaf(i, std::move(stats));
+        if (opts.onCell) opts.onCell(cell, true);
+        ++done;
+        continue;
+      }
+      // Stale or unreadable: fall through and lease the cell.
+    }
+    queue.push_back(cell.index);
+  }
+
+  int workerCount = opts.workers;
+  if (workerCount <= 0) {
+    workerCount = static_cast<int>(std::thread::hardware_concurrency());
+    if (workerCount <= 0) workerCount = 2;
+  }
+  // Never more workers than leases to hand out.
+  if (static_cast<std::size_t>(workerCount) > queue.size()) {
+    workerCount = static_cast<int>(queue.size());
+  }
+
+  const SigPipeGuard sigpipe;  // dead-worker writes must be EPIPE, not SIGPIPE
+  WorkerConfig workerCfg;
+  workerCfg.campaign = spec.name;
+  workerCfg.outDir = opts.outDir;
+  workerCfg.threads = opts.threadsPerWorker;
+  const auto childMain = [&cells, workerCfg](int fd) {
+    return campaignWorkerMain(fd, cells, workerCfg);
+  };
+
+  std::vector<WorkerSlot> workers;
+  const auto liveFds = [&]() {
+    std::vector<int> fds;
+    for (const WorkerSlot& w : workers) {
+      if (w.proc.valid()) fds.push_back(w.proc.fd);
+    }
+    return fds;
+  };
+  const auto spawnWorker = [&]() -> bool {
+    WorkerSlot slot;
+    if (!spawnChildWithSocket(childMain, liveFds(), slot.proc, err)) return false;
+    std::string fdErr;
+    if (!setNonBlocking(slot.proc.fd, true, fdErr)) {
+      killChildProc(slot.proc);
+      err = fdErr;
+      return false;
+    }
+    workers.push_back(std::move(slot));
+    return true;
+  };
+  const auto liveWorkers = [&]() {
+    int n = 0;
+    for (const WorkerSlot& w : workers) n += w.proc.valid() ? 1 : 0;
+    return n;
+  };
+  const auto teardown = [&]() {
+    for (WorkerSlot& w : workers) {
+      if (w.proc.valid()) killChildProc(w.proc);
+    }
+  };
+
+  // A deterministically crashing cell must become an error, not a fork
+  // loop: the budget is generous against real transient deaths (each one
+  // costs a respawn) but bounded in the cell count and fleet size.
+  const std::uint64_t deathBudget = static_cast<std::uint64_t>(workerCount) * 2 + 4;
+  bool faultArmed = opts.faultKillCell >= 0;
+
+  for (int i = 0; i < workerCount; ++i) {
+    if (!spawnWorker()) {
+      teardown();
+      return false;
+    }
+  }
+
+  ProgressLine progress;
+  progress.enabled = opts.heartbeat;
+  progress.campaign = spec.name;
+  progress.shardCells = shardTotal;
+  progress.t0 = t0;
+
+  const auto sendLease = [&](WorkerSlot& w, int cellIndex) -> bool {
+    Frame lease = makeFrame(FrameType::Lease);
+    lease.body.set("cell", cellIndex);
+    std::string sendErr;
+    if (!writeFrame(w.proc.fd, encodeFrame(lease), sendErr)) return false;
+    w.leasedCell = cellIndex;
+    w.leaseSentAt = nowSec();
+    ++out.leases;
+    telemetry::counterAdd(kLeases);
+    if (opts.onCell) {
+      const std::size_t leaf = leafOf.at(cellIndex);
+      opts.onCell(*shardCells[leaf], false);
+    }
+    return true;
+  };
+
+  const auto handleDeath = [&](WorkerSlot& w) {
+    ++out.workerDeaths;
+    telemetry::counterAdd(kDeaths);
+    if (w.leasedCell >= 0) {
+      queue.push_front(w.leasedCell);  // requeue: idempotent by construction
+      w.leasedCell = -1;
+      ++out.requeues;
+      telemetry::counterAdd(kRequeues);
+    }
+    killChildProc(w.proc);  // already dead; reaps the zombie and closes the fd
+  };
+
+  std::string protocolErr;
+  while (done < shardTotal && protocolErr.empty()) {
+    // Lease to every idle live worker first.
+    for (WorkerSlot& w : workers) {
+      if (queue.empty()) break;
+      if (!w.proc.valid() || w.leasedCell >= 0) continue;
+      const int cellIndex = queue.front();
+      queue.pop_front();
+      if (!sendLease(w, cellIndex)) {
+        queue.push_front(cellIndex);
+        handleDeath(w);
+      }
+    }
+    if (liveWorkers() == 0) {
+      if (out.workerDeaths > deathBudget) {
+        protocolErr = "worker death budget exhausted (" + std::to_string(out.workerDeaths) +
+                      " deaths) — a cell is crashing its worker deterministically";
+        break;
+      }
+      if (!spawnWorker()) {
+        protocolErr = err;
+        break;
+      }
+      continue;
+    }
+
+    std::vector<pollfd> pfds;
+    std::vector<std::size_t> pfdSlot;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (!workers[i].proc.valid()) continue;
+      pfds.push_back(pollfd{workers[i].proc.fd, POLLIN, 0});
+      pfdSlot.push_back(i);
+    }
+    const int ready = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 200);
+    if (ready < 0 && errno != EINTR) {
+      protocolErr = "poll: " + std::string(std::strerror(errno));
+      break;
+    }
+
+    for (std::size_t p = 0; p < pfds.size() && protocolErr.empty(); ++p) {
+      if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      WorkerSlot& w = workers[pfdSlot[p]];
+      if (!w.proc.valid()) continue;
+
+      // Drain the socket; EOF after the drain is a death.
+      bool sawEof = false;
+      char buf[65536];
+      for (;;) {
+        const ssize_t n = ::read(w.proc.fd, buf, sizeof buf);
+        if (n > 0) {
+          w.dec.feed(buf, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n == 0) sawEof = true;
+        if (n < 0 && errno == EINTR) continue;
+        break;  // EOF, EAGAIN, or error
+      }
+
+      std::string payload;
+      while (protocolErr.empty() && w.dec.next(payload)) {
+        Frame frame;
+        std::string decodeErr;
+        if (!decodeFrame(payload, frame, decodeErr)) {
+          protocolErr = "worker frame: " + decodeErr;
+          break;
+        }
+        const int cellIndex = static_cast<int>(frame.body.numberAt("cell", -1.0));
+        if (frame.type == FrameType::Heartbeat) {
+          if (cellIndex == w.leasedCell) {
+            telemetry::timerRecord(
+                kLeaseRtt, static_cast<std::uint64_t>((nowSec() - w.leaseSentAt) * 1e9));
+          }
+          if (faultArmed && cellIndex == opts.faultKillCell) {
+            // Fault injection: the worker just started this cell — kill it
+            // mid-cell and let the normal EOF path requeue the lease.
+            faultArmed = false;
+            ::kill(w.proc.pid, SIGKILL);
+          }
+          continue;
+        }
+        if (frame.type != FrameType::Result) continue;
+        const auto leafIt = leafOf.find(cellIndex);
+        if (leafIt == leafOf.end() || cellIndex != w.leasedCell) {
+          protocolErr = "worker returned unleased cell " + std::to_string(cellIndex);
+          break;
+        }
+        CellRecord& rec = out.cells[leafIt->second];
+        rec.failures = static_cast<int>(frame.body.numberAt("failures"));
+        rec.delivered = static_cast<int>(frame.body.numberAt("delivered"));
+        rec.valid = static_cast<int>(frame.body.numberAt("valid"));
+        rec.invalid = static_cast<int>(frame.body.numberAt("invalid"));
+        rec.wallSec = frame.body.numberAt("wall_sec");
+        const Json* moments = frame.body.find("moments");
+        MetricStats stats = moments ? momentsFromJson(*moments) : MetricStats{};
+        recordDisplayMeans(rec, stats);
+        foldLeaf(leafIt->second, std::move(stats));
+        w.leasedCell = -1;
+        ++done;
+        progress.emit(done, out.cachedCells(), queue.size(), liveWorkers(),
+                      done == shardTotal);
+        if (!queue.empty()) {
+          const int next = queue.front();
+          queue.pop_front();
+          if (!sendLease(w, next)) {
+            queue.push_front(next);
+            handleDeath(w);
+            break;
+          }
+        }
+      }
+      if (protocolErr.empty() && w.proc.valid() && (w.dec.bad() || sawEof)) {
+        handleDeath(w);
+        if (out.workerDeaths > deathBudget) {
+          protocolErr = "worker death budget exhausted (" +
+                        std::to_string(out.workerDeaths) +
+                        " deaths) — a cell is crashing its worker deterministically";
+        }
+      }
+    }
+  }
+
+  if (!protocolErr.empty()) {
+    teardown();
+    err = protocolErr;
+    return false;
+  }
+
+  // Graceful drain: DONE to every live worker, then close and reap.
+  for (WorkerSlot& w : workers) {
+    if (!w.proc.valid()) continue;
+    std::string sendErr;
+    (void)writeFrame(w.proc.fd, encodeFrame(makeFrame(FrameType::Done)), sendErr);
+    ::close(w.proc.fd);
+    w.proc.fd = -1;
+    int status = 0;
+    // The worker is between frames, so DONE (or the EOF from our close)
+    // ends it promptly; the deadline only guards against a wedged child.
+    const double deadline = nowSec() + 10.0;
+    while (!reapChild(w.proc, status)) {
+      if (nowSec() > deadline) {
+        killChildProc(w.proc);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  out.reduction = reducer.root();
+  out.wallSec = nowSec() - t0;
+  return true;
+}
+
+}  // namespace mcs::campaign

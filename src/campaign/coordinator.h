@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/reduce.h"
+#include "sweep/expand.h"
+
+/// The campaign coordinator: multi-process work-queue execution of a
+/// sweep.  Expands the sweep once, forks N workers connected by
+/// socketpairs, and leases cells one at a time — a worker that finishes
+/// early simply asks for more by finishing, so skewed grids (one heavy
+/// axis value) load-balance instead of starving behind a static shard
+/// split.
+///
+/// Contracts (locked by tests/test_campaign.cpp):
+///  - Every per-cell JSON is byte-identical to what the in-process
+///    single-threaded runner writes (wall times aside): workers run the
+///    same batch code, and per-cell results are thread- and
+///    process-count invariant.
+///  - Leases are idempotent: a cell is identified by its deterministic
+///    expansion fingerprint, cell files are written atomically, and
+///    re-running a cell reproduces the same bytes — so a lease lost to a
+///    worker death is simply requeued.
+///  - The campaign-wide reduction folds per-cell moment records through
+///    a fixed-shape tree (campaign/reduce.h), so the aggregate is
+///    bit-identical no matter which worker finished which cell first.
+///
+/// Worker death (socket EOF, from crash or kill) requeues the in-flight
+/// lease and respawns a replacement, up to a death budget that turns a
+/// deterministically crashing cell into a campaign error instead of a
+/// fork loop.  Memory stays O(cells in flight): the coordinator keeps
+/// per-cell counter records and moment summaries, never per-seed rows —
+/// those live in the cell files, which report writers stream back in.
+namespace mcs::campaign {
+
+struct WorkQueueOptions {
+  /// Worker process count; 0 = hardware_concurrency.
+  int workers = 0;
+  /// ThreadPool lanes inside each worker's batch (default 1: process
+  /// parallelism replaces lane parallelism).
+  int threadsPerWorker = 1;
+  /// Shard of the cell grid to run; composes with --shard so a CI matrix
+  /// entry can itself run a work queue.
+  int shardIndex = 0;
+  int shardCount = 1;
+  /// Skip cells whose per-cell JSON already exists and matches (checked
+  /// in the coordinator before anything is leased).
+  bool resume = false;
+  std::string outDir = ".";
+  /// Progress heartbeat on stderr (cells done, queue depth, live
+  /// workers, throughput, ETA).
+  bool heartbeat = false;
+  /// Fault-injection hook for tests/CI: SIGKILL the worker holding this
+  /// cell's *first* lease right after it acknowledges, forcing the
+  /// requeue path deterministically.  -1 = off.
+  int faultKillCell = -1;
+  /// Progress hook, called when a cell is leased (or resumed from cache).
+  std::function<void(const SweepCell&, bool cached)> onCell;
+};
+
+/// What the coordinator retains per cell: identity plus batch counters —
+/// O(1) per cell, never per-seed rows.
+struct CellRecord {
+  SweepCell cell;
+  bool fromCache = false;
+  int failures = 0;
+  int delivered = 0;
+  int valid = 0;
+  int invalid = 0;
+  double wallSec = 0.0;
+  /// Display means lifted from the cell's moment record (the CLI table
+  /// prints these without reloading the cell file).
+  double slotsMean = 0.0;
+  double decodeRateMean = 0.0;
+  double wallMeanSec = 0.0;
+};
+
+struct WorkQueueCampaign {
+  std::string name;
+  std::string baseName;
+  std::string description;
+  int totalCells = 0;
+  int shardIndex = 0;
+  int shardCount = 1;
+  /// This shard's cells in expansion order (report order), regardless of
+  /// completion order.
+  std::vector<CellRecord> cells;
+  /// Tree-reduced campaign-wide per-metric statistics.
+  MetricStats reduction;
+  /// Peak reducer frontier observed (memory diagnostics/tests).
+  std::size_t peakPendingNodes = 0;
+  double wallSec = 0.0;
+  std::uint64_t leases = 0;
+  std::uint64_t requeues = 0;
+  std::uint64_t workerDeaths = 0;
+
+  [[nodiscard]] int failures() const noexcept {
+    int f = 0;
+    for (const CellRecord& c : cells) f += c.failures;
+    return f;
+  }
+  [[nodiscard]] int cachedCells() const noexcept {
+    int n = 0;
+    for (const CellRecord& c : cells) n += c.fromCache ? 1 : 0;
+    return n;
+  }
+};
+
+/// Runs the campaign through the work queue.  Returns false on expansion
+/// errors, protocol failures, or an exhausted worker-death budget;
+/// per-seed failures inside cells do NOT fail the run (they are counted
+/// in the records, like the in-process runner).
+bool runCampaignWorkQueue(const SweepSpec& spec, const WorkQueueOptions& opts,
+                          WorkQueueCampaign& out, std::string& err);
+
+}  // namespace mcs::campaign

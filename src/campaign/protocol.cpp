@@ -1,0 +1,102 @@
+#include "campaign/protocol.h"
+
+#include <cstddef>
+
+namespace mcs::campaign {
+
+const char* toString(FrameType t) noexcept {
+  switch (t) {
+    case FrameType::Lease: return "lease";
+    case FrameType::Heartbeat: return "heartbeat";
+    case FrameType::Result: return "result";
+    case FrameType::Done: return "done";
+  }
+  return "done";
+}
+
+Frame makeFrame(FrameType t) {
+  Frame f;
+  f.type = t;
+  f.body.set("type", toString(t));
+  return f;
+}
+
+std::string encodeFrame(const Frame& f) { return f.body.dump(); }
+
+bool decodeFrame(const std::string& bytes, Frame& out, std::string& err) {
+  if (!Json::parse(bytes, out.body, err)) return false;
+  if (!out.body.isObject()) {
+    err = "frame is not a JSON object";
+    return false;
+  }
+  const std::string type = out.body.stringAt("type");
+  if (type == "lease") {
+    out.type = FrameType::Lease;
+  } else if (type == "heartbeat") {
+    out.type = FrameType::Heartbeat;
+  } else if (type == "result") {
+    out.type = FrameType::Result;
+  } else if (type == "done") {
+    out.type = FrameType::Done;
+  } else {
+    err = "unknown frame type \"" + type + "\"";
+    return false;
+  }
+  return true;
+}
+
+Json momentsToJson(const MetricStats& stats) {
+  Json j = Json::object();
+  for (const auto& [name, s] : stats) {
+    Json m = Json::object();
+    m.set("n", s.count());
+    m.set("mean", s.mean());
+    m.set("m2", s.m2());
+    m.set("min", s.min());
+    m.set("max", s.max());
+    m.set("sum", s.sum());
+    j.set(name, std::move(m));
+  }
+  return j;
+}
+
+MetricStats momentsFromJson(const Json& j) {
+  MetricStats out;
+  if (!j.isObject()) return out;
+  out.reserve(j.size());
+  for (const auto& [name, m] : j.members()) {
+    out.emplace_back(name, OnlineStats::fromMoments(
+                               static_cast<std::size_t>(m.numberAt("n")), m.numberAt("mean"),
+                               m.numberAt("m2"), m.numberAt("min"), m.numberAt("max"),
+                               m.numberAt("sum")));
+  }
+  return out;
+}
+
+MetricStats cellMetricStats(const CellResult& cell) {
+  MetricStats out;
+  OnlineStats slots, decodeRate, structureSlots, wallSec;
+  for (const SeedResult& r : cell.batch.perSeed) {
+    wallSec.add(r.wallSec);  // wall time counts failed seeds, like summarizeWallSec
+    if (r.failed()) continue;
+    slots.add(static_cast<double>(r.slots));
+    decodeRate.add(r.decodeRate);
+    structureSlots.add(static_cast<double>(r.structureSlots));
+  }
+  out.emplace_back("slots", slots);
+  out.emplace_back("decode_rate", decodeRate);
+  out.emplace_back("structure_slots", structureSlots);
+  out.emplace_back("wall_sec", wallSec);
+  for (const std::string& name : cell.batch.metricNames()) {
+    OnlineStats s;
+    for (const SeedResult& r : cell.batch.perSeed) {
+      if (r.failed()) continue;
+      if (const double* v = r.metrics.find(name)) s.add(*v);
+    }
+    out.emplace_back(name, s);
+  }
+  sortMetricStats(out);
+  return out;
+}
+
+}  // namespace mcs::campaign

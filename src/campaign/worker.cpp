@@ -1,0 +1,93 @@
+#include "campaign/worker.h"
+
+#include <filesystem>
+#include <system_error>
+
+#include "campaign/protocol.h"
+#include "sweep/report.h"
+#include "sweep/runner.h"
+#include "telemetry/telemetry.h"
+#include "util/framing.h"
+#include "util/proc.h"
+
+namespace mcs::campaign {
+
+namespace {
+
+const SweepCell* findCell(const std::vector<SweepCell>& cells, int index) {
+  // Expansion assigns index = position; trust but verify, fall back to a
+  // scan so a future reindexing scheme degrades to O(n), not to wrong
+  // cells.
+  if (index >= 0 && index < static_cast<int>(cells.size()) && cells[index].index == index) {
+    return &cells[index];
+  }
+  for (const SweepCell& c : cells) {
+    if (c.index == index) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int campaignWorkerMain(int fd, const std::vector<SweepCell>& cells, const WorkerConfig& cfg) {
+  const SigPipeGuard sigpipe;  // a dying coordinator must surface as EPIPE
+  static const telemetry::TimerId kCellTimer = telemetry::timerId("sweep.cell");
+  FrameDecoder dec;
+  std::string payload, err;
+  for (;;) {
+    if (!readFrameBlocking(fd, dec, payload, err)) {
+      return err == "eof" ? 0 : 2;  // coordinator gone: quiet exit
+    }
+    Frame frame;
+    if (!decodeFrame(payload, frame, err)) return 2;
+    if (frame.type == FrameType::Done) return 0;
+    if (frame.type != FrameType::Lease) continue;  // ignore unexpected kinds
+
+    const int index = static_cast<int>(frame.body.numberAt("cell", -1.0));
+    const SweepCell* cell = findCell(cells, index);
+    if (cell == nullptr) return 3;  // coordinator leased a cell we don't hold
+
+    // Lease acknowledgement — the coordinator's liveness signal and the
+    // campaign.lease_rtt sample.
+    Frame ack = makeFrame(FrameType::Heartbeat);
+    ack.body.set("cell", index);
+    if (!writeFrame(fd, encodeFrame(ack), err)) return 0;
+
+    // Run the cell exactly as the in-process runner would.
+    CellResult res;
+    res.cell = *cell;
+    const bool withTelemetry = telemetry::enabled();
+    telemetry::MetricsSnapshot before;
+    if (withTelemetry) before = telemetry::snapshotMetrics();
+    double cellWall = 0.0;
+    {
+      const double t0 = nowSec();
+      const telemetry::PhaseTimer cellTimer(kCellTimer);
+      res.batch = runScenarioBatch(cell->spec, cfg.threads);
+      cellWall = nowSec() - t0;
+    }
+    if (withTelemetry) {
+      recordCellTelemetry(telemetry::snapshotMetrics().diff(before), res.telemetry);
+    }
+
+    // Atomic cell write *before* RESULT: once the coordinator sees the
+    // RESULT, the complete cell file is guaranteed on disk.
+    const std::string path = cellFilePath(cfg.outDir, cfg.campaign, cell->index);
+    std::error_code ec;
+    std::filesystem::create_directories(std::filesystem::path(path).parent_path(), ec);
+    std::string writeErr;
+    if (!writeCellFile(res, path, writeErr)) return 4;
+
+    Frame result = makeFrame(FrameType::Result);
+    result.body.set("cell", index);
+    result.body.set("failures", res.batch.failures());
+    result.body.set("delivered", res.batch.deliveredCount());
+    result.body.set("valid", res.batch.validCount());
+    result.body.set("invalid", res.batch.invalidCount());
+    result.body.set("wall_sec", cellWall);
+    result.body.set("moments", momentsToJson(cellMetricStats(res)));
+    if (!writeFrame(fd, encodeFrame(result), err)) return 0;
+  }
+}
+
+}  // namespace mcs::campaign

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/expand.h"
+
+/// The campaign worker: the child side of the work-queue protocol.
+/// Forked from the coordinator after sweep expansion, so it already
+/// holds the full cell vector; it then loops — read LEASE, ack with
+/// HEARTBEAT, run the cell's seed batch, atomically write the per-cell
+/// JSON, stream the RESULT summary back — until a DONE frame (or EOF,
+/// meaning the coordinator died) ends it.
+///
+/// Cell execution is byte-for-byte the in-process runner's: same
+/// runScenarioBatch call, same telemetry attribution, same
+/// writeCellFile — so every cell file a worker produces is identical to
+/// what a single-threaded `runCampaign` would have written (wall times
+/// aside), which is what makes leases idempotent and crash re-leasing
+/// safe.
+namespace mcs::campaign {
+
+struct WorkerConfig {
+  /// Campaign (sweep) name — names the cell-file directory.
+  std::string campaign;
+  std::string outDir = ".";
+  /// ThreadPool lanes per cell batch (<= 1: sequential seeds).  Workers
+  /// default to 1: process-level parallelism replaces lane parallelism.
+  int threads = 1;
+};
+
+/// Runs the worker protocol loop over `fd` until DONE or EOF.  Returns
+/// the child exit code: 0 on a clean DONE/EOF, nonzero on protocol or
+/// I/O errors (the coordinator sees any nonzero exit as a worker death
+/// and requeues the in-flight lease).
+int campaignWorkerMain(int fd, const std::vector<SweepCell>& cells, const WorkerConfig& cfg);
+
+}  // namespace mcs::campaign

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "telemetry/telemetry.h"
+#include "util/log.h"
 
 namespace mcs {
 
@@ -180,6 +181,14 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
   if (ws_.listeners.empty()) return;
 
   const MediumMode mode = params_.mediumMode;
+  if (mode == MediumMode::Hierarchical && n < kHierSmallNCrossover) {
+    logWarnOnce("medium.hier_small_n",
+                "medium_mode=hier with n=" + std::to_string(n) + " (< " +
+                    std::to_string(kHierSmallNCrossover) +
+                    "): the per-slot pyramid build usually outweighs its savings at this "
+                    "scale (BENCH_medium.json: 0.96x the exact kernel at n=500/8ch); "
+                    "prefer medium_mode=nearfar below the crossover");
+  }
   const bool gridded = mode != MediumMode::Exact;
   if (gridded && txTotal > 0) {
     const telemetry::PhaseTimer t(mediumTm().buildFields);

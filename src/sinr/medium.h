@@ -93,6 +93,15 @@ struct MediumStats {
 /// Raise nearField to push that truncation out, or use Exact when
 /// fading-tail decodes matter.  Note that fading also perturbs RSSI-based
 /// senderDistance estimates — by design, that is the impairment.
+
+/// Node count below which Hierarchical mode is a regression, not an
+/// optimization: BENCH_medium.json has hier at 0.96x the *exact* kernel
+/// at n=500/8ch and behind NearFar at every measured n through 8000 —
+/// the pyramid build is per-slot overhead that only pays for itself when
+/// far-field listener work dwarfs it (≫10^4 nodes).  resolveSlot warns
+/// once when hier runs below this (see README "Choosing a medium mode").
+inline constexpr std::size_t kHierSmallNCrossover = 4000;
+
 class Medium {
  public:
   /// `numThreads` > 1 spreads the per-listener loop over a persistent

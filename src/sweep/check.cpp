@@ -129,4 +129,116 @@ SweepCheckResult compareCampaigns(const Json& baseline, const Json& candidate,
   return out;
 }
 
+namespace {
+
+/// Row identity: every string-valued column, in member order.
+std::string rowKey(const Json& row) {
+  std::string key;
+  for (const auto& [name, value] : row.members()) {
+    if (!value.isString()) continue;
+    if (!key.empty()) key += '/';
+    key += value.asString();
+  }
+  return key;
+}
+
+const Json* findRow(const Json& report, const std::string& key) {
+  const Json* rows = report.find("rows");
+  if (rows == nullptr || !rows->isArray()) return nullptr;
+  for (const Json& row : rows->items()) {
+    if (row.isObject() && rowKey(row) == key) return &row;
+  }
+  return nullptr;
+}
+
+void compareRow(const Json& base, const Json& cand, const SweepCheckOptions& opts,
+                SweepCheckResult& out) {
+  const std::string key = rowKey(base);
+  for (const auto& [column, baseVal] : base.members()) {
+    if (!baseVal.isNumber()) continue;
+    const Json* candVal = cand.find(column);
+    if (candVal == nullptr || !candVal->isNumber()) {
+      out.violations.push_back("row " + key + ": column " + column +
+                               " missing from candidate");
+      continue;
+    }
+    const double baseNum = baseVal.asDouble();
+    const double candNum = candVal->asDouble();
+    ++out.metricsCompared;
+    if (column.find("wall") != std::string::npos) {
+      const double denom = std::max(baseNum, opts.absFloor);
+      const double regression = (candNum - baseNum) / denom;
+      if (regression > opts.wallTol) {
+        out.violations.push_back("row " + key + ": " + column + " regression " +
+                                 fmt(regression * 100.0) + "% (" + fmt(baseNum) + " -> " +
+                                 fmt(candNum) + ", tol " + fmt(opts.wallTol * 100.0) + "%)");
+      }
+      continue;
+    }
+    if (column.find("speedup") != std::string::npos) {
+      const double denom = std::max(baseNum, opts.absFloor);
+      const double drop = (baseNum - candNum) / denom;
+      if (drop > opts.wallTol) {
+        out.violations.push_back("row " + key + ": " + column + " dropped " +
+                                 fmt(drop * 100.0) + "% (" + fmt(baseNum) + " -> " +
+                                 fmt(candNum) + ", tol " + fmt(opts.wallTol * 100.0) + "%)");
+      }
+      continue;
+    }
+    const double denom = std::max(std::abs(baseNum), opts.absFloor);
+    const double drift = std::abs(candNum - baseNum) / denom;
+    if (drift > opts.metricTol) {
+      out.violations.push_back("row " + key + ": " + column + " drift " +
+                               fmt(drift * 100.0) + "% (" + fmt(baseNum) + " -> " +
+                               fmt(candNum) + ", tol " + fmt(opts.metricTol * 100.0) + "%)");
+    }
+  }
+}
+
+}  // namespace
+
+SweepCheckResult compareBenchRows(const Json& baseline, const Json& candidate,
+                                  const SweepCheckOptions& opts) {
+  SweepCheckResult out;
+  if (!baseline.isObject() || !candidate.isObject()) {
+    out.violations.push_back("baseline or candidate is not a bench report JSON object");
+    return out;
+  }
+  if (baseline.stringAt("name") != candidate.stringAt("name")) {
+    out.notes.push_back("report names differ: \"" + baseline.stringAt("name") + "\" vs \"" +
+                        candidate.stringAt("name") + "\"");
+  }
+  const Json* baseRows = baseline.find("rows");
+  if (baseRows == nullptr || !baseRows->isArray() || baseRows->size() == 0) {
+    out.violations.push_back("baseline has no rows");
+    return out;
+  }
+  for (const Json& baseRow : baseRows->items()) {
+    const std::string key = rowKey(baseRow);
+    const Json* candRow = findRow(candidate, key);
+    if (candRow == nullptr) {
+      if (opts.allowMissing) {
+        out.notes.push_back("row " + key + " not in candidate (allowed)");
+      } else {
+        out.violations.push_back("row " + key + " missing from candidate");
+      }
+      continue;
+    }
+    ++out.cellsCompared;
+    compareRow(baseRow, *candRow, opts, out);
+  }
+  const Json* candRows = candidate.find("rows");
+  if (candRows != nullptr && candRows->isArray()) {
+    for (const Json& candRow : candRows->items()) {
+      if (findRow(baseline, rowKey(candRow)) == nullptr) {
+        out.notes.push_back("row " + rowKey(candRow) + " in candidate but not in baseline");
+      }
+    }
+  }
+  if (out.cellsCompared == 0 && out.ok()) {
+    out.violations.push_back("no rows compared (report mismatch?)");
+  }
+  return out;
+}
+
 }  // namespace mcs

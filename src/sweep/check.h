@@ -43,4 +43,16 @@ struct SweepCheckResult {
 [[nodiscard]] SweepCheckResult compareCampaigns(const Json& baseline, const Json& candidate,
                                                 const SweepCheckOptions& opts);
 
+/// Compares two bench-report JSONs (the BenchReport {"rows": [...]}
+/// layout, e.g. BENCH_campaign.json).  Rows are matched by the
+/// concatenation of their string-valued columns — reports gated this way
+/// must key each row uniquely by its string columns (BENCH_campaign uses
+/// mode + config).  Numeric columns then compare by name: columns
+/// containing "wall" are a perf gate (only an increase beyond wallTol
+/// fails), columns containing "speedup" are a floor (only a decrease
+/// beyond wallTol fails — a slower speedup IS a perf regression), and
+/// everything else is a metricTol drift check.
+[[nodiscard]] SweepCheckResult compareBenchRows(const Json& baseline, const Json& candidate,
+                                                const SweepCheckOptions& opts);
+
 }  // namespace mcs

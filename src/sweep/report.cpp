@@ -1,15 +1,16 @@
 #include "sweep/report.h"
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
+#include <ostream>
+#include <system_error>
 
 #include "telemetry/telemetry.h"
 #include "util/csv.h"
 #include "util/stats.h"
 
 namespace mcs {
-
-namespace {
 
 Json summaryToJson(const Summary& s) {
   Json j = Json::object();
@@ -23,6 +24,45 @@ Json summaryToJson(const Summary& s) {
   j.set("max", s.max);
   return j;
 }
+
+void stripWallTimes(Json& j) {
+  if (j.isObject()) {
+    for (auto& [key, value] : j.members()) {
+      if (key == "wall_sec") {
+        if (value.isNumber()) {
+          value = Json(0.0);
+          continue;
+        }
+        if (value.isObject()) {
+          // The wall_sec summary block: keep the (deterministic) sample
+          // count, zero the derived statistics.
+          for (auto& [stat, v] : value.members()) {
+            if (stat != "count" && v.isNumber()) v = Json(0.0);
+          }
+          continue;
+        }
+      }
+      stripWallTimes(value);
+    }
+  } else if (j.isArray()) {
+    for (Json& item : j.items()) stripWallTimes(item);
+  }
+}
+
+Summary summaryFromJson(const Json& j) {
+  Summary s;
+  s.count = static_cast<std::size_t>(j.numberAt("count"));
+  s.mean = j.numberAt("mean");
+  s.stddev = j.numberAt("stddev");
+  s.ci95 = j.numberAt("ci95");
+  s.min = j.numberAt("min");
+  s.median = j.numberAt("p50");
+  s.p95 = j.numberAt("p95");
+  s.max = j.numberAt("max");
+  return s;
+}
+
+namespace {
 
 Json seedToJson(const SeedResult& r) {
   Json j = Json::object();
@@ -137,11 +177,23 @@ Json campaignToJson(const CampaignResult& campaign) {
 }
 
 bool writeCellFile(const CellResult& cell, const std::string& path, std::string& err) {
-  std::ofstream f(path);
-  f << cellToJson(cell).dump() << '\n';
-  f.flush();
-  if (!f.good()) {
-    err = "cannot write cell file \"" + path + "\"";
+  // tmp + rename: a worker killed mid-write leaves `<path>.tmp` behind,
+  // never a truncated cell_<i>.json that --resume would choke on.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp);
+    f << cellToJson(cell).dump() << '\n';
+    f.flush();
+    if (!f.good()) {
+      err = "cannot write cell file \"" + tmp + "\"";
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    err = "cannot rename \"" + tmp + "\" to \"" + path + "\": " + ec.message();
+    std::filesystem::remove(tmp, ec);
     return false;
   }
   return true;
@@ -199,18 +251,13 @@ bool writeCampaignReport(const CampaignResult& campaign, const std::string& dir,
   return true;
 }
 
-bool writeCampaignCsv(const CampaignResult& campaign, const std::string& path,
-                      std::string& err) {
-  std::ofstream f(path);
-  if (!f) {
-    err = "cannot write campaign CSV \"" + path + "\"";
-    return false;
-  }
+std::vector<std::string> campaignAxisKeys(
+    const std::vector<std::vector<std::pair<std::string, std::string>>>& assignments) {
   // Axis columns: union over cells in first-appearance order (cells of
   // one campaign share the same axis keys).
   std::vector<std::string> axisKeys;
-  for (const CellResult& cell : campaign.cells) {
-    for (const auto& [key, value] : cell.cell.assignments) {
+  for (const auto& cellAssignments : assignments) {
+    for (const auto& [key, value] : cellAssignments) {
       bool seen = false;
       for (const std::string& have : axisKeys) {
         if (have == key) {
@@ -221,64 +268,82 @@ bool writeCampaignCsv(const CampaignResult& campaign, const std::string& path,
       if (!seen) axisKeys.push_back(key);
     }
   }
+  return axisKeys;
+}
+
+void appendCellCsvRows(std::ostream& f, const CellResult& cell,
+                       const std::vector<std::string>& axisKeys) {
+  std::vector<std::string> prefix = {std::to_string(cell.cell.index), cell.cell.label};
+  for (const std::string& key : axisKeys) {
+    std::string value;
+    for (const auto& [k, v] : cell.cell.assignments) {
+      if (k == key) {
+        value = v;
+        break;
+      }
+    }
+    prefix.push_back(value);
+  }
+  for (const SeedResult& r : cell.batch.perSeed) {
+    const auto emit = [&](const std::string& metric, double value) {
+      std::vector<std::string> cols = prefix;
+      cols.push_back(std::to_string(r.seed));
+      cols.push_back(metric);
+      cols.push_back(formatDouble(value, 9));
+      f << csvJoin(cols) << '\n';
+    };
+    emit("slots", static_cast<double>(r.slots));
+    emit("decode_rate", r.decodeRate);
+    emit("structure_slots", static_cast<double>(r.structureSlots));
+    emit("delivered", r.delivered ? 1.0 : 0.0);
+    emit("wall_sec", r.wallSec);
+    for (const auto& [name, value] : r.metrics.entries()) emit(name, value);
+  }
+  // Per-cell summary rows: the batch mean and its 95% CI half-width,
+  // one pair per summarized metric, with the literal words "mean" /
+  // "ci95" in the seed column (long-form consumers filter on it).
+  for (const auto& [metric, summary] : cell.summaries()) {
+    const auto emitSummary = [&](const char* stat, double value) {
+      std::vector<std::string> cols = prefix;
+      cols.emplace_back(stat);
+      cols.push_back(metric);
+      cols.push_back(formatDouble(value, 9));
+      f << csvJoin(cols) << '\n';
+    };
+    emitSummary("mean", summary.mean);
+    emitSummary("ci95", summary.ci95);
+  }
+  // Per-cell telemetry rows (engine counters / phase timings attributed
+  // to this cell), with the literal word "telemetry" in the seed column.
+  // Absent unless the campaign ran with --metrics, so default CSVs are
+  // unchanged.
+  for (const auto& [name, value] : cell.telemetry.entries()) {
+    std::vector<std::string> cols = prefix;
+    cols.emplace_back("telemetry");
+    cols.push_back(name);
+    cols.push_back(formatDouble(value, 9));
+    f << csvJoin(cols) << '\n';
+  }
+}
+
+bool writeCampaignCsv(const CampaignResult& campaign, const std::string& path,
+                      std::string& err) {
+  std::ofstream f(path);
+  if (!f) {
+    err = "cannot write campaign CSV \"" + path + "\"";
+    return false;
+  }
+  std::vector<std::vector<std::pair<std::string, std::string>>> assignments;
+  assignments.reserve(campaign.cells.size());
+  for (const CellResult& cell : campaign.cells) assignments.push_back(cell.cell.assignments);
+  const std::vector<std::string> axisKeys = campaignAxisKeys(assignments);
+
   std::vector<std::string> header = {"cell", "label"};
   for (const std::string& key : axisKeys) header.push_back(key);
   header.insert(header.end(), {"seed", "metric", "value"});
   f << csvJoin(header) << '\n';
 
-  for (const CellResult& cell : campaign.cells) {
-    std::vector<std::string> prefix = {std::to_string(cell.cell.index), cell.cell.label};
-    for (const std::string& key : axisKeys) {
-      std::string value;
-      for (const auto& [k, v] : cell.cell.assignments) {
-        if (k == key) {
-          value = v;
-          break;
-        }
-      }
-      prefix.push_back(value);
-    }
-    for (const SeedResult& r : cell.batch.perSeed) {
-      const auto emit = [&](const std::string& metric, double value) {
-        std::vector<std::string> cols = prefix;
-        cols.push_back(std::to_string(r.seed));
-        cols.push_back(metric);
-        cols.push_back(formatDouble(value, 9));
-        f << csvJoin(cols) << '\n';
-      };
-      emit("slots", static_cast<double>(r.slots));
-      emit("decode_rate", r.decodeRate);
-      emit("structure_slots", static_cast<double>(r.structureSlots));
-      emit("delivered", r.delivered ? 1.0 : 0.0);
-      emit("wall_sec", r.wallSec);
-      for (const auto& [name, value] : r.metrics.entries()) emit(name, value);
-    }
-    // Per-cell summary rows: the batch mean and its 95% CI half-width,
-    // one pair per summarized metric, with the literal words "mean" /
-    // "ci95" in the seed column (long-form consumers filter on it).
-    for (const auto& [metric, summary] : cell.summaries()) {
-      const auto emitSummary = [&](const char* stat, double value) {
-        std::vector<std::string> cols = prefix;
-        cols.emplace_back(stat);
-        cols.push_back(metric);
-        cols.push_back(formatDouble(value, 9));
-        f << csvJoin(cols) << '\n';
-      };
-      emitSummary("mean", summary.mean);
-      emitSummary("ci95", summary.ci95);
-    }
-    // Per-cell telemetry rows (engine counters / phase timings attributed
-    // to this cell), with the literal word "telemetry" in the seed column.
-    // Absent unless the campaign ran with --metrics, so default CSVs are
-    // unchanged.
-    for (const auto& [name, value] : cell.telemetry.entries()) {
-      std::vector<std::string> cols = prefix;
-      cols.emplace_back("telemetry");
-      cols.push_back(name);
-      cols.push_back(formatDouble(value, 9));
-      f << csvJoin(cols) << '\n';
-    }
-  }
+  for (const CellResult& cell : campaign.cells) appendCellCsvRows(f, cell, axisKeys);
   f.flush();
   if (!f.good()) {
     err = "cannot write campaign CSV \"" + path + "\"";

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sweep/runner.h"
 #include "util/json.h"
@@ -15,11 +18,28 @@ namespace mcs {
 /// counters, the per-metric summary table, and the per-seed rows.
 [[nodiscard]] Json cellToJson(const CellResult& cell);
 
+/// A Summary as the JSON object the cell "summaries" block uses
+/// (count/mean/stddev/ci95/min/p50/p95/max), and its inverse.  Shared
+/// with the campaign worker protocol, which streams per-cell summary
+/// tables over the wire in exactly this layout.
+[[nodiscard]] Json summaryToJson(const Summary& s);
+[[nodiscard]] Summary summaryFromJson(const Json& j);
+
+/// Zeroes every wall-clock field of a cell or campaign JSON tree in
+/// place (per-seed "wall_sec" values, the "wall_sec" summary block, and
+/// campaign meta wall time).  Wall time is the single nondeterministic
+/// field in an otherwise bit-reproducible report, so the byte-identity
+/// tests and tooling compare dumps after this canonicalization.
+void stripWallTimes(Json& j);
+
 /// The whole campaign: name, sweep metadata (base, shard, cell counts),
 /// and every cell of this shard in expansion order.
 [[nodiscard]] Json campaignToJson(const CampaignResult& campaign);
 
-/// Writes one per-cell JSON (parent directory must exist).
+/// Writes one per-cell JSON (parent directory must exist).  The write is
+/// atomic — bytes land in `<path>.tmp` and rename() into place — so a
+/// killed worker can leave a stale temp file but never a truncated
+/// `cell_<i>.json` for --resume to misread.
 bool writeCellFile(const CellResult& cell, const std::string& path, std::string& err);
 
 /// Parses a per-cell JSON back into a CellResult (batch fully populated,
@@ -36,5 +56,19 @@ bool writeCampaignReport(const CampaignResult& campaign, const std::string& dir,
 /// Metric names and labels pass through csvEscape.
 bool writeCampaignCsv(const CampaignResult& campaign, const std::string& path,
                       std::string& err);
+
+/// The axis-key union over `assignments` lists in first-appearance order
+/// (the CSV's leading columns).  Factored out so the streaming CSV
+/// writer in campaign/report.cpp derives the identical header from cell
+/// summary records without materializing CellResults.
+[[nodiscard]] std::vector<std::string> campaignAxisKeys(
+    const std::vector<std::vector<std::pair<std::string, std::string>>>& assignments);
+
+/// Appends one cell's CSV rows (per-seed, summary, telemetry) to an open
+/// stream under the given axis-key header.  writeCampaignCsv and the
+/// work-queue streaming writer share this, so both modes emit
+/// byte-identical rows for the same cell.
+void appendCellCsvRows(std::ostream& f, const CellResult& cell,
+                       const std::vector<std::string>& axisKeys);
 
 }  // namespace mcs

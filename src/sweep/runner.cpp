@@ -9,20 +9,12 @@
 
 namespace mcs {
 
-namespace {
-
-/// A cached cell is only trusted when it is the very same cell: the
-/// stored complete spec fingerprint must match the freshly expanded spec
-/// (any base/fixed-key/axis edit changes it), with a complete seed batch.
-bool cacheMatches(const CellResult& cached, const SweepCell& cell) {
+bool cellCacheMatches(const CellResult& cached, const SweepCell& cell) {
   return cached.cell.label == cell.label &&
          cached.specFingerprint == scenarioToKeyValues(cell.spec) &&
          static_cast<int>(cached.batch.perSeed.size()) == cell.spec.seeds;
 }
 
-/// Flattens a snapshot delta into the cell's MetricMap under a "tm."
-/// prefix (counters as totals, timers as ".sec"/".count" pairs) so the
-/// per-cell JSON/CSV machinery carries telemetry without new plumbing.
 void recordCellTelemetry(const telemetry::MetricsSnapshot& delta, MetricMap& out) {
   for (const telemetry::CounterSample& c : delta.counters) {
     if (c.value != 0) out.set("tm." + c.name, static_cast<double>(c.value));
@@ -33,6 +25,8 @@ void recordCellTelemetry(const telemetry::MetricsSnapshot& delta, MetricMap& out
     out.set("tm." + t.name + ".count", static_cast<double>(t.count));
   }
 }
+
+namespace {
 
 /// Campaign progress heartbeat on stderr: cells done, throughput, ETA.
 /// Cells vary wildly in cost across a sweep axis, so the ETA is the
@@ -121,7 +115,7 @@ bool runCampaign(const SweepSpec& spec, const CampaignOptions& opts, CampaignRes
     if (opts.resume && std::filesystem::exists(path)) {
       CellResult cached;
       std::string loadErr;
-      if (loadCellResult(path, cached, loadErr) && cacheMatches(cached, cell)) {
+      if (loadCellResult(path, cached, loadErr) && cellCacheMatches(cached, cell)) {
         cached.cell = cell;  // trust the freshly expanded spec, not the file
         cached.fromCache = true;
         if (opts.onCell) opts.onCell(cell, true);

@@ -6,6 +6,7 @@
 
 #include "scenario/runner.h"
 #include "sweep/expand.h"
+#include "telemetry/telemetry.h"
 
 /// The campaign runner: executes a sweep's cells as seed batches via
 /// runScenarioBatch, with deterministic sharding for CI matrices and
@@ -84,6 +85,18 @@ struct CampaignResult {
 /// The per-cell JSON path used by resume and by writeCellFiles.
 [[nodiscard]] std::string cellFilePath(const std::string& outDir, const std::string& campaign,
                                        int cellIndex);
+
+/// Whether a loaded per-cell JSON is trustworthy as a cache of `cell`:
+/// same label, same complete spec fingerprint (any base/fixed-key/axis
+/// edit changes it), complete seed batch.  Shared by --resume here and by
+/// the campaign coordinator's pre-lease cache pass.
+[[nodiscard]] bool cellCacheMatches(const CellResult& cached, const SweepCell& cell);
+
+/// Flattens a telemetry snapshot delta into `out` under a "tm." prefix
+/// (counters as totals, timers as ".sec"/".count" pairs) — the per-cell
+/// telemetry attribution used by both the in-process runner and the
+/// campaign workers.
+void recordCellTelemetry(const telemetry::MetricsSnapshot& delta, MetricMap& out);
 
 /// Expands and runs the campaign (this shard's cells only).  Returns
 /// false on expansion errors or unwritable cell files; per-seed failures

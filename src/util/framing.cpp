@@ -1,0 +1,115 @@
+#include "util/framing.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mcs {
+
+namespace {
+
+std::string errnoText(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+bool writeFdAll(int fd, const void* data, std::size_t len, std::string& err) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      err = errnoText("write");
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool writeFrame(int fd, std::string_view payload, std::string& err) {
+  if (payload.size() > kMaxFrameBytes) {
+    err = "frame payload exceeds kMaxFrameBytes";
+    return false;
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  const unsigned char hdr[4] = {
+      static_cast<unsigned char>(n >> 24), static_cast<unsigned char>(n >> 16),
+      static_cast<unsigned char>(n >> 8), static_cast<unsigned char>(n)};
+  // Header and payload in one buffer so a frame is one write() when it
+  // fits the socket buffer (it always does for campaign frames) — the
+  // peer never observes a header without its payload mid-stream.
+  std::string wire;
+  wire.reserve(sizeof hdr + payload.size());
+  wire.append(reinterpret_cast<const char*>(hdr), sizeof hdr);
+  wire.append(payload.data(), payload.size());
+  return writeFdAll(fd, wire.data(), wire.size(), err);
+}
+
+void FrameDecoder::feed(const char* data, std::size_t len) {
+  if (bad_) return;
+  // Compact the consumed prefix before it grows unbounded.
+  if (off_ > 0 && (off_ >= buf_.size() || off_ > 4096)) {
+    buf_.erase(0, off_);
+    off_ = 0;
+  }
+  buf_.append(data, len);
+}
+
+bool FrameDecoder::next(std::string& payload) {
+  if (bad_) return false;
+  if (buf_.size() - off_ < 4) return false;
+  const unsigned char* h = reinterpret_cast<const unsigned char*>(buf_.data() + off_);
+  const std::uint32_t n = (std::uint32_t{h[0]} << 24) | (std::uint32_t{h[1]} << 16) |
+                          (std::uint32_t{h[2]} << 8) | std::uint32_t{h[3]};
+  if (n > kMaxFrameBytes) {
+    bad_ = true;
+    return false;
+  }
+  if (buf_.size() - off_ < 4 + static_cast<std::size_t>(n)) return false;
+  payload.assign(buf_, off_ + 4, n);
+  off_ += 4 + static_cast<std::size_t>(n);
+  return true;
+}
+
+bool readFrameBlocking(int fd, FrameDecoder& dec, std::string& payload, std::string& err) {
+  for (;;) {
+    if (dec.next(payload)) return true;
+    if (dec.bad()) {
+      err = "frame stream corrupt (impossible length prefix)";
+      return false;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n == 0) {
+      err = "eof";
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      err = errnoText("read");
+      return false;
+    }
+    dec.feed(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool setNonBlocking(int fd, bool on, std::string& err) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    err = errnoText("fcntl(F_GETFL)");
+    return false;
+  }
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0) {
+    err = errnoText("fcntl(F_SETFL)");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mcs

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// Length-prefixed byte framing over POSIX file descriptors — the wire
+/// substrate of the campaign coordinator/worker protocol (see
+/// campaign/protocol.h for the frame vocabulary).
+///
+/// A frame on the wire is a 4-byte big-endian payload length followed by
+/// exactly that many payload bytes.  The format carries no alignment or
+/// checksum machinery: frames flow over in-process socketpairs between a
+/// coordinator and the workers it forked, so the kernel guarantees
+/// ordered, reliable delivery and the only failure modes are a peer
+/// dying mid-frame (surfaces as EOF) and a corrupted/hostile length
+/// (bounded by kMaxFrameBytes and surfaced as a decoder error, never an
+/// allocation of attacker-chosen size).
+namespace mcs {
+
+/// Upper bound on one frame's payload.  Campaign frames are cell leases
+/// and per-cell summary records — kilobytes, not megabytes — so anything
+/// near this bound is corruption, not data.
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/// Writes all `len` bytes (EINTR-retried, handles short writes).  Returns
+/// false with a diagnostic on error — including EPIPE when the peer died,
+/// which callers must expect (the coordinator treats it as worker death).
+bool writeFdAll(int fd, const void* data, std::size_t len, std::string& err);
+
+/// Writes one length-prefixed frame.
+bool writeFrame(int fd, std::string_view payload, std::string& err);
+
+/// Incremental frame decoder: feed() arbitrary byte chunks as they
+/// arrive from a (possibly nonblocking) fd, next() pops complete frames.
+/// A frame boundary never has to align with a read() boundary.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes from the wire.
+  void feed(const char* data, std::size_t len);
+
+  /// Pops the next complete frame payload into `payload`.  Returns false
+  /// when no complete frame is buffered (more bytes needed) — or when the
+  /// decoder is bad(); callers must check bad() to tell the two apart.
+  bool next(std::string& payload);
+
+  /// True once an impossible length prefix was seen (> kMaxFrameBytes).
+  /// The stream is unrecoverable from that point; the peer is broken.
+  [[nodiscard]] bool bad() const noexcept { return bad_; }
+
+  /// Bytes buffered but not yet consumed (diagnostics/tests).
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - off_; }
+
+ private:
+  std::string buf_;
+  std::size_t off_ = 0;  // consumed prefix of buf_, compacted lazily
+  bool bad_ = false;
+};
+
+/// Blocking convenience: reads from `fd` until one complete frame is
+/// decoded.  Returns false on EOF, read error, or a bad length prefix
+/// (`err` distinguishes; EOF sets err to "eof").  Used by workers, whose
+/// sockets stay blocking; the coordinator runs the decoder itself over
+/// nonblocking fds.
+bool readFrameBlocking(int fd, FrameDecoder& dec, std::string& payload, std::string& err);
+
+/// Sets O_NONBLOCK on (or off) `fd`.
+bool setNonBlocking(int fd, bool on, std::string& err);
+
+}  // namespace mcs

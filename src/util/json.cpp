@@ -26,6 +26,13 @@ const Json* Json::find(const std::string& key) const noexcept {
   return nullptr;
 }
 
+Json* Json::find(const std::string& key) noexcept {
+  for (auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
 namespace {
 
 void appendEscaped(std::string& out, const std::string& s) {

@@ -60,12 +60,17 @@ class Json {
   /// Array access.
   void push_back(Json v) { items_.push_back(std::move(v)); }
   [[nodiscard]] const std::vector<Json>& items() const noexcept { return items_; }
+  [[nodiscard]] std::vector<Json>& items() noexcept { return items_; }
 
   /// Object access: set() appends or overwrites, find() returns nullptr
   /// when absent.
   void set(const std::string& key, Json v);
   [[nodiscard]] const Json* find(const std::string& key) const noexcept;
+  [[nodiscard]] Json* find(const std::string& key) noexcept;
   [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] std::vector<std::pair<std::string, Json>>& members() noexcept {
     return members_;
   }
 

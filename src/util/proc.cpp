@@ -1,0 +1,75 @@
+#include "util/proc.h"
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+namespace mcs {
+
+bool spawnChildWithSocket(const std::function<int(int)>& childMain,
+                          const std::vector<int>& closeInChild, ChildProc& out,
+                          std::string& err) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    err = std::string("socketpair: ") + std::strerror(errno);
+    return false;
+  }
+  // The child must not flush a copy of the parent's buffered stdio.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    err = std::string("fork: ") + std::strerror(errno);
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::close(sv[0]);
+    for (const int fd : closeInChild) ::close(fd);
+    const int code = childMain(sv[1]);
+    ::close(sv[1]);
+    ::_exit(code);
+  }
+  ::close(sv[1]);
+  out.pid = pid;
+  out.fd = sv[0];
+  return true;
+}
+
+bool reapChild(ChildProc& c, int& status) {
+  if (c.pid <= 0) return false;
+  const pid_t r = ::waitpid(c.pid, &status, WNOHANG);
+  if (r == c.pid) {
+    c.pid = -1;
+    return true;
+  }
+  return false;
+}
+
+void killChildProc(ChildProc& c) {
+  if (c.pid > 0) {
+    ::kill(c.pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(c.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    c.pid = -1;
+  }
+  if (c.fd >= 0) {
+    ::close(c.fd);
+    c.fd = -1;
+  }
+}
+
+SigPipeGuard::SigPipeGuard() { previous_ = std::signal(SIGPIPE, SIG_IGN); }
+
+SigPipeGuard::~SigPipeGuard() {
+  if (previous_ != SIG_ERR) std::signal(SIGPIPE, previous_);
+}
+
+}  // namespace mcs

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+/// Child-process helpers for the campaign coordinator: fork a worker
+/// connected by a socketpair, reap it, kill it.  POSIX-only, like the
+/// fork-based execution model itself; everything else in the repo stays
+/// process-agnostic.
+namespace mcs {
+
+/// One forked child and the parent's end of its socketpair.
+struct ChildProc {
+  pid_t pid = -1;
+  int fd = -1;
+
+  [[nodiscard]] bool valid() const noexcept { return pid > 0 && fd >= 0; }
+};
+
+/// Creates a socketpair and forks.  The child closes every fd in
+/// `closeInChild` (the parent ends of earlier siblings — a child holding
+/// one would keep that sibling's EOF from ever reaching the coordinator),
+/// runs `childMain(childFd)`, and _exit()s with its return value
+/// (_exit, not exit: the child must not flush stdio buffers it inherited
+/// from the parent).  stdio is flushed in the parent before forking for
+/// the same reason.  On success the parent gets {pid, parentFd}.
+bool spawnChildWithSocket(const std::function<int(int)>& childMain,
+                          const std::vector<int>& closeInChild, ChildProc& out,
+                          std::string& err);
+
+/// waitpid(WNOHANG).  Returns true when the child has exited and was
+/// reaped (status filled in); false while it is still running.  `pid` is
+/// reset to -1 once reaped so a second call is a no-op.
+bool reapChild(ChildProc& c, int& status);
+
+/// SIGKILL + blocking reap + close of the parent fd (all best-effort,
+/// idempotent).  For fault injection and coordinator teardown.
+void killChildProc(ChildProc& c);
+
+/// RAII SIGPIPE suppression: a write to a worker that just died must
+/// surface as EPIPE from write(), not kill the coordinator.  Restores the
+/// previous disposition on destruction.
+class SigPipeGuard {
+ public:
+  SigPipeGuard();
+  ~SigPipeGuard();
+  SigPipeGuard(const SigPipeGuard&) = delete;
+  SigPipeGuard& operator=(const SigPipeGuard&) = delete;
+
+ private:
+  void (*previous_)(int);
+};
+
+}  // namespace mcs

@@ -38,6 +38,18 @@ void OnlineStats::merge(const OnlineStats& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+OnlineStats OnlineStats::fromMoments(std::size_t n, double mean, double m2, double min,
+                                     double max, double sum) noexcept {
+  OnlineStats s;
+  s.n_ = n;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.min_ = min;
+  s.max_ = max;
+  s.sum_ = sum;
+  return s;
+}
+
 double OnlineStats::variance() const noexcept {
   if (n_ < 2) return 0.0;
   return m2_ / static_cast<double>(n_ - 1);

@@ -26,6 +26,18 @@ class OnlineStats {
   [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
   [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
   [[nodiscard]] double sum() const noexcept { return sum_; }
+  /// Raw second central moment (sum of squared deviations) — together
+  /// with count/mean/min/max/sum this is the accumulator's full state, so
+  /// an OnlineStats can cross a process boundary (the campaign workers
+  /// serialize these five numbers) and merge() on the far side behaves
+  /// exactly as if the samples had been added there.
+  [[nodiscard]] double m2() const noexcept { return m2_; }
+
+  /// Rebuilds an accumulator from serialized state (the inverse of
+  /// reading count/mean/m2/min/max/sum).  No validation: garbage moments
+  /// yield garbage statistics, exactly like garbage samples.
+  [[nodiscard]] static OnlineStats fromMoments(std::size_t n, double mean, double m2,
+                                               double min, double max, double sum) noexcept;
 
  private:
   std::size_t n_ = 0;

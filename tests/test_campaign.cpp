@@ -1,0 +1,506 @@
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/coordinator.h"
+#include "campaign/protocol.h"
+#include "campaign/reduce.h"
+#include "campaign/report.h"
+#include "sweep/check.h"
+#include "sweep/report.h"
+#include "sweep/runner.h"
+#include "sweep/spec.h"
+#include "util/framing.h"
+#include "util/json.h"
+#include "util/stats.h"
+
+// The multi-process campaign coordinator: wire framing, the frame
+// vocabulary, cross-process moment transport, the fixed-shape tree
+// reduction, and the headline contracts — work-queue cell files and
+// reports byte-identical to the in-process runner (wall times aside),
+// and worker-death requeues that leave no trace in the output.
+namespace mcs {
+namespace campaign {
+namespace {
+
+// ---------------------------------------------------------------- framing
+
+std::string frameBytes(std::string_view payload) {
+  int fds[2] = {-1, -1};
+  EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string err;
+  EXPECT_TRUE(writeFrame(fds[0], payload, err)) << err;
+  std::string wire(payload.size() + 4, '\0');
+  ssize_t got = read(fds[1], wire.data(), wire.size());
+  EXPECT_EQ(static_cast<std::size_t>(got), wire.size());
+  close(fds[0]);
+  close(fds[1]);
+  return wire;
+}
+
+TEST(Framing, RoundTripAcrossArbitraryChunkBoundaries) {
+  const std::vector<std::string> payloads = {"", "x", R"({"type": "lease", "cell": 3})",
+                                             std::string(1000, 'q')};
+  std::string wire;
+  for (const std::string& p : payloads) wire += frameBytes(p);
+
+  // Feed the concatenated stream in every chunk size from 1 byte up:
+  // frame boundaries never align with feed() boundaries.
+  for (std::size_t chunk = 1; chunk <= 7; ++chunk) {
+    FrameDecoder dec;
+    std::vector<std::string> decoded;
+    for (std::size_t off = 0; off < wire.size(); off += chunk) {
+      dec.feed(wire.data() + off, std::min(chunk, wire.size() - off));
+      std::string payload;
+      while (dec.next(payload)) decoded.push_back(payload);
+    }
+    EXPECT_FALSE(dec.bad());
+    EXPECT_EQ(decoded, payloads) << "chunk size " << chunk;
+    EXPECT_EQ(dec.buffered(), 0u);
+  }
+}
+
+TEST(Framing, OversizeLengthPrefixPoisonsTheDecoder) {
+  // A length prefix beyond kMaxFrameBytes must mark the stream broken
+  // without attempting the allocation.
+  const unsigned char prefix[4] = {0xff, 0xff, 0xff, 0xff};
+  FrameDecoder dec;
+  dec.feed(reinterpret_cast<const char*>(prefix), 4);
+  std::string payload;
+  EXPECT_FALSE(dec.next(payload));
+  EXPECT_TRUE(dec.bad());
+  // Once bad, always bad — further bytes don't resurrect it.
+  dec.feed("more", 4);
+  EXPECT_FALSE(dec.next(payload));
+  EXPECT_TRUE(dec.bad());
+}
+
+// --------------------------------------------------------------- protocol
+
+TEST(CampaignProtocol, FramesRoundTrip) {
+  for (const FrameType t :
+       {FrameType::Lease, FrameType::Heartbeat, FrameType::Result, FrameType::Done}) {
+    Frame f = makeFrame(t);
+    f.body.set("cell", Json(7.0));
+    Frame back;
+    std::string err;
+    ASSERT_TRUE(decodeFrame(encodeFrame(f), back, err)) << err;
+    EXPECT_EQ(back.type, t);
+    EXPECT_EQ(back.body.numberAt("cell"), 7.0);
+    EXPECT_EQ(back.body.stringAt("type"), toString(t));
+  }
+}
+
+TEST(CampaignProtocol, RejectsMalformedFrames) {
+  Frame out;
+  std::string err;
+  EXPECT_FALSE(decodeFrame("not json", out, err));
+  EXPECT_FALSE(decodeFrame(R"({"cell": 1})", out, err));               // no type
+  EXPECT_FALSE(decodeFrame(R"({"type": "teleport"})", out, err));      // unknown type
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(CampaignProtocol, MomentsCarryTheFullAccumulatorState) {
+  // Transporting moments over JSON and rebuilding via fromMoments must
+  // behave exactly like the original accumulator under further merges.
+  OnlineStats a;
+  for (const double x : {1.0, 2.5, -3.0, 7.25}) a.add(x);
+  OnlineStats b;
+  for (const double x : {0.5, 100.0}) b.add(x);
+
+  MetricStats stats;
+  stats.emplace_back("alpha", a);
+  stats.emplace_back("beta", b);
+  const MetricStats back = momentsFromJson(momentsToJson(stats));
+  ASSERT_EQ(back.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(back[i].first, stats[i].first);
+    EXPECT_EQ(back[i].second.count(), stats[i].second.count());
+    EXPECT_EQ(back[i].second.mean(), stats[i].second.mean());
+    EXPECT_EQ(back[i].second.m2(), stats[i].second.m2());
+    EXPECT_EQ(back[i].second.min(), stats[i].second.min());
+    EXPECT_EQ(back[i].second.max(), stats[i].second.max());
+    EXPECT_EQ(back[i].second.sum(), stats[i].second.sum());
+  }
+
+  // Merging a round-tripped accumulator is bit-identical to merging the
+  // original — the property the coordinator-side reduction relies on.
+  OnlineStats direct = a;
+  direct.merge(b);
+  OnlineStats viaWire = back[0].second;
+  viaWire.merge(back[1].second);
+  EXPECT_EQ(viaWire.mean(), direct.mean());
+  EXPECT_EQ(viaWire.m2(), direct.m2());
+  EXPECT_EQ(viaWire.count(), direct.count());
+}
+
+// --------------------------------------------------------------- reducer
+
+MetricStats leafStats(std::size_t i) {
+  OnlineStats s;
+  // Values chosen so merge order matters in the last float bits if the
+  // tree shape were not fixed.
+  s.add(1.0 + 1e-9 * static_cast<double>(i));
+  s.add(3.0 / (1.0 + static_cast<double>(i)));
+  MetricStats m;
+  m.emplace_back("metric", s);
+  return m;
+}
+
+MetricStats reduceInOrder(std::size_t n, const std::vector<std::size_t>& order) {
+  TreeReducer r(n);
+  for (const std::size_t i : order) r.addLeaf(i, leafStats(i));
+  EXPECT_TRUE(r.complete());
+  return r.root();
+}
+
+TEST(TreeReducer, RootIsBitIdenticalAcrossArrivalOrders) {
+  for (const std::size_t n : {1u, 2u, 3u, 7u, 8u, 13u}) {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    const MetricStats forward = reduceInOrder(n, order);
+    ASSERT_EQ(forward.size(), 1u);
+    EXPECT_EQ(forward[0].second.count(), 2 * n);
+
+    std::reverse(order.begin(), order.end());
+    MetricStats other = reduceInOrder(n, order);
+    EXPECT_EQ(other[0].second.mean(), forward[0].second.mean()) << "n=" << n << " reversed";
+    EXPECT_EQ(other[0].second.m2(), forward[0].second.m2());
+
+    std::mt19937 rng(42);
+    for (int trial = 0; trial < 5; ++trial) {
+      std::shuffle(order.begin(), order.end(), rng);
+      other = reduceInOrder(n, order);
+      EXPECT_EQ(other[0].second.mean(), forward[0].second.mean())
+          << "n=" << n << " trial " << trial;
+      EXPECT_EQ(other[0].second.m2(), forward[0].second.m2());
+      EXPECT_EQ(other[0].second.min(), forward[0].second.min());
+      EXPECT_EQ(other[0].second.max(), forward[0].second.max());
+    }
+  }
+}
+
+TEST(TreeReducer, EmptyAndSingleLeaf) {
+  TreeReducer empty(0);
+  EXPECT_TRUE(empty.complete());
+  EXPECT_TRUE(empty.root().empty());
+
+  TreeReducer one(1);
+  EXPECT_FALSE(one.complete());
+  one.addLeaf(0, leafStats(0));
+  EXPECT_TRUE(one.complete());
+  ASSERT_EQ(one.root().size(), 1u);
+  EXPECT_EQ(one.root()[0].second.count(), 2u);
+  EXPECT_EQ(one.pendingNodes(), 0u);
+}
+
+TEST(TreeReducer, InOrderArrivalKeepsALogarithmicFrontier) {
+  const std::size_t n = 64;
+  TreeReducer r(n);
+  std::size_t peak = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    r.addLeaf(i, leafStats(i));
+    peak = std::max(peak, r.pendingNodes());
+  }
+  EXPECT_TRUE(r.complete());
+  // In-order arrival carries at most one pending node per level: the
+  // streaming-memory contract (log2(64) = 6).
+  EXPECT_LE(peak, 6u);
+  EXPECT_EQ(r.pendingNodes(), 0u);
+}
+
+TEST(TreeReducer, MetricNameUnionAcrossLeaves) {
+  TreeReducer r(2);
+  OnlineStats onlyLeft;
+  onlyLeft.add(5.0);
+  MetricStats leftLeaf;
+  leftLeaf.emplace_back("shared", leafStats(0)[0].second);
+  leftLeaf.emplace_back("left_only", onlyLeft);
+  MetricStats rightLeaf;
+  rightLeaf.emplace_back("shared", leafStats(1)[0].second);
+  r.addLeaf(0, leftLeaf);
+  r.addLeaf(1, rightLeaf);
+  ASSERT_TRUE(r.complete());
+  const MetricStats& root = r.root();
+  ASSERT_EQ(root.size(), 2u);
+  EXPECT_EQ(root[0].first, "left_only");
+  EXPECT_EQ(root[0].second.count(), 1u);
+  EXPECT_EQ(root[1].first, "shared");
+  EXPECT_EQ(root[1].second.count(), 4u);
+}
+
+// ---------------------------------------------------- end-to-end parity
+
+/// A fast real sweep whose cells are cheap enough for process tests.
+SweepSpec tinySweep(const std::string& name) {
+  SweepSpec spec;
+  std::string err;
+  EXPECT_TRUE(applySweepKey(spec, "name", name, "", err)) << err;
+  EXPECT_TRUE(applySweepKey(spec, "base", "uniform_square", "", err)) << err;
+  EXPECT_TRUE(applySweepKey(spec, "n", "60", "", err)) << err;
+  EXPECT_TRUE(applySweepKey(spec, "seeds", "2", "", err)) << err;
+  EXPECT_TRUE(applySweepKey(spec, "seed0", "1", "", err)) << err;
+  EXPECT_TRUE(applySweepKey(spec, "sweep.channels", "1,2,4", "", err)) << err;
+  return spec;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// Canonical cell-file bytes: parse, zero wall clocks, re-dump.
+std::string canonicalJsonBytes(const std::string& path) {
+  Json j;
+  std::string err;
+  EXPECT_TRUE(Json::parseFile(path, j, err)) << path << ": " << err;
+  stripWallTimes(j);
+  return j.dump();
+}
+
+TEST(WorkQueue, MatchesInProcessRunByteForByte) {
+  const std::string dir = testing::TempDir() + "wq_parity";
+  std::filesystem::remove_all(dir);
+  const SweepSpec spec = tinySweep("wq_parity");
+  std::string err;
+
+  // Reference: the in-process single-threaded runner.
+  CampaignOptions inproc;
+  inproc.outDir = dir + "/inproc";
+  CampaignResult ref;
+  ASSERT_TRUE(runCampaign(spec, inproc, ref, err)) << err;
+  std::string refReport;
+  ASSERT_TRUE(writeCampaignReport(ref, inproc.outDir, refReport, err)) << err;
+
+  // Candidate: two forked workers over the lease protocol.
+  WorkQueueOptions wq;
+  wq.workers = 2;
+  wq.outDir = dir + "/wq";
+  WorkQueueCampaign run;
+  ASSERT_TRUE(runCampaignWorkQueue(spec, wq, run, err)) << err;
+  EXPECT_EQ(run.leases, 3u);
+  EXPECT_EQ(run.requeues, 0u);
+  EXPECT_EQ(run.workerDeaths, 0u);
+  EXPECT_EQ(run.failures(), 0);
+  ASSERT_EQ(run.cells.size(), 3u);
+  std::string wqReport;
+  ASSERT_TRUE(writeWorkQueueCampaignReport(run, wq.outDir, wq.outDir, wqReport, err)) << err;
+
+  // Per-cell files: byte-identical after wall-time canonicalization.
+  for (const CellRecord& rec : run.cells) {
+    const std::string refCell = cellFilePath(inproc.outDir, spec.name, rec.cell.index);
+    const std::string wqCell = cellFilePath(wq.outDir, spec.name, rec.cell.index);
+    EXPECT_EQ(canonicalJsonBytes(wqCell), canonicalJsonBytes(refCell))
+        << "cell " << rec.cell.index;
+  }
+
+  // Whole spliced report vs the in-process writer, same canonicalization.
+  EXPECT_EQ(canonicalJsonBytes(wqReport), canonicalJsonBytes(refReport));
+
+  // CSVs too, modulo the wall_sec rows (drop them on both sides).
+  const std::string refCsv = dir + "/ref.csv";
+  const std::string wqCsv = dir + "/wq.csv";
+  ASSERT_TRUE(writeCampaignCsv(ref, refCsv, err)) << err;
+  ASSERT_TRUE(writeWorkQueueCampaignCsv(run, wq.outDir, wqCsv, err)) << err;
+  auto withoutWallRows = [](const std::string& csv) {
+    std::istringstream in(csv);
+    std::string line, out;
+    while (std::getline(in, line)) {
+      if (line.find(",wall_sec,") == std::string::npos) out += line + "\n";
+    }
+    return out;
+  };
+  EXPECT_EQ(withoutWallRows(readFile(wqCsv)), withoutWallRows(readFile(refCsv)));
+
+  // The tree-reduced aggregate matches a direct per-seed accumulation.
+  ASSERT_FALSE(run.reduction.empty());
+  const auto slots = std::find_if(run.reduction.begin(), run.reduction.end(),
+                                  [](const auto& kv) { return kv.first == "slots"; });
+  ASSERT_NE(slots, run.reduction.end());
+  OnlineStats expectSlots;
+  for (const CellResult& cell : ref.cells) {
+    for (const SeedResult& r : cell.batch.perSeed) {
+      if (r.error.empty()) expectSlots.add(static_cast<double>(r.slots));
+    }
+  }
+  EXPECT_EQ(slots->second.count(), expectSlots.count());
+  EXPECT_EQ(slots->second.sum(), expectSlots.sum());
+  EXPECT_EQ(slots->second.min(), expectSlots.min());
+  EXPECT_EQ(slots->second.max(), expectSlots.max());
+}
+
+TEST(WorkQueue, ResumeLoadsEveryCellFromCacheWithoutLeasing) {
+  const std::string dir = testing::TempDir() + "wq_resume";
+  std::filesystem::remove_all(dir);
+  const SweepSpec spec = tinySweep("wq_resume");
+  std::string err;
+
+  WorkQueueOptions wq;
+  wq.workers = 2;
+  wq.outDir = dir;
+  WorkQueueCampaign first;
+  ASSERT_TRUE(runCampaignWorkQueue(spec, wq, first, err)) << err;
+  EXPECT_EQ(first.cachedCells(), 0);
+
+  wq.resume = true;
+  WorkQueueCampaign second;
+  ASSERT_TRUE(runCampaignWorkQueue(spec, wq, second, err)) << err;
+  EXPECT_EQ(second.cachedCells(), 3);
+  EXPECT_EQ(second.leases, 0u);
+  EXPECT_EQ(second.workerDeaths, 0u);
+  // The reduction is rebuilt from the cached cells and still complete.
+  ASSERT_FALSE(second.reduction.empty());
+  const auto slots = std::find_if(second.reduction.begin(), second.reduction.end(),
+                                  [](const auto& kv) { return kv.first == "slots"; });
+  ASSERT_NE(slots, second.reduction.end());
+  const auto firstSlots = std::find_if(first.reduction.begin(), first.reduction.end(),
+                                       [](const auto& kv) { return kv.first == "slots"; });
+  ASSERT_NE(firstSlots, first.reduction.end());
+  EXPECT_EQ(slots->second.count(), firstSlots->second.count());
+  EXPECT_EQ(slots->second.mean(), firstSlots->second.mean());
+}
+
+TEST(WorkQueue, WorkerCrashRequeuesTheLeaseAndReproducesTheBytes) {
+  const std::string dir = testing::TempDir() + "wq_crash";
+  std::filesystem::remove_all(dir);
+  const SweepSpec spec = tinySweep("wq_crash");
+  std::string err;
+
+  // Reference run, no faults.
+  WorkQueueOptions clean;
+  clean.workers = 2;
+  clean.outDir = dir + "/clean";
+  WorkQueueCampaign ref;
+  ASSERT_TRUE(runCampaignWorkQueue(spec, clean, ref, err)) << err;
+  std::string refReport;
+  ASSERT_TRUE(writeWorkQueueCampaignReport(ref, clean.outDir, clean.outDir, refReport, err))
+      << err;
+
+  // Faulted run: the worker holding cell 1's first lease is SIGKILLed
+  // right after it acknowledges, mid-cell.
+  WorkQueueOptions faulty = clean;
+  faulty.outDir = dir + "/faulty";
+  faulty.faultKillCell = 1;
+  WorkQueueCampaign run;
+  ASSERT_TRUE(runCampaignWorkQueue(spec, faulty, run, err)) << err;
+  EXPECT_GE(run.workerDeaths, 1u);
+  EXPECT_GE(run.requeues, 1u);
+  EXPECT_EQ(run.leases, 4u);  // 3 cells + 1 re-lease of the killed cell
+  EXPECT_EQ(run.failures(), 0);
+  ASSERT_EQ(run.cells.size(), 3u);
+  std::string report;
+  ASSERT_TRUE(writeWorkQueueCampaignReport(run, faulty.outDir, faulty.outDir, report, err))
+      << err;
+
+  // The crash must be invisible in the output: every cell file and the
+  // whole report byte-match the unharmed run after wall canonicalization.
+  for (const CellRecord& rec : run.cells) {
+    EXPECT_EQ(canonicalJsonBytes(cellFilePath(faulty.outDir, spec.name, rec.cell.index)),
+              canonicalJsonBytes(cellFilePath(clean.outDir, spec.name, rec.cell.index)))
+        << "cell " << rec.cell.index;
+  }
+  EXPECT_EQ(canonicalJsonBytes(report), canonicalJsonBytes(refReport));
+}
+
+TEST(WorkQueue, ComposesWithSharding) {
+  const std::string dir = testing::TempDir() + "wq_shard";
+  std::filesystem::remove_all(dir);
+  const SweepSpec spec = tinySweep("wq_shard");
+  std::string err;
+
+  WorkQueueOptions wq;
+  wq.workers = 2;
+  wq.outDir = dir;
+  wq.shardIndex = 0;
+  wq.shardCount = 2;
+  WorkQueueCampaign shard0;
+  ASSERT_TRUE(runCampaignWorkQueue(spec, wq, shard0, err)) << err;
+  // 3 cells round-robin over 2 shards: shard 0 holds cells 0 and 2.
+  ASSERT_EQ(shard0.cells.size(), 2u);
+  EXPECT_EQ(shard0.totalCells, 3);
+  EXPECT_EQ(shard0.cells[0].cell.index, 0);
+  EXPECT_EQ(shard0.cells[1].cell.index, 2);
+  EXPECT_EQ(shard0.leases, 2u);
+}
+
+}  // namespace
+}  // namespace campaign
+
+// ------------------------------------------------ bench-rows sweep_check
+
+namespace {
+
+Json benchReport(double wall, double speedup, double cells) {
+  Json row = Json::object();
+  row.set("config", Json("w8"));
+  row.set("mode", Json("queue"));
+  row.set("cells", Json(cells));
+  row.set("makespan_wall_sec", Json(wall));
+  row.set("speedup", Json(speedup));
+  Json rows = Json::array();
+  rows.push_back(row);
+  Json report = Json::object();
+  report.set("name", Json("campaign"));
+  report.set("rows", rows);
+  return report;
+}
+
+TEST(SweepCheckBenchRows, IdenticalReportsPass) {
+  const Json base = benchReport(1.0, 2.5, 24.0);
+  const SweepCheckResult r = compareBenchRows(base, base, SweepCheckOptions{});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.cellsCompared, 1);
+  EXPECT_EQ(r.metricsCompared, 3);
+}
+
+TEST(SweepCheckBenchRows, WallColumnsGateOnlyRegressions) {
+  SweepCheckOptions opts;
+  opts.wallTol = 0.5;
+  // Faster is always fine; 2x slower is a violation at 50% tolerance.
+  EXPECT_TRUE(compareBenchRows(benchReport(1.0, 2.5, 24.0), benchReport(0.2, 2.5, 24.0), opts)
+                  .ok());
+  EXPECT_FALSE(compareBenchRows(benchReport(1.0, 2.5, 24.0), benchReport(2.0, 2.5, 24.0), opts)
+                   .ok());
+}
+
+TEST(SweepCheckBenchRows, SpeedupColumnsAreAFloor) {
+  SweepCheckOptions opts;
+  opts.wallTol = 0.5;
+  // A higher speedup never fails; a drop beyond tolerance does — a
+  // slower speedup IS a perf regression even though bigger is better.
+  EXPECT_TRUE(compareBenchRows(benchReport(1.0, 2.5, 24.0), benchReport(1.0, 9.0, 24.0), opts)
+                  .ok());
+  EXPECT_FALSE(compareBenchRows(benchReport(1.0, 2.5, 24.0), benchReport(1.0, 1.0, 24.0), opts)
+                   .ok());
+}
+
+TEST(SweepCheckBenchRows, OtherColumnsDriftAndMissingRowsFail) {
+  SweepCheckOptions opts;
+  EXPECT_FALSE(compareBenchRows(benchReport(1.0, 2.5, 24.0), benchReport(1.0, 2.5, 25.0), opts)
+                   .ok());  // cells drifted
+
+  Json missing = Json::object();
+  missing.set("name", Json("campaign"));
+  missing.set("rows", Json::array());
+  EXPECT_FALSE(compareBenchRows(benchReport(1.0, 2.5, 24.0), missing, opts).ok());
+  opts.allowMissing = true;
+  // With allowMissing the row is only noted — but then nothing compared,
+  // which still fails (an empty comparison must not pass the gate).
+  EXPECT_FALSE(compareBenchRows(benchReport(1.0, 2.5, 24.0), missing, opts).ok());
+}
+
+}  // namespace
+}  // namespace mcs

@@ -330,6 +330,62 @@ TEST(CampaignRunner, ResumeSkipsExistingCells) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(CampaignRunner, ResumeRerunsCorruptCellFilesAndLeavesNoTempFiles) {
+  const SweepSpec spec = tinySweep();
+  const std::string dir = testing::TempDir() + "sweep_resume_corrupt";
+  std::filesystem::remove_all(dir);
+  CampaignOptions opts;
+  opts.outDir = dir;
+  CampaignResult first;
+  std::string err;
+  ASSERT_TRUE(runCampaign(spec, opts, first, err)) << err;
+
+  // The atomic tmp+rename write must leave no *.tmp droppings behind.
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+
+  // Truncate one cell file mid-JSON (what a pre-atomic-write crash used
+  // to leave) and garbage another: resume must re-run both, and only
+  // those two.
+  const std::string cell0 = cellFilePath(dir, spec.name, 0);
+  const std::string cell2 = cellFilePath(dir, spec.name, 2);
+  {
+    const std::string bytes = [&] {
+      std::ifstream f(cell0, std::ios::binary);
+      std::ostringstream ss;
+      ss << f.rdbuf();
+      return ss.str();
+    }();
+    ASSERT_GT(bytes.size(), 40u);
+    std::ofstream f(cell0, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  {
+    std::ofstream f(cell2, std::ios::binary | std::ios::trunc);
+    f << "not json at all";
+  }
+
+  opts.resume = true;
+  CampaignResult second;
+  ASSERT_TRUE(runCampaign(spec, opts, second, err)) << err;
+  EXPECT_EQ(second.cachedCells(), 1);
+  EXPECT_FALSE(second.cells[0].fromCache);
+  EXPECT_TRUE(second.cells[1].fromCache);
+  EXPECT_FALSE(second.cells[2].fromCache);
+  // The re-run repaired the files in place.
+  CellResult repaired;
+  EXPECT_TRUE(loadCellResult(cell0, repaired, err)) << err;
+  EXPECT_TRUE(loadCellResult(cell2, repaired, err)) << err;
+  for (std::size_t i = 0; i < first.cells.size(); ++i) {
+    ASSERT_EQ(second.cells[i].batch.perSeed.size(), first.cells[i].batch.perSeed.size());
+    for (std::size_t s = 0; s < first.cells[i].batch.perSeed.size(); ++s) {
+      expectSeedResultsEqual(second.cells[i].batch.perSeed[s], first.cells[i].batch.perSeed[s]);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
 TEST(SweepReport, CellJsonRoundTrip) {
   const SweepSpec spec = tinySweep();
   CampaignOptions opts;
