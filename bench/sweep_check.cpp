@@ -2,6 +2,12 @@
 //
 //   sweep_check --baseline=sweeps/baseline.json --candidate=BENCH_sweep_smoke.json
 //               [--metric-tol=1e-6] [--wall-tol=0.5] [--allow-missing]
+//   sweep_check --baseline=sweeps/baseline.json --candidate-store=BENCH_sweep_smoke.store
+//
+// --candidate-store gates a columnar campaign store (store/reader.h)
+// instead of a JSON report: the store's summaries view is rebuilt from
+// the per-cell accumulators and compared cell-for-cell like any other
+// campaign — the store is the source of truth, the JSON a view of it.
 //
 // Matches cells by label and fails (exit 1) when any summary mean drifts
 // beyond --metric-tol relative, when wall time regresses beyond
@@ -16,6 +22,8 @@
 
 #include <cstdio>
 
+#include "store/query.h"
+#include "store/reader.h"
 #include "sweep/check.h"
 #include "util/args.h"
 
@@ -25,10 +33,16 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
   const std::string baselinePath = args.get("baseline");
   const std::string candidatePath = args.get("candidate");
-  if (baselinePath.empty() || candidatePath.empty()) {
+  const std::string candidateStorePath = args.get("candidate-store");
+  if (baselinePath.empty() || (candidatePath.empty() && candidateStorePath.empty())) {
     std::fprintf(stderr,
-                 "usage: sweep_check --baseline=<campaign.json> --candidate=<campaign.json> "
+                 "usage: sweep_check --baseline=<campaign.json> "
+                 "(--candidate=<campaign.json> | --candidate-store=<campaign.store>) "
                  "[--metric-tol=R] [--wall-tol=R] [--allow-missing]\n");
+    return 2;
+  }
+  if (!candidatePath.empty() && !candidateStorePath.empty()) {
+    std::fprintf(stderr, "sweep_check: pass --candidate or --candidate-store, not both\n");
     return 2;
   }
 
@@ -43,7 +57,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "baseline: %s\n", err.c_str());
     return 2;
   }
-  if (!Json::parseFile(candidatePath, candidate, err)) {
+  if (!candidateStorePath.empty()) {
+    store::StoreReader reader;
+    if (!reader.open(candidateStorePath, err)) {
+      std::fprintf(stderr, "candidate store: %s\n", err.c_str());
+      return 2;
+    }
+    if (!store::storeSummariesJson(reader, candidate, err)) {
+      std::fprintf(stderr, "candidate store: %s\n", err.c_str());
+      return 2;
+    }
+  } else if (!Json::parseFile(candidatePath, candidate, err)) {
     std::fprintf(stderr, "candidate: %s\n", err.c_str());
     return 2;
   }

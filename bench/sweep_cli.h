@@ -22,7 +22,8 @@ inline const std::vector<std::string>& sweepReservedFlags() {
   static const std::vector<std::string> kReserved = {
       "list",    "cells", "dry-run", "sweep",   "preset",  "shard",
       "threads", "out-dir", "out",   "csv",     "resume",  "metrics",
-      "trace-out", "no-heartbeat", "workers", "fault-kill-cell"};
+      "trace-out", "no-heartbeat", "workers", "fault-kill-cell",
+      "store", "store-strip-wall"};
   return kReserved;
 }
 
@@ -100,6 +101,17 @@ inline int runSweepCampaignCli(const SweepSpec& spec, const Args& args,
   armTelemetryCli(args);
   opts.heartbeat = !args.getBool("no-heartbeat");
 
+  // --store[=path] streams every cell into the columnar campaign store
+  // (query it with sweep_query); bare --store derives the path from the
+  // campaign name next to the JSON report.
+  if (args.has("store")) {
+    const std::string storeArg = args.get("store");
+    opts.storePath = (storeArg.empty() || storeArg == "1")
+                         ? opts.outDir + "/BENCH_sweep_" + spec.name + ".store"
+                         : storeArg;
+    opts.storeStripWall = args.getBool("store-strip-wall");
+  }
+
   header("sweep: " + spec.name, describeSweep(spec));
   row("%-6s %-32s %10s %9s %5s %8s  %s", "cell", "label", "slots", "dec.rate", "ok",
       "wall(s)", "status");
@@ -124,6 +136,8 @@ inline int runSweepCampaignCli(const SweepSpec& spec, const Args& args,
     wq.heartbeat = opts.heartbeat;
     wq.faultKillCell = static_cast<int>(args.getInt("fault-kill-cell", -1));
     wq.onCell = opts.onCell;
+    wq.storePath = opts.storePath;
+    wq.storeStripWall = opts.storeStripWall;
 
     campaign::WorkQueueCampaign wqc;
     if (!campaign::runCampaignWorkQueue(spec, wq, wqc, err)) {
@@ -159,6 +173,7 @@ inline int runSweepCampaignCli(const SweepSpec& spec, const Args& args,
       return 1;
     }
     std::printf("wrote %s\n", csv.c_str());
+    if (!wq.storePath.empty()) std::printf("wrote %s\n", wq.storePath.c_str());
 
     if (!finishTelemetryCli(args, wqc.wallSec)) return 1;
     return wqc.failures() > 0 ? 1 : 0;
@@ -196,6 +211,7 @@ inline int runSweepCampaignCli(const SweepSpec& spec, const Args& args,
     return 1;
   }
   std::printf("wrote %s\n", csv.c_str());
+  if (!opts.storePath.empty()) std::printf("wrote %s\n", opts.storePath.c_str());
 
   if (!finishTelemetryCli(args, campaign.wallSec)) return 1;
 

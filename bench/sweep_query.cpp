@@ -1,0 +1,188 @@
+// sweep_query: interactive analytics over a columnar campaign store.
+//
+//   sweep_query <campaign.store> [--schema] [--cells]
+//               [--select=metric1,metric2] [--where=axis=value,...]
+//               [--group-by=axis] [--format=table|csv|json]
+//
+// The store is memory-mapped (store/reader.h); a query touches only the
+// columns it names, so asking one question of a million-cell campaign
+// costs a column scan, not a full-report parse.  Aggregates re-merge the
+// per-cell accumulator states: count/mean/stddev/ci95/min/max/sum are
+// exact (bit-identical to the campaign reduction), p50/p95 are exact
+// below the sketch threshold and within the store's alpha above it.
+//
+//   --schema     print the store's header, axes, and metrics, then exit
+//   --cells      list per-cell rows (index, label, axes, counters)
+//   --select     metrics to aggregate (default: all)
+//   --where      conjunctive equality filters on axis values (or label=...)
+//   --group-by   one group per distinct value of this axis ("label" works)
+//   --format     table (default), csv, or json
+//
+// Exit 0 on success, 1 on bad queries (unknown metric/axis), 2 on usage
+// or unreadable stores.
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "store/query.h"
+#include "store/reader.h"
+#include "sweep/report.h"
+#include "util/args.h"
+
+using namespace mcs;
+
+namespace {
+
+std::vector<std::string> splitList(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) end = s.size();
+    if (end > start) out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+bool parseWhere(const std::string& s,
+                std::vector<std::pair<std::string, std::string>>& out, std::string& err) {
+  for (const std::string& clause : splitList(s, ',')) {
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      err = "--where clause \"" + clause + "\" is not axis=value";
+      return false;
+    }
+    out.emplace_back(clause.substr(0, eq), clause.substr(eq + 1));
+  }
+  return true;
+}
+
+int printSchema(const store::StoreReader& reader) {
+  const store::StoreHeader& h = reader.header();
+  std::printf("campaign:  %s (base %s)\n", reader.campaignName().c_str(),
+              reader.baseName().c_str());
+  std::printf("cells:     %zu in store (shard %u/%u of %u total)\n", reader.cells(),
+              h.shardIndex, h.shardCount, h.totalCells);
+  std::printf("file:      %" PRIu64 " bytes, format v%u%s\n", reader.fileBytes(), h.version,
+              (h.flags & store::kFlagWallStripped) != 0 ? ", wall times stripped" : "");
+  std::printf("sketch:    alpha %g, exact below %u samples\n", h.sketchAlpha,
+              h.sketchThreshold);
+  std::printf("axes:     ");
+  for (const std::string& a : reader.axisNames()) std::printf(" %s", a.c_str());
+  std::printf("\nmetrics:  ");
+  for (const std::string& m : reader.metricNames()) std::printf(" %s", m.c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int printCells(const store::StoreReader& reader) {
+  std::printf("%-6s %-32s", "cell", "label");
+  for (const std::string& a : reader.axisNames()) std::printf(" %12s", a.c_str());
+  std::printf(" %6s %5s %9s %6s %7s\n", "seeds", "fail", "delivered", "valid", "invalid");
+  for (std::size_t row = 0; row < reader.cells(); ++row) {
+    std::printf("%-6u %-32s", reader.cellIndexCol()[row],
+                reader.str(reader.labelCol()[row]).c_str());
+    for (std::size_t a = 0; a < reader.axisNames().size(); ++a) {
+      std::printf(" %12s", reader.str(reader.axisCol(a)[row]).c_str());
+    }
+    std::printf(" %6u %5u %9u %6u %7u\n", reader.seedsCol()[row], reader.failuresCol()[row],
+                reader.deliveredCol()[row], reader.validCol()[row],
+                reader.invalidCol()[row]);
+  }
+  return 0;
+}
+
+void printTable(const std::string& groupName, const std::vector<store::QueryGroup>& groups) {
+  std::printf("%-20s %8s %-24s %10s %12s %12s %12s %12s %12s %12s\n", groupName.c_str(),
+              "cells", "metric", "count", "mean", "stddev", "min", "p50", "p95", "max");
+  for (const store::QueryGroup& g : groups) {
+    for (const auto& [name, s] : g.stats) {
+      const Summary sum = s.summary();
+      std::printf("%-20s %8" PRIu64 " %-24s %10zu %12.6g %12.6g %12.6g %12.6g %12.6g %12.6g\n",
+                  g.key.c_str(), g.cells, name.c_str(), sum.count, sum.mean, sum.stddev,
+                  sum.min, sum.median, sum.p95, sum.max);
+    }
+  }
+}
+
+void printCsv(const std::string& groupName, const std::vector<store::QueryGroup>& groups) {
+  std::printf("%s,cells,metric,count,mean,stddev,ci95,min,p50,p95,max\n", groupName.c_str());
+  for (const store::QueryGroup& g : groups) {
+    for (const auto& [name, s] : g.stats) {
+      const Summary sum = s.summary();
+      std::printf("%s,%" PRIu64 ",%s,%zu,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g\n",
+                  g.key.c_str(), g.cells, name.c_str(), sum.count, sum.mean, sum.stddev,
+                  sum.ci95, sum.min, sum.median, sum.p95, sum.max);
+    }
+  }
+}
+
+void printJson(const std::string& groupName, const std::vector<store::QueryGroup>& groups) {
+  Json out = Json::array();
+  for (const store::QueryGroup& g : groups) {
+    Json jg = Json::object();
+    jg.set(groupName, g.key);
+    jg.set("cells", static_cast<double>(g.cells));
+    Json metrics = Json::object();
+    for (const auto& [name, s] : g.stats) metrics.set(name, summaryToJson(s.summary()));
+    jg.set("metrics", std::move(metrics));
+    out.push_back(std::move(jg));
+  }
+  std::printf("%s\n", out.dump().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: sweep_query <campaign.store> [--schema] [--cells] "
+                 "[--select=m1,m2] [--where=axis=value,...] [--group-by=axis] "
+                 "[--format=table|csv|json]\n");
+    return 2;
+  }
+
+  store::StoreReader reader;
+  std::string err;
+  if (!reader.open(args.positional().front(), err)) {
+    std::fprintf(stderr, "sweep_query: %s\n", err.c_str());
+    return 2;
+  }
+
+  if (args.getBool("schema")) return printSchema(reader);
+  if (args.getBool("cells")) return printCells(reader);
+
+  store::StoreQuery query;
+  query.metrics = splitList(args.get("select"), ',');
+  if (!parseWhere(args.get("where"), query.where, err)) {
+    std::fprintf(stderr, "sweep_query: %s\n", err.c_str());
+    return 2;
+  }
+  query.groupBy = args.get("group-by");
+
+  const std::string format = args.get("format", "table");
+  if (format != "table" && format != "csv" && format != "json") {
+    std::fprintf(stderr, "sweep_query: unknown --format \"%s\"\n", format.c_str());
+    return 2;
+  }
+
+  std::vector<store::QueryGroup> groups;
+  if (!store::runStoreQuery(reader, query, groups, err)) {
+    std::fprintf(stderr, "sweep_query: %s\n", err.c_str());
+    return 1;
+  }
+
+  const std::string groupName = query.groupBy.empty() ? "group" : query.groupBy;
+  if (format == "csv") {
+    printCsv(groupName, groups);
+  } else if (format == "json") {
+    printJson(groupName, groups);
+  } else {
+    printTable(groupName, groups);
+  }
+  return 0;
+}

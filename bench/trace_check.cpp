@@ -1,17 +1,21 @@
 // trace_check: validate a Chrome trace_event JSON file produced by
 // --trace-out (telemetry/trace.h).
 //
-//   trace_check <trace.json> [--min-events=N]
+//   trace_check <trace.json> [--min-events=N] [--max-bytes=N]
 //
 // Checks that the file parses, has a non-empty "traceEvents" array (at
 // least --min-events entries, default 1), and that every event is
 // well-formed: a string "name", "ph" of "X" (complete, with a numeric
-// "dur") or "i" (instant), and numeric "ts"/"pid"/"tid".  CI runs this
-// against the smoke trace so a malformed emitter fails the build rather
-// than a later chrome://tracing load.  Exit 0 when valid, 1 when not,
-// 2 on usage errors.
+// "dur") or "i" (instant), and numeric "ts"/"pid"/"tid".  --max-bytes
+// caps the file size (0 or absent = unlimited) so a runaway emitter —
+// an event storm from a hot loop — fails CI by size before this process
+// tries to parse gigabytes of JSON.  CI runs this against the smoke
+// trace so a malformed emitter fails the build rather than a later
+// chrome://tracing load.  Exit 0 when valid, 1 when not, 2 on usage
+// errors.
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "mcs.h"
@@ -30,11 +34,27 @@ bool numberField(const Json& event, const char* key) {
 int main(int argc, char** argv) {
   const Args args(argc, argv);
   if (args.positional().empty()) {
-    std::fprintf(stderr, "usage: trace_check <trace.json> [--min-events=N]\n");
+    std::fprintf(stderr, "usage: trace_check <trace.json> [--min-events=N] [--max-bytes=N]\n");
     return 2;
   }
   const std::string path = args.positional().front();
   const auto minEvents = static_cast<std::size_t>(args.getInt("min-events", 1));
+  const auto maxBytes = static_cast<std::uintmax_t>(args.getInt("max-bytes", 0));
+
+  if (maxBytes > 0) {
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(path, ec);
+    if (ec) {
+      std::fprintf(stderr, "trace_check: %s: %s\n", path.c_str(), ec.message().c_str());
+      return 1;
+    }
+    if (size > maxBytes) {
+      std::fprintf(stderr,
+                   "trace_check: %s: %ju bytes exceeds --max-bytes=%ju — runaway emitter?\n",
+                   path.c_str(), size, maxBytes);
+      return 1;
+    }
+  }
 
   Json j;
   std::string err;

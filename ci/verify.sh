@@ -62,7 +62,8 @@ done
 # validator (slot spans plus seed instants => well over 100 events).
 ./bench/scenario_runner --scenario=corridor --seeds=2 --metrics \
   --trace-out=bench-artifacts/trace_corridor.json --out-dir=bench-artifacts
-./bench/trace_check bench-artifacts/trace_corridor.json --min-events=100
+./bench/trace_check bench-artifacts/trace_corridor.json --min-events=100 \
+  --max-bytes=50000000
 grep -q '"telemetry"' bench-artifacts/BENCH_scenario_corridor.json \
   || { echo "FAIL: --metrics produced no telemetry block"; exit 1; }
 
@@ -121,6 +122,39 @@ awk -v off="${base_wall}" -v on="${telem_wall}" 'BEGIN {
   --out-dir=bench-artifacts/wq-fault
 ./bench/sweep_check --baseline=../sweeps/baseline.json \
   --candidate=bench-artifacts/wq-fault/BENCH_sweep_smoke.json --metric-tol=0.2 --wall-tol=9
+
+# --- Campaign store smoke -----------------------------------------------------
+# The smoke campaign again with --store: the columnar store must answer
+# sweep_check against the same run's JSON report with zero metric drift
+# (means re-merge exactly from the stored accumulators; the store's wall
+# stats are stripped, which only ever reads as "faster").  Then the same
+# campaign through 4 workers: the store file must be byte-for-byte
+# identical to the in-process one — the slot-positional spool plus the
+# canonical string table make worker arrival order invisible.
+./bench/sweep_runner --sweep=../sweeps/smoke.sweep --threads=2 \
+  --store --store-strip-wall --out-dir=bench-artifacts/store-smoke
+./bench/sweep_check --baseline=bench-artifacts/store-smoke/BENCH_sweep_smoke.json \
+  --candidate-store=bench-artifacts/store-smoke/BENCH_sweep_smoke.store \
+  --metric-tol=0 --wall-tol=9
+./bench/sweep_runner --sweep=../sweeps/smoke.sweep --workers=4 \
+  --store --store-strip-wall --out-dir=bench-artifacts/store-wq
+cmp bench-artifacts/store-smoke/BENCH_sweep_smoke.store \
+    bench-artifacts/store-wq/BENCH_sweep_smoke.store \
+  || { echo "FAIL: worker store differs from in-process store"; exit 1; }
+
+# sweep_query must read the store it just gated: schema lists the swept
+# axis, and a group-by over it aggregates every metric.
+./bench/sweep_query bench-artifacts/store-smoke/BENCH_sweep_smoke.store --schema
+./bench/sweep_query bench-artifacts/store-smoke/BENCH_sweep_smoke.store \
+  --group-by=channels --select=slots,decode_rate
+./bench/sweep_query bench-artifacts/store-smoke/BENCH_sweep_smoke.store \
+  --group-by=channels --format=json | grep -q '"decode_rate"' \
+  || { echo "FAIL: sweep_query json output missing decode_rate"; exit 1; }
+
+# The 10^4-cell synthetic store bench: streams the write, answers a
+# group-by from the mapping, and self-checks the aggregates (exit 1 on
+# any mismatch).  Records BENCH_store.json for the perf history.
+(cd bench-artifacts && ../bench/bench_store)
 
 # Scheduling bench + its committed baseline (sweep_check's rows mode):
 # the work queue must beat static round-robin shards by >= 1.5x makespan

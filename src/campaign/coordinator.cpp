@@ -15,6 +15,7 @@
 
 #include "campaign/protocol.h"
 #include "campaign/worker.h"
+#include "store/writer.h"
 #include "sweep/report.h"
 #include "sweep/runner.h"
 #include "telemetry/telemetry.h"
@@ -48,13 +49,21 @@ struct ProgressLine {
     if (!force && now - lastEmit < 0.5) return;
     lastEmit = now;
     const double elapsed = now - t0;
-    const double rate = elapsed > 0.0 ? done / elapsed : 0.0;
-    const double eta = rate > 0.0 ? (shardCells - done) / rate : 0.0;
+    // Resume cache hits are free; only cells that actually ran count
+    // toward throughput, so a resumed campaign's ETA stays honest.
+    const int ran = done - cached;
+    const double rate = elapsed > 0.0 ? ran / elapsed : 0.0;
+    char eta[32];
+    if (rate > 0.0) {
+      std::snprintf(eta, sizeof eta, "%.0fs", (shardCells - done) / rate);
+    } else {
+      std::snprintf(eta, sizeof eta, "--");
+    }
     std::fprintf(stderr,
-                 "[campaign %s] %d/%d cells (%d cached) | queue %zu | %d workers | "
-                 "%.2f cells/s | ETA %.0fs\n",
-                 campaign.c_str(), done, shardCells, cached, queueDepth, liveWorkers, rate,
-                 eta);
+                 "[campaign %s] %d/%d cells (%d ran, %d cached) | queue %zu | %d workers | "
+                 "%.2f cells/s | ETA %s\n",
+                 campaign.c_str(), done, shardCells, ran, cached, queueDepth, liveWorkers,
+                 rate, eta);
     std::fflush(stderr);
   }
 };
@@ -96,10 +105,42 @@ bool runCampaignWorkQueue(const SweepSpec& spec, const WorkQueueOptions& opts,
 
   const auto recordDisplayMeans = [](CellRecord& rec, const MetricStats& stats) {
     for (const auto& [name, s] : stats) {
-      if (name == "slots") rec.slotsMean = s.mean();
-      if (name == "decode_rate") rec.decodeRateMean = s.mean();
-      if (name == "wall_sec") rec.wallMeanSec = s.mean();
+      if (name == "slots") rec.slotsMean = s.moments.mean();
+      if (name == "decode_rate") rec.decodeRateMean = s.moments.mean();
+      if (name == "wall_sec") rec.wallMeanSec = s.moments.mean();
     }
+  };
+
+  store::StoreWriter storeWriter;
+  if (!opts.storePath.empty()) {
+    store::StoreMeta meta;
+    meta.campaign = spec.name;
+    meta.base = spec.baseName;
+    meta.totalCells = out.totalCells;
+    meta.shardIndex = opts.shardIndex;
+    meta.shardCount = opts.shardCount;
+    meta.cellSlots = shardCells.size();
+    meta.stripWall = opts.storeStripWall;
+    if (!storeWriter.open(opts.storePath, meta, err)) return false;
+  }
+  // Store rows land by slot, so arrival order is irrelevant to the file's
+  // final bytes.  Stats must be appended BEFORE the reducer consumes them.
+  const auto appendStoreRow = [&](std::size_t slot, const CellRecord& rec,
+                                  const MetricStats& stats, const MetricMap& tm,
+                                  std::string& rowErr) {
+    if (!storeWriter.isOpen()) return true;
+    store::StoreCellRow row;
+    row.cellIndex = rec.cell.index;
+    row.label = rec.cell.label;
+    row.assignments = rec.cell.assignments;
+    row.seeds = rec.cell.spec.seeds;
+    row.failures = rec.failures;
+    row.delivered = rec.delivered;
+    row.valid = rec.valid;
+    row.invalid = rec.invalid;
+    row.stats = &stats;
+    row.telemetry = &tm;
+    return storeWriter.appendCell(slot, row, rowErr);
   };
 
   TreeReducer reducer(shardCells.size());
@@ -134,6 +175,11 @@ bool runCampaignWorkQueue(const SweepSpec& spec, const WorkQueueOptions& opts,
         rec.invalid = cached.batch.invalidCount();
         MetricStats stats = cellMetricStats(cached);
         recordDisplayMeans(rec, stats);
+        std::string rowErr;
+        if (!appendStoreRow(i, rec, stats, cached.telemetry, rowErr)) {
+          err = "cell " + std::to_string(cell.index) + " store row: " + rowErr;
+          return false;
+        }
         foldLeaf(i, std::move(stats));
         if (opts.onCell) opts.onCell(cell, true);
         ++done;
@@ -336,6 +382,18 @@ bool runCampaignWorkQueue(const SweepSpec& spec, const WorkQueueOptions& opts,
         const Json* moments = frame.body.find("moments");
         MetricStats stats = moments ? momentsFromJson(*moments) : MetricStats{};
         recordDisplayMeans(rec, stats);
+        if (storeWriter.isOpen()) {
+          MetricMap tm;
+          if (const Json* tmJson = frame.body.find("telemetry");
+              tmJson != nullptr && tmJson->isObject()) {
+            for (const auto& [name, value] : tmJson->members()) tm.set(name, value.asDouble());
+          }
+          std::string rowErr;
+          if (!appendStoreRow(leafIt->second, rec, stats, tm, rowErr)) {
+            protocolErr = "cell " + std::to_string(cellIndex) + " store row: " + rowErr;
+            break;
+          }
+        }
         foldLeaf(leafIt->second, std::move(stats));
         w.leasedCell = -1;
         ++done;
@@ -387,6 +445,8 @@ bool runCampaignWorkQueue(const SweepSpec& spec, const WorkQueueOptions& opts,
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
   }
+
+  if (storeWriter.isOpen() && !storeWriter.finish(err)) return false;
 
   out.reduction = reducer.root();
   out.wallSec = nowSec() - t0;

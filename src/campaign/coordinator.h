@@ -60,6 +60,14 @@ struct WorkQueueOptions {
   int faultKillCell = -1;
   /// Progress hook, called when a cell is leased (or resumed from cache).
   std::function<void(const SweepCell&, bool cached)> onCell;
+  /// When non-empty, stream every finished cell into the columnar
+  /// campaign store at this path (store/writer.h).  Rows land by slot
+  /// (expansion-order position), so the finished file is byte-identical
+  /// to the in-process runner's no matter which worker finished first.
+  std::string storePath;
+  /// Zero the wall_sec stats in store rows (count survives) — the store
+  /// analogue of stripWallTimes, for byte-for-byte comparisons.
+  bool storeStripWall = false;
 };
 
 /// What the coordinator retains per cell: identity plus batch counters —

@@ -45,16 +45,81 @@ bool decodeFrame(const std::string& bytes, Frame& out, std::string& err) {
   return true;
 }
 
+namespace {
+
+Json quantileStateToJson(const StreamingQuantiles& q) {
+  Json out = Json::object();
+  if (!q.sketchMode()) {
+    out.set("k", "exact");
+    Json values = Json::array();
+    for (double v : q.sortedExactValues()) values.push_back(v);
+    out.set("v", std::move(values));
+    return out;
+  }
+  const QuantileSketch& s = q.sketch();
+  out.set("k", "sketch");
+  out.set("a", s.alpha());
+  out.set("z", static_cast<std::size_t>(s.zeroCount()));
+  const auto sideToJson = [](const std::vector<QuantileSketch::Bucket>& side) {
+    Json arr = Json::array();
+    for (const QuantileSketch::Bucket& b : side) {
+      Json pair = Json::array();
+      pair.push_back(b.index);
+      pair.push_back(static_cast<std::size_t>(b.count));
+      arr.push_back(std::move(pair));
+    }
+    return arr;
+  };
+  out.set("neg", sideToJson(s.negativeBuckets()));
+  out.set("pos", sideToJson(s.positiveBuckets()));
+  return out;
+}
+
+StreamingQuantiles quantileStateFromJson(const Json* j) {
+  if (j == nullptr || !j->isObject()) return StreamingQuantiles{};
+  if (j->stringAt("k") == "exact") {
+    std::vector<double> values;
+    if (const Json* v = j->find("v"); v != nullptr && v->isArray()) {
+      values.reserve(v->size());
+      for (const Json& x : v->items()) values.push_back(x.asDouble());
+    }
+    return StreamingQuantiles::fromExact(QuantileSketch::kDefaultAlpha,
+                                         StreamingQuantiles::kDefaultExactThreshold,
+                                         std::move(values));
+  }
+  const auto sideFromJson = [](const Json* arr) {
+    std::vector<QuantileSketch::Bucket> side;
+    if (arr == nullptr || !arr->isArray()) return side;
+    side.reserve(arr->size());
+    for (const Json& pair : arr->items()) {
+      if (!pair.isArray() || pair.size() != 2) continue;
+      side.push_back(QuantileSketch::Bucket{
+          static_cast<std::int32_t>(pair.items()[0].asDouble()),
+          static_cast<std::uint64_t>(pair.items()[1].asDouble())});
+    }
+    return side;
+  };
+  QuantileSketch sketch = QuantileSketch::fromState(
+      j->numberAt("a", QuantileSketch::kDefaultAlpha),
+      static_cast<std::uint64_t>(j->numberAt("z")), sideFromJson(j->find("neg")),
+      sideFromJson(j->find("pos")));
+  return StreamingQuantiles::fromSketch(StreamingQuantiles::kDefaultExactThreshold,
+                                        std::move(sketch));
+}
+
+}  // namespace
+
 Json momentsToJson(const MetricStats& stats) {
   Json j = Json::object();
   for (const auto& [name, s] : stats) {
     Json m = Json::object();
-    m.set("n", s.count());
-    m.set("mean", s.mean());
-    m.set("m2", s.m2());
-    m.set("min", s.min());
-    m.set("max", s.max());
-    m.set("sum", s.sum());
+    m.set("n", s.moments.count());
+    m.set("mean", s.moments.mean());
+    m.set("m2", s.moments.m2());
+    m.set("min", s.moments.min());
+    m.set("max", s.moments.max());
+    m.set("sum", s.moments.sum());
+    m.set("q", quantileStateToJson(s.quantiles));
     j.set(name, std::move(m));
   }
   return j;
@@ -65,38 +130,17 @@ MetricStats momentsFromJson(const Json& j) {
   if (!j.isObject()) return out;
   out.reserve(j.size());
   for (const auto& [name, m] : j.members()) {
-    out.emplace_back(name, OnlineStats::fromMoments(
-                               static_cast<std::size_t>(m.numberAt("n")), m.numberAt("mean"),
-                               m.numberAt("m2"), m.numberAt("min"), m.numberAt("max"),
-                               m.numberAt("sum")));
+    StreamingStats s;
+    s.moments = OnlineStats::fromMoments(static_cast<std::size_t>(m.numberAt("n")),
+                                         m.numberAt("mean"), m.numberAt("m2"),
+                                         m.numberAt("min"), m.numberAt("max"),
+                                         m.numberAt("sum"));
+    s.quantiles = quantileStateFromJson(m.find("q"));
+    out.emplace_back(name, std::move(s));
   }
   return out;
 }
 
-MetricStats cellMetricStats(const CellResult& cell) {
-  MetricStats out;
-  OnlineStats slots, decodeRate, structureSlots, wallSec;
-  for (const SeedResult& r : cell.batch.perSeed) {
-    wallSec.add(r.wallSec);  // wall time counts failed seeds, like summarizeWallSec
-    if (r.failed()) continue;
-    slots.add(static_cast<double>(r.slots));
-    decodeRate.add(r.decodeRate);
-    structureSlots.add(static_cast<double>(r.structureSlots));
-  }
-  out.emplace_back("slots", slots);
-  out.emplace_back("decode_rate", decodeRate);
-  out.emplace_back("structure_slots", structureSlots);
-  out.emplace_back("wall_sec", wallSec);
-  for (const std::string& name : cell.batch.metricNames()) {
-    OnlineStats s;
-    for (const SeedResult& r : cell.batch.perSeed) {
-      if (r.failed()) continue;
-      if (const double* v = r.metrics.find(name)) s.add(*v);
-    }
-    out.emplace_back(name, s);
-  }
-  sortMetricStats(out);
-  return out;
-}
+MetricStats cellMetricStats(const CellResult& cell) { return cellStats(cell); }
 
 }  // namespace mcs::campaign

@@ -49,18 +49,21 @@ struct Frame {
 /// unknown "type".
 [[nodiscard]] bool decodeFrame(const std::string& bytes, Frame& out, std::string& err);
 
-/// Moment-sum serialization for RESULT frames: each metric as
-/// {"n", "mean", "m2", "min", "max", "sum"} — the full OnlineStats state,
-/// so the coordinator-side merge is bit-identical to merging the original
-/// accumulators in process.
+/// Per-metric accumulator serialization for RESULT frames: each metric
+/// as {"n", "mean", "m2", "min", "max", "sum"} — the full OnlineStats
+/// state — plus "q", the streaming quantile state (exact sorted values
+/// below the spill threshold, sketch buckets above).  JSON numbers use
+/// shortest-round-trip formatting, so the coordinator-side merge is
+/// bit-identical to merging the original accumulators in process.
+/// Metric order is preserved (display order, NOT sorted): the store
+/// writer binds its column schema to this order, so the coordinator and
+/// the in-process runner must see the same sequence.
 [[nodiscard]] Json momentsToJson(const MetricStats& stats);
 [[nodiscard]] MetricStats momentsFromJson(const Json& j);
 
-/// One cell's reduction leaf: OnlineStats per summary metric, built from
-/// the same per-seed values CellResult::summaries() uses (slots /
-/// decode_rate / structure_slots over non-failed seeds, wall_sec over all
-/// seeds, then every named protocol metric over the non-failed seeds
-/// that carry it).
+/// One cell's reduction leaf: cellStats(cell) from sweep/runner.h — the
+/// exact per-seed accumulation CellResult::summaries() reports, in
+/// display order (the reducer name-sorts on addLeaf).
 [[nodiscard]] MetricStats cellMetricStats(const CellResult& cell);
 
 }  // namespace mcs::campaign

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/telemetry.h"
+
 namespace mcs::campaign {
 
 namespace {
@@ -28,9 +30,14 @@ MetricStats mergeMetricStats(const MetricStats& left, const MetricStats& right) 
     } else if (i >= left.size() || right[j].first < left[i].first) {
       out.push_back(right[j++]);
     } else {
-      OnlineStats s = left[i].second;
+      static const telemetry::CounterId kSketchMerges =
+          telemetry::counterId("store.sketch_merges");
+      StreamingStats s = left[i].second;
+      if (s.quantiles.sketchMode() || right[j].second.quantiles.sketchMode()) {
+        telemetry::counterAdd(kSketchMerges);
+      }
       s.merge(right[j].second);
-      out.emplace_back(left[i].first, s);
+      out.emplace_back(left[i].first, std::move(s));
       ++i;
       ++j;
     }

@@ -7,7 +7,7 @@
 #include <utility>
 #include <vector>
 
-#include "util/stats.h"
+#include "util/sketch.h"
 
 /// Streaming tree reduction of per-cell statistics — the campaign
 /// coordinator's merge stage.
@@ -30,9 +30,13 @@
 /// summaries each — still nothing like buffering per-seed rows.
 namespace mcs::campaign {
 
-/// Per-metric statistics of one reduction node, name-sorted.  Leaves are
-/// a cell's per-seed stats; the root is the whole campaign's.
-using MetricStats = std::vector<std::pair<std::string, OnlineStats>>;
+/// Per-metric statistics of one reduction node, name-sorted: moments
+/// plus the mergeable quantile state (util/sketch.h).  Leaves are a
+/// cell's per-seed stats; the root is the whole campaign's.  The sketch
+/// half is merge-order invariant outright (integer bucket counts), so
+/// the fixed tree shape below is only load-bearing for the moments —
+/// but both ride it, and the root stays a pure function of the leaves.
+using MetricStats = NamedStats;
 
 class TreeReducer {
  public:
@@ -69,8 +73,10 @@ class TreeReducer {
 };
 
 /// Merges two name-sorted MetricStats (left folded into right's values
-/// via OnlineStats::merge, i.e. result = left.merge(right) per shared
-/// metric); names only in one side pass through.  Exposed for tests.
+/// via StreamingStats::merge, i.e. result = left.merge(right) per shared
+/// metric); names only in one side pass through.  Sketch-mode quantile
+/// merges are counted under the store.sketch_merges telemetry counter.
+/// Exposed for tests.
 [[nodiscard]] MetricStats mergeMetricStats(const MetricStats& left, const MetricStats& right);
 
 /// Sorts by metric name (the canonical node form addLeaf establishes).

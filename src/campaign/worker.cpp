@@ -86,6 +86,13 @@ int campaignWorkerMain(int fd, const std::vector<SweepCell>& cells, const Worker
     result.body.set("invalid", res.batch.invalidCount());
     result.body.set("wall_sec", cellWall);
     result.body.set("moments", momentsToJson(cellMetricStats(res)));
+    // Telemetry rides along so the coordinator's store rows match what
+    // the in-process runner would have written for this cell.
+    if (!res.telemetry.entries().empty()) {
+      Json tm = Json::object();
+      for (const auto& [name, value] : res.telemetry.entries()) tm.set(name, value);
+      result.body.set("telemetry", std::move(tm));
+    }
     if (!writeFrame(fd, encodeFrame(result), err)) return 0;
   }
 }

@@ -1,0 +1,181 @@
+#include "store/format.h"
+
+#include <cstring>
+
+namespace mcs::store {
+
+namespace {
+
+template <typename T>
+void appendRaw(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+bool readRaw(const char*& p, const char* end, T& v) {
+  if (static_cast<std::size_t>(end - p) < sizeof(T)) return false;
+  std::memcpy(&v, p, sizeof(T));
+  p += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> columnLayout(std::uint32_t axisCount, std::uint32_t metricCount) {
+  std::vector<std::uint32_t> layout;
+  layout.reserve(7 + axisCount + static_cast<std::size_t>(metricCount) * kMetricFields + 2);
+  layout.push_back(4);  // cell_index
+  layout.push_back(4);  // label_id
+  for (std::uint32_t a = 0; a < axisCount; ++a) layout.push_back(4);
+  layout.push_back(4);  // seeds
+  layout.push_back(4);  // failures
+  layout.push_back(4);  // delivered
+  layout.push_back(4);  // valid
+  layout.push_back(4);  // invalid
+  for (std::uint32_t m = 0; m < metricCount; ++m) {
+    layout.push_back(8);  // count
+    layout.push_back(8);  // mean
+    layout.push_back(8);  // m2
+    layout.push_back(8);  // min
+    layout.push_back(8);  // max
+    layout.push_back(8);  // sum
+    layout.push_back(8);  // q_off
+    layout.push_back(4);  // q_len
+  }
+  layout.push_back(8);  // tm_off
+  layout.push_back(4);  // tm_len
+  return layout;
+}
+
+std::vector<std::size_t> rowFieldOffsets(const std::vector<std::uint32_t>& layout) {
+  std::vector<std::size_t> offsets;
+  offsets.reserve(layout.size());
+  std::size_t off = 0;
+  for (std::uint32_t size : layout) {
+    offsets.push_back(off);
+    off += size;
+  }
+  return offsets;
+}
+
+std::size_t rowBytes(const std::vector<std::uint32_t>& layout) {
+  std::size_t off = 0;
+  for (std::uint32_t size : layout) off += size;
+  return off;
+}
+
+void appendQuantileBlob(const StreamingQuantiles& q, std::string& out) {
+  if (!q.sketchMode()) {
+    appendRaw<std::uint8_t>(out, 0);
+    const std::vector<double> values = q.sortedExactValues();
+    appendRaw<std::uint32_t>(out, static_cast<std::uint32_t>(values.size()));
+    for (double v : values) appendRaw(out, v);
+    return;
+  }
+  const QuantileSketch& s = q.sketch();
+  appendRaw<std::uint8_t>(out, 1);
+  appendRaw<std::uint64_t>(out, s.zeroCount());
+  appendRaw<std::uint32_t>(out, static_cast<std::uint32_t>(s.negativeBuckets().size()));
+  appendRaw<std::uint32_t>(out, static_cast<std::uint32_t>(s.positiveBuckets().size()));
+  for (const QuantileSketch::Bucket& b : s.negativeBuckets()) {
+    appendRaw(out, b.index);
+    appendRaw(out, b.count);
+  }
+  for (const QuantileSketch::Bucket& b : s.positiveBuckets()) {
+    appendRaw(out, b.index);
+    appendRaw(out, b.count);
+  }
+}
+
+bool parseQuantileBlob(const char* p, std::size_t len, double alpha,
+                       std::size_t exactThreshold, StreamingQuantiles& out,
+                       std::string& err) {
+  const char* end = p + len;
+  std::uint8_t mode = 0;
+  if (!readRaw(p, end, mode)) {
+    err = "quantile blob truncated (mode)";
+    return false;
+  }
+  if (mode == 0) {
+    std::uint32_t n = 0;
+    if (!readRaw(p, end, n)) {
+      err = "quantile blob truncated (exact count)";
+      return false;
+    }
+    std::vector<double> values;
+    values.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      double v = 0.0;
+      if (!readRaw(p, end, v)) {
+        err = "quantile blob truncated (exact values)";
+        return false;
+      }
+      values.push_back(v);
+    }
+    out = StreamingQuantiles::fromExact(alpha, exactThreshold, std::move(values));
+    return true;
+  }
+  if (mode != 1) {
+    err = "quantile blob has unknown mode " + std::to_string(mode);
+    return false;
+  }
+  std::uint64_t zero = 0;
+  std::uint32_t nneg = 0, npos = 0;
+  if (!readRaw(p, end, zero) || !readRaw(p, end, nneg) || !readRaw(p, end, npos)) {
+    err = "quantile blob truncated (sketch counts)";
+    return false;
+  }
+  const auto readSide = [&](std::uint32_t n, std::vector<QuantileSketch::Bucket>& side) {
+    side.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      QuantileSketch::Bucket b;
+      if (!readRaw(p, end, b.index) || !readRaw(p, end, b.count)) return false;
+      side.push_back(b);
+    }
+    return true;
+  };
+  std::vector<QuantileSketch::Bucket> neg, pos;
+  if (!readSide(nneg, neg) || !readSide(npos, pos)) {
+    err = "quantile blob truncated (sketch buckets)";
+    return false;
+  }
+  out = StreamingQuantiles::fromSketch(
+      exactThreshold, QuantileSketch::fromState(alpha, zero, std::move(neg), std::move(pos)));
+  return true;
+}
+
+void appendTelemetryBlob(const std::vector<std::pair<std::uint32_t, double>>& entries,
+                         std::string& out) {
+  appendRaw<std::uint32_t>(out, static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [nameId, value] : entries) {
+    appendRaw(out, nameId);
+    appendRaw(out, value);
+  }
+}
+
+bool parseTelemetryBlob(const char* p, std::size_t len,
+                        std::vector<std::pair<std::uint32_t, double>>& out,
+                        std::string& err) {
+  const char* end = p + len;
+  std::uint32_t n = 0;
+  if (!readRaw(p, end, n)) {
+    err = "telemetry blob truncated (count)";
+    return false;
+  }
+  out.clear();
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t nameId = 0;
+    double value = 0.0;
+    if (!readRaw(p, end, nameId) || !readRaw(p, end, value)) {
+      err = "telemetry blob truncated (entries)";
+      return false;
+    }
+    out.emplace_back(nameId, value);
+  }
+  return true;
+}
+
+}  // namespace mcs::store

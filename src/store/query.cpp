@@ -1,0 +1,185 @@
+#include "store/query.h"
+
+#include <unordered_map>
+
+#include "sweep/report.h"
+#include "telemetry/telemetry.h"
+
+namespace mcs::store {
+
+namespace {
+
+std::string namesList(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+/// Equality filter against a string column, with an id memo so each
+/// distinct interned id is resolved once per scan.
+struct ColumnFilter {
+  const std::uint32_t* col = nullptr;
+  std::string value;
+  std::unordered_map<std::uint32_t, bool> memo;
+
+  bool matches(const StoreReader& reader, std::size_t row) {
+    const std::uint32_t id = col[row];
+    const auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    const bool ok = reader.str(id) == value;
+    memo.emplace(id, ok);
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool runStoreQuery(const StoreReader& reader, const StoreQuery& query,
+                   std::vector<QueryGroup>& out, std::string& err) {
+  static const telemetry::TimerId kScan = telemetry::timerId("query.scan");
+  static const telemetry::CounterId kSketchMerges =
+      telemetry::counterId("store.sketch_merges");
+  out.clear();
+
+  std::vector<std::string> metricNames = query.metrics;
+  if (metricNames.empty()) metricNames = reader.metricNames();
+  std::vector<std::size_t> metricIdx;
+  metricIdx.reserve(metricNames.size());
+  for (const std::string& name : metricNames) {
+    const int m = reader.metricIndex(name);
+    if (m < 0) {
+      err = "metric \"" + name + "\" not in store (has: " +
+            namesList(reader.metricNames()) + ")";
+      return false;
+    }
+    metricIdx.push_back(static_cast<std::size_t>(m));
+  }
+
+  const auto resolveColumn = [&](const std::string& key,
+                                 const std::uint32_t*& col) -> bool {
+    if (key == "label") {
+      col = reader.labelCol();
+      return true;
+    }
+    const int a = reader.axisIndex(key);
+    if (a < 0) {
+      err = "axis \"" + key + "\" not in store (has: label, " +
+            namesList(reader.axisNames()) + ")";
+      return false;
+    }
+    col = reader.axisCol(static_cast<std::size_t>(a));
+    return true;
+  };
+
+  std::vector<ColumnFilter> filters;
+  filters.reserve(query.where.size());
+  for (const auto& [key, value] : query.where) {
+    ColumnFilter f;
+    if (!resolveColumn(key, f.col)) return false;
+    f.value = value;
+    filters.push_back(std::move(f));
+  }
+
+  const std::uint32_t* groupCol = nullptr;
+  if (!query.groupBy.empty() && !resolveColumn(query.groupBy, groupCol)) return false;
+
+  const telemetry::PhaseTimer scan(kScan);
+  const double alpha = reader.header().sketchAlpha;
+  std::unordered_map<std::uint32_t, std::size_t> groupOf;  // value id -> out index
+  const auto groupFor = [&](std::size_t row) -> QueryGroup& {
+    if (groupCol == nullptr) {
+      if (out.empty()) {
+        QueryGroup g;
+        g.key = "all";
+        out.push_back(std::move(g));
+      }
+      return out.front();
+    }
+    const std::uint32_t id = groupCol[row];
+    const auto it = groupOf.find(id);
+    if (it != groupOf.end()) return out[it->second];
+    QueryGroup g;
+    g.key = reader.str(id);
+    groupOf.emplace(id, out.size());
+    out.push_back(std::move(g));
+    return out.back();
+  };
+
+  for (std::size_t row = 0; row < reader.cells(); ++row) {
+    bool pass = true;
+    for (ColumnFilter& f : filters) {
+      if (!f.matches(reader, row)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    QueryGroup& group = groupFor(row);
+    if (group.stats.empty()) {
+      group.stats.reserve(metricNames.size());
+      for (const std::string& name : metricNames) {
+        group.stats.emplace_back(
+            name, StreamingStats(alpha, reader.header().sketchThreshold));
+      }
+    }
+    ++group.cells;
+    for (std::size_t k = 0; k < metricIdx.size(); ++k) {
+      StreamingStats rowStats;
+      if (!reader.statsAt(metricIdx[k], row, rowStats, err)) return false;
+      StreamingStats& acc = group.stats[k].second;
+      if (acc.quantiles.sketchMode() || rowStats.quantiles.sketchMode()) {
+        telemetry::counterAdd(kSketchMerges);
+      }
+      acc.merge(rowStats);
+    }
+  }
+  return true;
+}
+
+bool storeSummariesJson(const StoreReader& reader, Json& out, std::string& err) {
+  const std::string campaign = reader.campaignName();
+  out = Json::object();
+  out.set("name", "sweep_" + campaign);
+  out.set("kind", "sweep");
+  Json meta = Json::object();
+  meta.set("sweep", campaign);
+  meta.set("base", reader.baseName());
+  meta.set("total_cells", static_cast<int>(reader.header().totalCells));
+  meta.set("shard_index", static_cast<int>(reader.header().shardIndex));
+  meta.set("shard_count", static_cast<int>(reader.header().shardCount));
+  meta.set("cells_in_shard", reader.cells());
+  meta.set("source", "store");
+  out.set("meta", std::move(meta));
+
+  Json cells = Json::array();
+  for (std::size_t row = 0; row < reader.cells(); ++row) {
+    Json cell = Json::object();
+    cell.set("index", static_cast<int>(reader.cellIndexCol()[row]));
+    cell.set("label", reader.str(reader.labelCol()[row]));
+    Json assigns = Json::object();
+    for (std::size_t a = 0; a < reader.axisNames().size(); ++a) {
+      assigns.set(reader.axisNames()[a], reader.str(reader.axisCol(a)[row]));
+    }
+    cell.set("assignments", std::move(assigns));
+    cell.set("seeds", static_cast<int>(reader.seedsCol()[row]));
+    cell.set("failures", static_cast<int>(reader.failuresCol()[row]));
+    cell.set("delivered", static_cast<int>(reader.deliveredCol()[row]));
+    cell.set("valid", static_cast<int>(reader.validCol()[row]));
+    cell.set("invalid", static_cast<int>(reader.invalidCol()[row]));
+    Json summaries = Json::object();
+    for (std::size_t m = 0; m < reader.metricNames().size(); ++m) {
+      StreamingStats stats;
+      if (!reader.statsAt(m, row, stats, err)) return false;
+      summaries.set(reader.metricNames()[m], summaryToJson(stats.summary()));
+    }
+    cell.set("summaries", std::move(summaries));
+    cells.push_back(std::move(cell));
+  }
+  out.set("cells", std::move(cells));
+  return true;
+}
+
+}  // namespace mcs::store

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "store/format.h"
+#include "util/sketch.h"
+
+/// Memory-mapped reader for the columnar campaign store.  open() maps
+/// the file read-only and validates the header (magic, version, endian
+/// tag, section bounds); column accessors return typed pointers straight
+/// into the mapping — every column start is 8-byte aligned by the
+/// format, so the pointers are safe to dereference and a scan touches
+/// only the pages of the columns it reads.  Nothing is ever loaded
+/// wholesale.
+namespace mcs::store {
+
+class StoreReader {
+ public:
+  StoreReader() = default;
+  ~StoreReader();
+  StoreReader(const StoreReader&) = delete;
+  StoreReader& operator=(const StoreReader&) = delete;
+
+  [[nodiscard]] bool open(const std::string& path, std::string& err);
+
+  [[nodiscard]] const StoreHeader& header() const noexcept { return *header_; }
+  [[nodiscard]] std::size_t cells() const noexcept {
+    return static_cast<std::size_t>(header_->cells);
+  }
+  [[nodiscard]] std::uint64_t fileBytes() const noexcept { return size_; }
+
+  /// Resolves a string-table id (bounds-checked; out-of-range ids yield
+  /// an empty string rather than reading past the section).
+  [[nodiscard]] std::string str(std::uint32_t id) const;
+
+  [[nodiscard]] const std::vector<std::string>& axisNames() const noexcept {
+    return axisNames_;
+  }
+  [[nodiscard]] const std::vector<std::string>& metricNames() const noexcept {
+    return metricNames_;
+  }
+  /// Index of an axis / metric by name, or -1.
+  [[nodiscard]] int axisIndex(const std::string& name) const;
+  [[nodiscard]] int metricIndex(const std::string& name) const;
+
+  [[nodiscard]] std::string campaignName() const { return str(header_->campaignNameId); }
+  [[nodiscard]] std::string baseName() const { return str(header_->baseNameId); }
+
+  // Typed column pointers (length = cells()).
+  [[nodiscard]] const std::uint32_t* cellIndexCol() const { return u32Col(kColCellIndex); }
+  [[nodiscard]] const std::uint32_t* labelCol() const { return u32Col(kColLabel); }
+  [[nodiscard]] const std::uint32_t* axisCol(std::size_t a) const { return u32Col(colAxis(a)); }
+  [[nodiscard]] const std::uint32_t* seedsCol() const {
+    return u32Col(colSeeds(header_->axisCount));
+  }
+  [[nodiscard]] const std::uint32_t* failuresCol() const {
+    return u32Col(colFailures(header_->axisCount));
+  }
+  [[nodiscard]] const std::uint32_t* deliveredCol() const {
+    return u32Col(colDelivered(header_->axisCount));
+  }
+  [[nodiscard]] const std::uint32_t* validCol() const {
+    return u32Col(colValid(header_->axisCount));
+  }
+  [[nodiscard]] const std::uint32_t* invalidCol() const {
+    return u32Col(colInvalid(header_->axisCount));
+  }
+
+  struct MetricView {
+    const std::uint64_t* count = nullptr;
+    const double* mean = nullptr;
+    const double* m2 = nullptr;
+    const double* min = nullptr;
+    const double* max = nullptr;
+    const double* sum = nullptr;
+    const std::uint64_t* qOff = nullptr;
+    const std::uint32_t* qLen = nullptr;
+  };
+  [[nodiscard]] MetricView metric(std::size_t m) const;
+
+  /// One row's full accumulator state for metric `m`, rebuilt from the
+  /// moment columns and the quantile blob — merging these across rows is
+  /// bit-identical to the in-process campaign reduction.
+  [[nodiscard]] OnlineStats momentsAt(std::size_t m, std::size_t row) const;
+  [[nodiscard]] bool statsAt(std::size_t m, std::size_t row, StreamingStats& out,
+                             std::string& err) const;
+
+  /// The row's telemetry entries, names resolved (empty when the cell
+  /// recorded none).
+  [[nodiscard]] bool telemetryAt(std::size_t row,
+                                 std::vector<std::pair<std::string, double>>& out,
+                                 std::string& err) const;
+
+ private:
+  [[nodiscard]] const std::uint32_t* u32Col(std::size_t field) const;
+  [[nodiscard]] const char* blobAt(std::uint64_t off, std::uint32_t len) const;
+
+  const char* map_ = nullptr;
+  std::uint64_t size_ = 0;
+  const StoreHeader* header_ = nullptr;
+  std::vector<std::uint64_t> columnOff_;  // file offset per column
+  std::vector<std::string> axisNames_;
+  std::vector<std::string> metricNames_;
+};
+
+}  // namespace mcs::store

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "store/writer.h"
 #include "sweep/report.h"
 #include "telemetry/telemetry.h"
 #include "util/clock.h"
@@ -30,7 +31,10 @@ namespace {
 
 /// Campaign progress heartbeat on stderr: cells done, throughput, ETA.
 /// Cells vary wildly in cost across a sweep axis, so the ETA is the
-/// honest kind — average-so-far extrapolated, not a promise.
+/// honest kind — average-so-far extrapolated, not a promise.  Resume
+/// cache hits cost microseconds, so the throughput and ETA only count
+/// cells that actually ran; a resumed campaign no longer advertises a
+/// fantasy cells/s and an ETA of ~0 while real work remains.
 struct Heartbeat {
   bool enabled = false;
   std::string campaign;
@@ -48,34 +52,52 @@ struct Heartbeat {
     if (done < shardCells && now - lastEmit < 0.5) return;
     lastEmit = now;
     const double elapsed = now - t0;
-    const double rate = elapsed > 0.0 ? done / elapsed : 0.0;
-    const double eta = rate > 0.0 ? (shardCells - done) / rate : 0.0;
-    std::fprintf(stderr, "[sweep %s] %d/%d cells (%d cached) | %.2f cells/s | ETA %.0fs\n",
-                 campaign.c_str(), done, shardCells, cached, rate, eta);
+    const int ran = done - cached;
+    const double rate = elapsed > 0.0 ? ran / elapsed : 0.0;
+    char eta[32];
+    if (rate > 0.0) {
+      std::snprintf(eta, sizeof eta, "%.0fs", (shardCells - done) / rate);
+    } else {
+      std::snprintf(eta, sizeof eta, "--");
+    }
+    std::fprintf(stderr, "[sweep %s] %d/%d cells (%d ran, %d cached) | %.2f cells/s | ETA %s\n",
+                 campaign.c_str(), done, shardCells, ran, cached, rate, eta);
     std::fflush(stderr);
   }
 };
 
 }  // namespace
 
+NamedStats cellStats(const CellResult& cell) {
+  NamedStats out;
+  StreamingStats slots, decodeRate, structureSlots, wallSec;
+  for (const SeedResult& r : cell.batch.perSeed) {
+    wallSec.add(r.wallSec);  // wall time counts failed seeds, like summarizeWallSec
+    if (r.failed()) continue;
+    slots.add(static_cast<double>(r.slots));
+    decodeRate.add(r.decodeRate);
+    structureSlots.add(static_cast<double>(r.structureSlots));
+  }
+  out.emplace_back("slots", std::move(slots));
+  out.emplace_back("decode_rate", std::move(decodeRate));
+  out.emplace_back("structure_slots", std::move(structureSlots));
+  out.emplace_back("wall_sec", std::move(wallSec));
+  for (const std::string& name : cell.batch.metricNames()) {
+    StreamingStats s;
+    for (const SeedResult& r : cell.batch.perSeed) {
+      if (r.failed()) continue;
+      if (const double* v = r.metrics.find(name)) s.add(*v);
+    }
+    out.emplace_back(name, std::move(s));
+  }
+  return out;
+}
+
 std::vector<std::pair<std::string, Summary>> CellResult::summaries() const {
   std::vector<std::pair<std::string, Summary>> out;
-  out.emplace_back("slots", batch.summarizeSlots());
-  out.emplace_back("decode_rate", batch.summarizeDecodeRate());
-  Summary structure;
-  {
-    std::vector<double> xs;
-    xs.reserve(batch.perSeed.size());
-    for (const SeedResult& r : batch.perSeed) {
-      if (!r.failed()) xs.push_back(static_cast<double>(r.structureSlots));
-    }
-    structure = summarize(xs);
-  }
-  out.emplace_back("structure_slots", structure);
-  out.emplace_back("wall_sec", batch.summarizeWallSec());
-  for (const std::string& name : batch.metricNames()) {
-    out.emplace_back(name, batch.summarizeMetric(name));
-  }
+  const NamedStats stats = cellStats(*this);
+  out.reserve(stats.size());
+  for (const auto& [name, s] : stats) out.emplace_back(name, s.summary());
   return out;
 }
 
@@ -108,6 +130,36 @@ bool runCampaign(const SweepSpec& spec, const CampaignOptions& opts, CampaignRes
     if (cellInShard(cell.index, opts.shardIndex, opts.shardCount)) ++beat.shardCells;
   }
 
+  store::StoreWriter storeWriter;
+  if (!opts.storePath.empty()) {
+    store::StoreMeta meta;
+    meta.campaign = spec.name;
+    meta.base = spec.baseName;
+    meta.totalCells = out.totalCells;
+    meta.shardIndex = opts.shardIndex;
+    meta.shardCount = opts.shardCount;
+    meta.cellSlots = static_cast<std::size_t>(beat.shardCells);
+    meta.stripWall = opts.storeStripWall;
+    if (!storeWriter.open(opts.storePath, meta, err)) return false;
+  }
+  const auto appendStoreRow = [&](const CellResult& res, std::string& rowErr) {
+    if (!storeWriter.isOpen()) return true;
+    const NamedStats stats = cellStats(res);
+    store::StoreCellRow row;
+    row.cellIndex = res.cell.index;
+    row.label = res.cell.label;
+    row.assignments = res.cell.assignments;
+    row.seeds = res.cell.spec.seeds;
+    row.failures = res.batch.failures();
+    row.delivered = res.batch.deliveredCount();
+    row.valid = res.batch.validCount();
+    row.invalid = res.batch.invalidCount();
+    row.stats = &stats;
+    row.telemetry = &res.telemetry;
+    // Slot = position in shard order; out.cells grows in that order.
+    return storeWriter.appendCell(out.cells.size() - 1, row, rowErr);
+  };
+
   for (SweepCell& cell : cells) {
     if (!cellInShard(cell.index, opts.shardIndex, opts.shardCount)) continue;
     const std::string path = cellFilePath(opts.outDir, spec.name, cell.index);
@@ -120,6 +172,11 @@ bool runCampaign(const SweepSpec& spec, const CampaignOptions& opts, CampaignRes
         cached.fromCache = true;
         if (opts.onCell) opts.onCell(cell, true);
         out.cells.push_back(std::move(cached));
+        std::string rowErr;
+        if (!appendStoreRow(out.cells.back(), rowErr)) {
+          err = "cell " + std::to_string(cell.index) + " store row: " + rowErr;
+          return false;
+        }
         beat.cellDone(true);
         continue;
       }
@@ -152,8 +209,14 @@ bool runCampaign(const SweepSpec& spec, const CampaignOptions& opts, CampaignRes
       }
     }
     out.cells.push_back(std::move(res));
+    std::string rowErr;
+    if (!appendStoreRow(out.cells.back(), rowErr)) {
+      err = "cell " + std::to_string(cell.index) + " store row: " + rowErr;
+      return false;
+    }
     beat.cellDone(false);
   }
+  if (storeWriter.isOpen() && !storeWriter.finish(err)) return false;
   out.wallSec = nowSec() - t0;
   return true;
 }

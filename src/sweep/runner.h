@@ -7,6 +7,7 @@
 #include "scenario/runner.h"
 #include "sweep/expand.h"
 #include "telemetry/telemetry.h"
+#include "util/sketch.h"
 
 /// The campaign runner: executes a sweep's cells as seed batches via
 /// runScenarioBatch, with deterministic sharding for CI matrices and
@@ -35,6 +36,16 @@ struct CampaignOptions {
   bool heartbeat = false;
   /// Progress hook, called before each cell runs or is skipped.
   std::function<void(const SweepCell&, bool cached)> onCell;
+  /// When non-empty, stream every finished (or resumed) cell into the
+  /// columnar campaign store at this path (store/writer.h): one row per
+  /// cell, written as cells complete, atomically renamed into place at
+  /// the end.  Empty = no store.
+  std::string storePath;
+  /// Zero the wall_sec stats/sketch in store rows (the count survives):
+  /// wall time is the single nondeterministic field, so stripping it
+  /// makes the store byte-identical across runs and worker counts — the
+  /// same canonicalization stripWallTimes applies to report JSON.
+  bool storeStripWall = false;
 };
 
 /// One executed (or resumed) cell: the cell plus its seed batch.
@@ -56,8 +67,17 @@ struct CellResult {
 
   /// The summary table the reports emit: slots, decode_rate,
   /// structure_slots, wall_sec, then every named protocol metric.
+  /// Derived from cellStats(), so reports, RESULT frames, and store rows
+  /// all read the same accumulators.
   [[nodiscard]] std::vector<std::pair<std::string, Summary>> summaries() const;
 };
+
+/// Per-metric streaming accumulators for one cell, in display order:
+/// slots / decode_rate / structure_slots over non-failed seeds, wall_sec
+/// over all seeds, then every named protocol metric over the non-failed
+/// seeds that carry it.  The single per-cell statistics path — summaries()
+/// renders it, the campaign workers serialize it, the store writes it.
+[[nodiscard]] NamedStats cellStats(const CellResult& cell);
 
 /// A campaign run: the shard's cells, in expansion order.
 struct CampaignResult {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace mcs {
 
@@ -57,9 +58,6 @@ double OnlineStats::variance() const noexcept {
 
 double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
 
-namespace {
-
-/// The q-quantile of an already sorted, non-empty sample.
 double quantileSorted(const std::vector<double>& xs, double q) {
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(xs.size() - 1);
@@ -69,10 +67,11 @@ double quantileSorted(const std::vector<double>& xs, double q) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
-}  // namespace
-
 double quantile(std::vector<double> xs, double q) {
-  if (xs.empty()) return 0.0;
+  if (xs.empty()) {
+    std::fprintf(stderr, "FATAL: quantile() on an empty sample\n");
+    std::abort();
+  }
   std::sort(xs.begin(), xs.end());
   return quantileSorted(xs, q);
 }

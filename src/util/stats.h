@@ -48,12 +48,20 @@ class OnlineStats {
   double sum_ = 0.0;
 };
 
+/// The q-quantile of an already sorted, NON-EMPTY sample by linear
+/// interpolation between order statistics.  Exposed so the streaming
+/// quantile state (util/sketch.h) reproduces the exact-path bits.
+[[nodiscard]] double quantileSorted(const std::vector<double>& xs, double q);
+
 /// Returns the q-quantile (q in [0,1]) of `xs` by linear interpolation.
-/// `xs` is copied and sorted; empty input yields 0.
+/// `xs` is copied and sorted.  An empty sample has no quantiles: the
+/// call is a logged fatal (abort), because every historical caller that
+/// hit it silently read 0.0 as a real statistic.
 [[nodiscard]] double quantile(std::vector<double> xs, double q);
 
 /// The p-th percentile (p in [0,100]); quantile() scaled the way bench
-/// tables and sweep summaries label it (p50, p95, ...).
+/// tables and sweep summaries label it (p50, p95, ...).  Empty input is
+/// a logged fatal, like quantile().
 [[nodiscard]] double percentile(std::vector<double> xs, double p);
 
 /// Five-number-ish summary of a sample, handy for bench tables.  The

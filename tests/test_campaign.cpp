@@ -16,6 +16,7 @@
 #include "campaign/protocol.h"
 #include "campaign/reduce.h"
 #include "campaign/report.h"
+#include "store/reader.h"
 #include "sweep/check.h"
 #include "sweep/report.h"
 #include "sweep/runner.h"
@@ -111,11 +112,12 @@ TEST(CampaignProtocol, RejectsMalformedFrames) {
 }
 
 TEST(CampaignProtocol, MomentsCarryTheFullAccumulatorState) {
-  // Transporting moments over JSON and rebuilding via fromMoments must
-  // behave exactly like the original accumulator under further merges.
-  OnlineStats a;
+  // Transporting accumulators over JSON and rebuilding them must behave
+  // exactly like the originals under further merges — moments AND the
+  // quantile state.
+  StreamingStats a;
   for (const double x : {1.0, 2.5, -3.0, 7.25}) a.add(x);
-  OnlineStats b;
+  StreamingStats b;
   for (const double x : {0.5, 100.0}) b.add(x);
 
   MetricStats stats;
@@ -125,29 +127,31 @@ TEST(CampaignProtocol, MomentsCarryTheFullAccumulatorState) {
   ASSERT_EQ(back.size(), 2u);
   for (std::size_t i = 0; i < 2; ++i) {
     EXPECT_EQ(back[i].first, stats[i].first);
-    EXPECT_EQ(back[i].second.count(), stats[i].second.count());
-    EXPECT_EQ(back[i].second.mean(), stats[i].second.mean());
-    EXPECT_EQ(back[i].second.m2(), stats[i].second.m2());
-    EXPECT_EQ(back[i].second.min(), stats[i].second.min());
-    EXPECT_EQ(back[i].second.max(), stats[i].second.max());
-    EXPECT_EQ(back[i].second.sum(), stats[i].second.sum());
+    EXPECT_EQ(back[i].second.moments.count(), stats[i].second.moments.count());
+    EXPECT_EQ(back[i].second.moments.mean(), stats[i].second.moments.mean());
+    EXPECT_EQ(back[i].second.moments.m2(), stats[i].second.moments.m2());
+    EXPECT_EQ(back[i].second.moments.min(), stats[i].second.moments.min());
+    EXPECT_EQ(back[i].second.moments.max(), stats[i].second.moments.max());
+    EXPECT_EQ(back[i].second.moments.sum(), stats[i].second.moments.sum());
+    EXPECT_EQ(back[i].second.quantiles.quantile(0.5), stats[i].second.quantiles.quantile(0.5));
   }
 
   // Merging a round-tripped accumulator is bit-identical to merging the
   // original — the property the coordinator-side reduction relies on.
-  OnlineStats direct = a;
+  StreamingStats direct = a;
   direct.merge(b);
-  OnlineStats viaWire = back[0].second;
+  StreamingStats viaWire = back[0].second;
   viaWire.merge(back[1].second);
-  EXPECT_EQ(viaWire.mean(), direct.mean());
-  EXPECT_EQ(viaWire.m2(), direct.m2());
-  EXPECT_EQ(viaWire.count(), direct.count());
+  EXPECT_EQ(viaWire.moments.mean(), direct.moments.mean());
+  EXPECT_EQ(viaWire.moments.m2(), direct.moments.m2());
+  EXPECT_EQ(viaWire.moments.count(), direct.moments.count());
+  EXPECT_EQ(viaWire.quantiles.quantile(0.95), direct.quantiles.quantile(0.95));
 }
 
 // --------------------------------------------------------------- reducer
 
 MetricStats leafStats(std::size_t i) {
-  OnlineStats s;
+  StreamingStats s;
   // Values chosen so merge order matters in the last float bits if the
   // tree shape were not fixed.
   s.add(1.0 + 1e-9 * static_cast<double>(i));
@@ -170,22 +174,25 @@ TEST(TreeReducer, RootIsBitIdenticalAcrossArrivalOrders) {
     std::iota(order.begin(), order.end(), 0u);
     const MetricStats forward = reduceInOrder(n, order);
     ASSERT_EQ(forward.size(), 1u);
-    EXPECT_EQ(forward[0].second.count(), 2 * n);
+    EXPECT_EQ(forward[0].second.moments.count(), 2 * n);
 
     std::reverse(order.begin(), order.end());
     MetricStats other = reduceInOrder(n, order);
-    EXPECT_EQ(other[0].second.mean(), forward[0].second.mean()) << "n=" << n << " reversed";
-    EXPECT_EQ(other[0].second.m2(), forward[0].second.m2());
+    EXPECT_EQ(other[0].second.moments.mean(), forward[0].second.moments.mean())
+        << "n=" << n << " reversed";
+    EXPECT_EQ(other[0].second.moments.m2(), forward[0].second.moments.m2());
 
     std::mt19937 rng(42);
     for (int trial = 0; trial < 5; ++trial) {
       std::shuffle(order.begin(), order.end(), rng);
       other = reduceInOrder(n, order);
-      EXPECT_EQ(other[0].second.mean(), forward[0].second.mean())
+      EXPECT_EQ(other[0].second.moments.mean(), forward[0].second.moments.mean())
           << "n=" << n << " trial " << trial;
-      EXPECT_EQ(other[0].second.m2(), forward[0].second.m2());
-      EXPECT_EQ(other[0].second.min(), forward[0].second.min());
-      EXPECT_EQ(other[0].second.max(), forward[0].second.max());
+      EXPECT_EQ(other[0].second.moments.m2(), forward[0].second.moments.m2());
+      EXPECT_EQ(other[0].second.moments.min(), forward[0].second.moments.min());
+      EXPECT_EQ(other[0].second.moments.max(), forward[0].second.moments.max());
+      EXPECT_EQ(other[0].second.quantiles.quantile(0.5),
+                forward[0].second.quantiles.quantile(0.5));
     }
   }
 }
@@ -200,7 +207,7 @@ TEST(TreeReducer, EmptyAndSingleLeaf) {
   one.addLeaf(0, leafStats(0));
   EXPECT_TRUE(one.complete());
   ASSERT_EQ(one.root().size(), 1u);
-  EXPECT_EQ(one.root()[0].second.count(), 2u);
+  EXPECT_EQ(one.root()[0].second.moments.count(), 2u);
   EXPECT_EQ(one.pendingNodes(), 0u);
 }
 
@@ -221,7 +228,7 @@ TEST(TreeReducer, InOrderArrivalKeepsALogarithmicFrontier) {
 
 TEST(TreeReducer, MetricNameUnionAcrossLeaves) {
   TreeReducer r(2);
-  OnlineStats onlyLeft;
+  StreamingStats onlyLeft;
   onlyLeft.add(5.0);
   MetricStats leftLeaf;
   leftLeaf.emplace_back("shared", leafStats(0)[0].second);
@@ -234,9 +241,9 @@ TEST(TreeReducer, MetricNameUnionAcrossLeaves) {
   const MetricStats& root = r.root();
   ASSERT_EQ(root.size(), 2u);
   EXPECT_EQ(root[0].first, "left_only");
-  EXPECT_EQ(root[0].second.count(), 1u);
+  EXPECT_EQ(root[0].second.moments.count(), 1u);
   EXPECT_EQ(root[1].first, "shared");
-  EXPECT_EQ(root[1].second.count(), 4u);
+  EXPECT_EQ(root[1].second.moments.count(), 4u);
 }
 
 // ---------------------------------------------------- end-to-end parity
@@ -336,10 +343,51 @@ TEST(WorkQueue, MatchesInProcessRunByteForByte) {
       if (r.error.empty()) expectSlots.add(static_cast<double>(r.slots));
     }
   }
-  EXPECT_EQ(slots->second.count(), expectSlots.count());
-  EXPECT_EQ(slots->second.sum(), expectSlots.sum());
-  EXPECT_EQ(slots->second.min(), expectSlots.min());
-  EXPECT_EQ(slots->second.max(), expectSlots.max());
+  EXPECT_EQ(slots->second.moments.count(), expectSlots.count());
+  EXPECT_EQ(slots->second.moments.sum(), expectSlots.sum());
+  EXPECT_EQ(slots->second.moments.min(), expectSlots.min());
+  EXPECT_EQ(slots->second.moments.max(), expectSlots.max());
+}
+
+TEST(WorkQueue, StoreMatchesInProcessByteForByte) {
+  // The columnar store is positional (rows land by slot, blobs are
+  // reordered canonically at finish), so with wall times stripped the
+  // 4-worker store must be the same FILE — not just the same data — as
+  // the in-process one.
+  const std::string dir = testing::TempDir() + "wq_store";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const SweepSpec spec = tinySweep("wq_store");
+  std::string err;
+
+  CampaignOptions inproc;
+  inproc.outDir = dir + "/inproc";
+  inproc.writeCellFiles = false;
+  inproc.storePath = dir + "/inproc.store";
+  inproc.storeStripWall = true;
+  CampaignResult ref;
+  ASSERT_TRUE(runCampaign(spec, inproc, ref, err)) << err;
+
+  WorkQueueOptions wq;
+  wq.workers = 4;
+  wq.outDir = dir + "/wq";
+  wq.storePath = dir + "/wq.store";
+  wq.storeStripWall = true;
+  WorkQueueCampaign run;
+  ASSERT_TRUE(runCampaignWorkQueue(spec, wq, run, err)) << err;
+
+  const std::string refBytes = readFile(inproc.storePath);
+  const std::string wqBytes = readFile(wq.storePath);
+  ASSERT_FALSE(refBytes.empty());
+  EXPECT_EQ(wqBytes, refBytes);
+
+  // And the store opens and reads back the campaign's shape.
+  store::StoreReader reader;
+  ASSERT_TRUE(reader.open(wq.storePath, err)) << err;
+  EXPECT_EQ(reader.cells(), 3u);
+  EXPECT_EQ(reader.campaignName(), "wq_store");
+  EXPECT_NE(reader.metricIndex("slots"), -1);
+  EXPECT_NE(reader.axisIndex("channels"), -1);
 }
 
 TEST(WorkQueue, ResumeLoadsEveryCellFromCacheWithoutLeasing) {
@@ -369,8 +417,8 @@ TEST(WorkQueue, ResumeLoadsEveryCellFromCacheWithoutLeasing) {
   const auto firstSlots = std::find_if(first.reduction.begin(), first.reduction.end(),
                                        [](const auto& kv) { return kv.first == "slots"; });
   ASSERT_NE(firstSlots, first.reduction.end());
-  EXPECT_EQ(slots->second.count(), firstSlots->second.count());
-  EXPECT_EQ(slots->second.mean(), firstSlots->second.mean());
+  EXPECT_EQ(slots->second.moments.count(), firstSlots->second.moments.count());
+  EXPECT_EQ(slots->second.moments.mean(), firstSlots->second.moments.mean());
 }
 
 TEST(WorkQueue, WorkerCrashRequeuesTheLeaseAndReproducesTheBytes) {

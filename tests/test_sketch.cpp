@@ -1,0 +1,234 @@
+// Determinism and accuracy contract of the quantile sketch
+// (util/sketch.h): the campaign pipeline is allowed to ship sketch
+// state over RESULT frames and fold it in arrival order only because
+// merging is bit-identical under any order, and the store may answer
+// p50/p95 from it only because the relative-error bound actually holds
+// on unfriendly distributions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/sketch.h"
+#include "util/stats.h"
+
+using namespace mcs;
+
+namespace {
+
+/// The rank convention the sketch documents: the order statistic at
+/// rank floor(q*(n-1) + 0.5).
+double rankStatistic(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(
+      std::floor(q * static_cast<double>(xs.size() - 1) + 0.5));
+  return xs[std::min(rank, xs.size() - 1)];
+}
+
+void expectWithinAlpha(const QuantileSketch& sk, const std::vector<double>& xs, double q) {
+  const double ref = rankStatistic(xs, q);
+  const double got = sk.quantile(q);
+  EXPECT_NEAR(got, ref, sk.alpha() * std::abs(ref) + 1e-12)
+      << "q=" << q << " ref=" << ref << " got=" << got;
+}
+
+void expectBoundOnDistribution(const std::vector<double>& xs) {
+  QuantileSketch sk;
+  for (double x : xs) sk.add(x);
+  ASSERT_EQ(sk.count(), xs.size());
+  for (double q : {0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0}) {
+    expectWithinAlpha(sk, xs, q);
+  }
+}
+
+}  // namespace
+
+TEST(QuantileSketch, BoundHoldsOnConstantDistribution) {
+  expectBoundOnDistribution(std::vector<double>(5000, 7.25));
+}
+
+TEST(QuantileSketch, BoundHoldsOnBimodalDistribution) {
+  // Two tight modes three decades apart — the classic case where a
+  // uniform-bin histogram falls over.
+  Rng rng(20250808);
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) {
+    xs.push_back(i % 2 == 0 ? rng.uniform(0.9, 1.1) : rng.uniform(900.0, 1100.0));
+  }
+  expectBoundOnDistribution(xs);
+}
+
+TEST(QuantileSketch, BoundHoldsOnHeavyTailDistribution) {
+  // Pareto-ish tail: x = u^(-1.5) spans many orders of magnitude.
+  Rng rng(42);
+  std::vector<double> xs;
+  for (int i = 0; i < 6000; ++i) {
+    xs.push_back(std::pow(rng.uniform(1e-6, 1.0), -1.5));
+  }
+  expectBoundOnDistribution(xs);
+}
+
+TEST(QuantileSketch, BoundHoldsWithNegativeAndZeroValues) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 3000; ++i) {
+    const double mag = std::exp(rng.uniform(-5.0, 5.0));
+    xs.push_back(i % 3 == 0 ? -mag : mag);
+    if (i % 17 == 0) xs.push_back(0.0);
+  }
+  expectBoundOnDistribution(xs);
+}
+
+TEST(QuantileSketch, MergeIsOrderAndShapeInvariant) {
+  // One stream, sliced into 8 shards; sequential fold, reversed fold,
+  // and a binary tree must all land on the identical canonical state —
+  // not merely close, the same bucket vectors.
+  Rng rng(1234);
+  std::vector<QuantileSketch> shards(8, QuantileSketch{});
+  std::vector<double> all;
+  for (int i = 0; i < 8000; ++i) {
+    const double x = rng.uniform(-50.0, 50.0) * std::exp(rng.uniform(-3.0, 3.0));
+    all.push_back(x);
+    shards[static_cast<std::size_t>(i) % 8].add(x);
+  }
+
+  QuantileSketch sequential;
+  for (const QuantileSketch& s : shards) sequential.merge(s);
+
+  QuantileSketch reversed;
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) reversed.merge(*it);
+
+  std::vector<QuantileSketch> level = shards;
+  while (level.size() > 1) {
+    std::vector<QuantileSketch> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      QuantileSketch m = level[i];
+      m.merge(level[i + 1]);
+      next.push_back(std::move(m));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  const QuantileSketch& tree = level.front();
+
+  EXPECT_TRUE(sequential == reversed);
+  EXPECT_TRUE(sequential == tree);
+  for (double q : {0.01, 0.5, 0.95, 0.99}) {
+    // Bit equality, not tolerance: quantile() is a pure function of the
+    // canonical state.
+    EXPECT_EQ(sequential.quantile(q), tree.quantile(q));
+    expectWithinAlpha(sequential, all, q);
+  }
+}
+
+TEST(QuantileSketch, StateRoundTripsThroughFromState) {
+  Rng rng(99);
+  QuantileSketch sk;
+  for (int i = 0; i < 500; ++i) sk.add(rng.uniform(-10.0, 10.0));
+  const QuantileSketch back = QuantileSketch::fromState(
+      sk.alpha(), sk.zeroCount(), sk.negativeBuckets(), sk.positiveBuckets());
+  EXPECT_TRUE(sk == back);
+  EXPECT_EQ(sk.count(), back.count());
+  EXPECT_EQ(sk.quantile(0.5), back.quantile(0.5));
+}
+
+TEST(QuantileSketch, MergingMismatchedAlphaIsFatal) {
+  QuantileSketch a(0.01), b(0.02);
+  a.add(1.0);
+  b.add(2.0);
+  EXPECT_DEATH(a.merge(b), "alpha");
+}
+
+TEST(StreamingQuantiles, ExactModeMatchesQuantileSortedBitwise) {
+  Rng rng(5);
+  std::vector<double> xs;
+  StreamingQuantiles sq;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    xs.push_back(x);
+    sq.add(x);
+  }
+  ASSERT_FALSE(sq.sketchMode());
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 1.0}) {
+    EXPECT_EQ(sq.quantile(q), quantileSorted(sorted, q));
+  }
+  EXPECT_EQ(sq.sortedExactValues(), sorted);
+}
+
+TEST(StreamingQuantiles, SpillBoundaryIsInsertionOrderInvariant) {
+  // The same multiset pushed across the exact->sketch boundary in
+  // forward and reverse order must spill to the identical sketch.
+  const std::size_t threshold = 64;
+  std::vector<double> xs;
+  Rng rng(31337);
+  for (int i = 0; i < 300; ++i) xs.push_back(rng.uniform(0.1, 1000.0));
+
+  StreamingQuantiles fwd(QuantileSketch::kDefaultAlpha, threshold);
+  for (double x : xs) fwd.add(x);
+  StreamingQuantiles rev(QuantileSketch::kDefaultAlpha, threshold);
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) rev.add(*it);
+
+  ASSERT_TRUE(fwd.sketchMode());
+  ASSERT_TRUE(rev.sketchMode());
+  EXPECT_TRUE(fwd.sketch() == rev.sketch());
+  EXPECT_EQ(fwd.quantile(0.5), rev.quantile(0.5));
+}
+
+TEST(StreamingQuantiles, MergeModeDependsOnTotalCountOnly) {
+  // Two exact-mode halves whose union exceeds the threshold: the merge
+  // must spill and equal the single-stream result exactly.
+  const std::size_t threshold = 100;
+  std::vector<double> xs;
+  Rng rng(8);
+  for (int i = 0; i < 160; ++i) xs.push_back(rng.uniform(-5.0, 5.0));
+
+  StreamingQuantiles whole(QuantileSketch::kDefaultAlpha, threshold);
+  for (double x : xs) whole.add(x);
+
+  StreamingQuantiles left(QuantileSketch::kDefaultAlpha, threshold);
+  StreamingQuantiles right(QuantileSketch::kDefaultAlpha, threshold);
+  for (std::size_t i = 0; i < xs.size(); ++i) (i < 80 ? left : right).add(xs[i]);
+  ASSERT_FALSE(left.sketchMode());
+  ASSERT_FALSE(right.sketchMode());
+
+  left.merge(right);
+  ASSERT_TRUE(whole.sketchMode());
+  ASSERT_TRUE(left.sketchMode());
+  EXPECT_TRUE(left.sketch() == whole.sketch());
+  EXPECT_EQ(left.quantile(0.95), whole.quantile(0.95));
+
+  // Below the threshold the merge stays exact and canonical.
+  StreamingQuantiles a(QuantileSketch::kDefaultAlpha, threshold);
+  StreamingQuantiles b(QuantileSketch::kDefaultAlpha, threshold);
+  for (int i = 0; i < 30; ++i) a.add(xs[static_cast<std::size_t>(i)]);
+  for (int i = 30; i < 60; ++i) b.add(xs[static_cast<std::size_t>(i)]);
+  a.merge(b);
+  ASSERT_FALSE(a.sketchMode());
+  EXPECT_EQ(a.count(), 60u);
+}
+
+TEST(StreamingStats, SummaryReproducesSummarizeBitwise) {
+  Rng rng(2718);
+  std::vector<double> xs;
+  StreamingStats s;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-100.0, 100.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  const Summary a = s.summary();
+  const Summary b = summarize(xs);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.ci95, b.ci95);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.median, b.median);
+  EXPECT_EQ(a.p95, b.p95);
+  EXPECT_EQ(a.max, b.max);
+}

@@ -191,10 +191,9 @@ TEST(Percentile, EdgeCases) {
   // p0 / p100 are min / max regardless of input order.
   EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 9.0}, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 9.0}, 100.0), 9.0);
-  // Out-of-range p clamps; empty input yields 0.
+  // Out-of-range p clamps.
   EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 150.0), 2.0);
   EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, -5.0), 1.0);
-  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
   // Interpolation between order statistics.
   EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 75.0), 7.5);
 }
@@ -220,7 +219,14 @@ TEST(Quantile, Basics) {
   EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
   EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
   EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
-  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Quantile, EmptyInputIsFatal) {
+  // A quantile of nothing is a logic error upstream (a filter that ate
+  // every sample), not a zero — summarize() keeps its lenient empty
+  // Summary, but asking for an order statistic of an empty set aborts.
+  EXPECT_DEATH((void)quantile({}, 0.5), "empty sample");
+  EXPECT_DEATH((void)percentile({}, 50.0), "empty sample");
 }
 
 TEST(Quantile, Interpolates) {
