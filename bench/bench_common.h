@@ -24,11 +24,14 @@ namespace mcs::bench {
 /// util/clock.h.
 inline double now() { return nowSec(); }
 
-/// Arms engine metrics (--metrics) and the slot-level trace recorder
+/// Arms engine metrics (--metrics), decode-attribution/time-series probes
+/// (--probes — implies --metrics, since the cause counters ride the
+/// counter registry), and the slot-level trace recorder
 /// (--trace-out=<path>) from the shared CLI flags.  Call before the run;
 /// pair with finishTelemetryCli() after it.
 inline void armTelemetryCli(const Args& args) {
   if (args.getBool("metrics")) telemetry::setEnabled(true);
+  if (args.getBool("probes")) telemetry::setProbesEnabled(true);
   if (!args.get("trace-out").empty()) telemetry::setTraceEnabled(true);
 }
 
@@ -37,7 +40,10 @@ inline void armTelemetryCli(const Args& args) {
 /// time the same phase concurrently) when metrics are armed, and writes
 /// the Chrome trace file when --trace-out was given.  Returns false when
 /// the trace write fails, so binaries can propagate it to the exit code.
-inline bool finishTelemetryCli(const Args& args, double wallSec) {
+/// Pass writeTrace=false when something else already wrote the trace file
+/// (the campaign coordinator merging worker rings) — the counter/timer
+/// table still prints.
+inline bool finishTelemetryCli(const Args& args, double wallSec, bool writeTrace = true) {
   if (telemetry::enabled()) {
     const telemetry::MetricsSnapshot snap = telemetry::snapshotMetrics();
     std::printf("\ntelemetry counters:\n");
@@ -60,7 +66,7 @@ inline bool finishTelemetryCli(const Args& args, double wallSec) {
     std::fflush(stdout);
   }
   const std::string tracePath = args.get("trace-out");
-  if (!tracePath.empty()) {
+  if (!tracePath.empty() && writeTrace) {
     std::string terr;
     if (!telemetry::writeTraceFile(tracePath, terr)) {
       std::fprintf(stderr, "%s\n", terr.c_str());

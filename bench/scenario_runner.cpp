@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
   }
   if (!applyScenarioArgs(spec, args,
                          {"list", "scenario", "file", "threads", "out", "out-dir", "csv",
-                          "print-spec", "metrics", "trace-out"},
+                          "print-spec", "metrics", "probes", "trace-out"},
                          err)) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 2;

@@ -22,7 +22,7 @@ inline const std::vector<std::string>& sweepReservedFlags() {
   static const std::vector<std::string> kReserved = {
       "list",    "cells", "dry-run", "sweep",   "preset",  "shard",
       "threads", "out-dir", "out",   "csv",     "resume",  "metrics",
-      "trace-out", "no-heartbeat", "workers", "fault-kill-cell",
+      "probes",  "trace-out", "no-heartbeat", "workers", "fault-kill-cell",
       "store", "store-strip-wall"};
   return kReserved;
 }
@@ -138,6 +138,11 @@ inline int runSweepCampaignCli(const SweepSpec& spec, const Args& args,
     wq.onCell = opts.onCell;
     wq.storePath = opts.storePath;
     wq.storeStripWall = opts.storeStripWall;
+    // Under --workers the per-process trace rings live in the workers;
+    // the coordinator merges them into --trace-out itself (pid = worker
+    // id), so finishTelemetryCli must not overwrite it with the
+    // coordinator's own (empty) ring.
+    wq.traceOut = args.get("trace-out");
 
     campaign::WorkQueueCampaign wqc;
     if (!campaign::runCampaignWorkQueue(spec, wq, wqc, err)) {
@@ -174,8 +179,11 @@ inline int runSweepCampaignCli(const SweepSpec& spec, const Args& args,
     }
     std::printf("wrote %s\n", csv.c_str());
     if (!wq.storePath.empty()) std::printf("wrote %s\n", wq.storePath.c_str());
+    if (!wq.traceOut.empty() && telemetry::traceEnabled()) {
+      std::printf("wrote %s (merged worker traces)\n", wq.traceOut.c_str());
+    }
 
-    if (!finishTelemetryCli(args, wqc.wallSec)) return 1;
+    if (!finishTelemetryCli(args, wqc.wallSec, /*writeTrace=*/wq.traceOut.empty())) return 1;
     return wqc.failures() > 0 ? 1 : 0;
   }
 

@@ -1,22 +1,33 @@
 // trace_check: validate a Chrome trace_event JSON file produced by
-// --trace-out (telemetry/trace.h).
+// --trace-out (telemetry/trace.h), including multi-process traces merged
+// by the campaign coordinator (--workers + --trace-out).
 //
-//   trace_check <trace.json> [--min-events=N] [--max-bytes=N]
+//   trace_check <trace.json> [--min-events=N] [--max-bytes=N] [--min-pids=N]
 //
 // Checks that the file parses, has a non-empty "traceEvents" array (at
 // least --min-events entries, default 1), and that every event is
 // well-formed: a string "name", "ph" of "X" (complete, with a numeric
-// "dur") or "i" (instant), and numeric "ts"/"pid"/"tid".  --max-bytes
-// caps the file size (0 or absent = unlimited) so a runaway emitter —
-// an event storm from a hot loop — fails CI by size before this process
-// tries to parse gigabytes of JSON.  CI runs this against the smoke
-// trace so a malformed emitter fails the build rather than a later
+// "dur"), "i" (instant), or "M" (metadata: a "process_name" label with a
+// string args.name), and numeric "ts"/"pid"/"tid".  Timestamps must be
+// monotonically non-decreasing within each (pid, tid) lane — each
+// worker's ring rebases independently, so cross-lane order carries no
+// meaning, but a lane going backwards means a broken emitter or a bad
+// merge.  --min-pids=N requires at least N distinct pids AND a
+// process_name metadata label for every pid — the merged-trace gate
+// (--workers=4 must yield 4 labeled worker lanes).  --max-bytes caps the
+// file size (0 or absent = unlimited) so a runaway emitter — an event
+// storm from a hot loop — fails CI by size before this process tries to
+// parse gigabytes of JSON.  CI runs this against the smoke traces so a
+// malformed emitter or merge fails the build rather than a later
 // chrome://tracing load.  Exit 0 when valid, 1 when not, 2 on usage
 // errors.
 
 #include <cstdio>
 #include <filesystem>
+#include <map>
+#include <set>
 #include <string>
+#include <utility>
 
 #include "mcs.h"
 
@@ -34,12 +45,15 @@ bool numberField(const Json& event, const char* key) {
 int main(int argc, char** argv) {
   const Args args(argc, argv);
   if (args.positional().empty()) {
-    std::fprintf(stderr, "usage: trace_check <trace.json> [--min-events=N] [--max-bytes=N]\n");
+    std::fprintf(stderr,
+                 "usage: trace_check <trace.json> [--min-events=N] [--max-bytes=N] "
+                 "[--min-pids=N]\n");
     return 2;
   }
   const std::string path = args.positional().front();
   const auto minEvents = static_cast<std::size_t>(args.getInt("min-events", 1));
   const auto maxBytes = static_cast<std::uintmax_t>(args.getInt("max-bytes", 0));
+  const auto minPids = static_cast<std::size_t>(args.getInt("min-pids", 0));
 
   if (maxBytes > 0) {
     std::error_code ec;
@@ -77,7 +91,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::size_t spans = 0, instants = 0;
+  std::size_t spans = 0, instants = 0, metadata = 0;
+  std::set<double> pids;
+  std::set<double> labeledPids;
+  std::map<std::pair<double, double>, double> lastTs;  // (pid, tid) -> last ts seen
   for (std::size_t i = 0; i < events->items().size(); ++i) {
     const Json& e = events->items()[i];
     const auto fail = [&](const char* what) {
@@ -90,11 +107,38 @@ int main(int argc, char** argv) {
       return fail("missing string name");
     }
     const std::string ph = e.stringAt("ph");
-    if (ph != "X" && ph != "i") return fail("ph is neither \"X\" nor \"i\"");
+    if (ph != "X" && ph != "i" && ph != "M") {
+      return fail("ph is none of \"X\", \"i\", \"M\"");
+    }
     if (!numberField(e, "ts")) return fail("missing numeric ts");
     if (!numberField(e, "pid") || !numberField(e, "tid")) {
       return fail("missing numeric pid/tid");
     }
+    const double pid = e.numberAt("pid");
+    pids.insert(pid);
+    if (ph == "M") {
+      // The only metadata the emitter writes is the process label.
+      if (name->asString() != "process_name") {
+        return fail("metadata event is not process_name");
+      }
+      const Json* margs = e.find("args");
+      const Json* label = margs != nullptr ? margs->find("name") : nullptr;
+      if (label == nullptr || !label->isString() || label->asString().empty()) {
+        return fail("process_name metadata missing string args.name");
+      }
+      labeledPids.insert(pid);
+      ++metadata;
+      continue;
+    }
+    // Each (pid, tid) lane must be time-ordered: the per-worker rings are
+    // rebased independently, but within a lane the ring replays in
+    // recording order.
+    const std::pair<double, double> lane(pid, e.numberAt("tid"));
+    const double ts = e.numberAt("ts");
+    if (const auto it = lastTs.find(lane); it != lastTs.end() && ts < it->second) {
+      return fail("ts goes backwards within its (pid, tid) lane");
+    }
+    lastTs[lane] = ts;
     if (ph == "X") {
       if (!numberField(e, "dur")) return fail("complete event missing numeric dur");
       ++spans;
@@ -103,7 +147,24 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("trace_check: %s ok (%zu events: %zu spans, %zu instants)\n", path.c_str(),
-              events->items().size(), spans, instants);
+  if (minPids > 0) {
+    if (pids.size() < minPids) {
+      std::fprintf(stderr, "trace_check: %s: %zu distinct pids (expected >= %zu)\n",
+                   path.c_str(), pids.size(), minPids);
+      return 1;
+    }
+    for (const double pid : pids) {
+      if (labeledPids.count(pid) == 0) {
+        std::fprintf(stderr,
+                     "trace_check: %s: pid %g has no process_name metadata label\n",
+                     path.c_str(), pid);
+        return 1;
+      }
+    }
+  }
+
+  std::printf("trace_check: %s ok (%zu events: %zu spans, %zu instants, %zu metadata, "
+              "%zu pids)\n",
+              path.c_str(), events->items().size(), spans, instants, metadata, pids.size());
   return 0;
 }

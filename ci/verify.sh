@@ -151,6 +151,85 @@ cmp bench-artifacts/store-smoke/BENCH_sweep_smoke.store \
   --group-by=channels --format=json | grep -q '"decode_rate"' \
   || { echo "FAIL: sweep_query json output missing decode_rate"; exit 1; }
 
+# Sharded stores union in one query (disjoint cell indices merge), and
+# overlapping stores are rejected loudly instead of double-counted.
+./bench/sweep_runner --sweep=../sweeps/smoke.sweep --threads=2 --shard=0/2 \
+  --store --store-strip-wall --out-dir=bench-artifacts/store-sh0
+./bench/sweep_runner --sweep=../sweeps/smoke.sweep --threads=2 --shard=1/2 \
+  --store --store-strip-wall --out-dir=bench-artifacts/store-sh1
+./bench/sweep_query bench-artifacts/store-sh0/BENCH_sweep_smoke.store \
+  bench-artifacts/store-sh1/BENCH_sweep_smoke.store --select=slots --format=csv \
+  | grep -q '^all,3,slots,6,' \
+  || { echo "FAIL: sharded store union did not merge 3 cells / 6 seeds"; exit 1; }
+if ./bench/sweep_query bench-artifacts/store-smoke/BENCH_sweep_smoke.store \
+     bench-artifacts/store-smoke/BENCH_sweep_smoke.store --select=slots \
+     >/dev/null 2>&1; then
+  echo "FAIL: overlapping store union was not rejected"; exit 1
+fi
+
+# --- Decode-attribution probes smoke ------------------------------------------
+# The cause-and-time layer end-to-end.  Armed runs must stay within the
+# same loose overhead budget as metrics (probes imply metrics, so this
+# bounds the whole armed stack).
+./bench/scenario_runner --scenario=uniform_square --seeds=3 --threads=2 --probes \
+  --out-dir=bench-artifacts
+probe_wall=$(overhead_wall bench-artifacts/BENCH_scenario_uniform_square.json)
+awk -v off="${base_wall}" -v on="${probe_wall}" 'BEGIN {
+  budget = off * 1.5 + 0.2;
+  printf "probes overhead smoke: off=%.3fs on=%.3fs budget=%.3fs\n", off, on, budget;
+  exit (on <= budget) ? 0 : 1;
+}' || { echo "FAIL: probes overhead exceeds the smoke budget"; exit 1; }
+
+# Probes-armed smoke campaign with a store.  Three gates in one artifact:
+# the armed report must pass the unarmed committed baseline bit-exactly
+# (arming probes never changes a result), the cause counters must
+# partition failed listens exactly (sum(cause.*) == listens - decodes),
+# and the 4-worker armed store must be byte-identical to the in-process
+# one (probe blobs reduce associatively; wall-derived telemetry is
+# stripped with the wall stats).
+./bench/sweep_runner --sweep=../sweeps/smoke.sweep --threads=2 --probes \
+  --store --store-strip-wall --out-dir=bench-artifacts/probe-smoke
+./bench/sweep_check --baseline=../sweeps/baseline.json \
+  --candidate-store=bench-artifacts/probe-smoke/BENCH_sweep_smoke.store \
+  --metric-tol=0 --wall-tol=9
+./bench/sweep_query bench-artifacts/probe-smoke/BENCH_sweep_smoke.store \
+  --select=tm.cause.no_transmitter,tm.cause.dead_listener,tm.cause.noise_limited,tm.cause.interference_limited,tm.cause.nearfar_truncated,tm.cause.lost_tie,tm.medium.listen_intents,tm.medium.decodes \
+  --format=csv | awk -F, '
+    $3 ~ /^tm\.cause\./           { causes += $4 * $5 }
+    $3 == "tm.medium.listen_intents" { listens = $4 * $5 }
+    $3 == "tm.medium.decodes"        { decodes = $4 * $5 }
+    END {
+      printf "cause partition: sum=%d listens=%d decodes=%d\n", causes, listens, decodes;
+      exit (causes == listens - decodes && listens > 0) ? 0 : 1;
+    }' || { echo "FAIL: cause counters do not partition failed listens"; exit 1; }
+./bench/sweep_runner --sweep=../sweeps/smoke.sweep --workers=4 --probes \
+  --store --store-strip-wall --out-dir=bench-artifacts/probe-wq
+cmp bench-artifacts/probe-smoke/BENCH_sweep_smoke.store \
+    bench-artifacts/probe-wq/BENCH_sweep_smoke.store \
+  || { echo "FAIL: probes-armed worker store differs from in-process store"; exit 1; }
+
+# The probe views: --series must surface the slot series and attribution
+# sketches, --pivot the axis-by-axis table.
+./bench/sweep_query bench-artifacts/probe-smoke/BENCH_sweep_smoke.store --series \
+  | grep -q 'slot series' \
+  || { echo "FAIL: sweep_query --series printed no slot series"; exit 1; }
+./bench/sweep_query bench-artifacts/probe-smoke/BENCH_sweep_smoke.store --series \
+  --format=json | grep -q '"series"' \
+  || { echo "FAIL: sweep_query --series json missing series"; exit 1; }
+./bench/sweep_query bench-artifacts/probe-smoke/BENCH_sweep_smoke.store \
+  --pivot=channels,label --select=decode_rate \
+  | grep -q 'decode_rate: mean by channels' \
+  || { echo "FAIL: sweep_query --pivot printed no pivot table"; exit 1; }
+
+# Multi-process trace merge: 4 cells so all 4 workers lease work, then the
+# merged Chrome trace must carry 4 labeled worker lanes with per-lane
+# monotonic timestamps (trace_check validates all of it).
+./bench/sweep_runner --sweep=../sweeps/smoke.sweep --sweep.channels=1:8:*2 \
+  --workers=4 --probes --trace-out=bench-artifacts/trace_workers.json \
+  --out-dir=bench-artifacts/wq-trace
+./bench/trace_check bench-artifacts/trace_workers.json --min-pids=4 \
+  --max-bytes=100000000
+
 # The 10^4-cell synthetic store bench: streams the write, answers a
 # group-by from the mapping, and self-checks the aggregates (exit 1 on
 # any mismatch).  Records BENCH_store.json for the perf history.

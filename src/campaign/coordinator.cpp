@@ -10,6 +10,8 @@
 #include <cstring>
 #include <deque>
 #include <filesystem>
+#include <fstream>
+#include <system_error>
 #include <thread>
 #include <unordered_map>
 
@@ -18,7 +20,9 @@
 #include "store/writer.h"
 #include "sweep/report.h"
 #include "sweep/runner.h"
+#include "telemetry/probes.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/clock.h"
 #include "util/framing.h"
 #include "util/proc.h"
@@ -72,7 +76,7 @@ struct ProgressLine {
 
 bool runCampaignWorkQueue(const SweepSpec& spec, const WorkQueueOptions& opts,
                           WorkQueueCampaign& out, std::string& err) {
-  out = WorkQueueCampaign{};
+  out = WorkQueueCampaign();
   out.name = spec.name;
   out.baseName = spec.baseName;
   out.description = describeSweep(spec);
@@ -127,7 +131,7 @@ bool runCampaignWorkQueue(const SweepSpec& spec, const WorkQueueOptions& opts,
   // final bytes.  Stats must be appended BEFORE the reducer consumes them.
   const auto appendStoreRow = [&](std::size_t slot, const CellRecord& rec,
                                   const MetricStats& stats, const MetricMap& tm,
-                                  std::string& rowErr) {
+                                  const telemetry::ProbeState& probes, std::string& rowErr) {
     if (!storeWriter.isOpen()) return true;
     store::StoreCellRow row;
     row.cellIndex = rec.cell.index;
@@ -140,13 +144,15 @@ bool runCampaignWorkQueue(const SweepSpec& spec, const WorkQueueOptions& opts,
     row.invalid = rec.invalid;
     row.stats = &stats;
     row.telemetry = &tm;
+    row.probes = &probes;
     return storeWriter.appendCell(slot, row, rowErr);
   };
 
   TreeReducer reducer(shardCells.size());
-  const auto foldLeaf = [&](std::size_t leaf, MetricStats stats) {
+  const auto foldLeaf = [&](std::size_t leaf, MetricStats stats,
+                            telemetry::ProbeState probes) {
     const double r0 = nowSec();
-    reducer.addLeaf(leaf, std::move(stats));
+    reducer.addLeaf(leaf, std::move(stats), std::move(probes));
     telemetry::timerRecord(kReduce, static_cast<std::uint64_t>((nowSec() - r0) * 1e9));
     if (reducer.pendingNodes() > out.peakPendingNodes) {
       out.peakPendingNodes = reducer.pendingNodes();
@@ -176,11 +182,11 @@ bool runCampaignWorkQueue(const SweepSpec& spec, const WorkQueueOptions& opts,
         MetricStats stats = cellMetricStats(cached);
         recordDisplayMeans(rec, stats);
         std::string rowErr;
-        if (!appendStoreRow(i, rec, stats, cached.telemetry, rowErr)) {
+        if (!appendStoreRow(i, rec, stats, cached.telemetry, cached.probes, rowErr)) {
           err = "cell " + std::to_string(cell.index) + " store row: " + rowErr;
           return false;
         }
-        foldLeaf(i, std::move(stats));
+        foldLeaf(i, std::move(stats), std::move(cached.probes));
         if (opts.onCell) opts.onCell(cell, true);
         ++done;
         continue;
@@ -201,13 +207,12 @@ bool runCampaignWorkQueue(const SweepSpec& spec, const WorkQueueOptions& opts,
   }
 
   const SigPipeGuard sigpipe;  // dead-worker writes must be EPIPE, not SIGPIPE
-  WorkerConfig workerCfg;
-  workerCfg.campaign = spec.name;
-  workerCfg.outDir = opts.outDir;
-  workerCfg.threads = opts.threadsPerWorker;
-  const auto childMain = [&cells, workerCfg](int fd) {
-    return campaignWorkerMain(fd, cells, workerCfg);
-  };
+  // Per-worker trace dumps: distinct worker ordinals (respawns included)
+  // keep pids and file names collision-free; the merge pass below folds
+  // whatever files materialized into the single --trace-out trace.
+  const bool tracingWorkers = !opts.traceOut.empty() && telemetry::traceEnabled();
+  int nextWorkerId = 0;
+  std::vector<std::string> workerTracePaths;
 
   std::vector<WorkerSlot> workers;
   const auto liveFds = [&]() {
@@ -218,6 +223,18 @@ bool runCampaignWorkQueue(const SweepSpec& spec, const WorkQueueOptions& opts,
     return fds;
   };
   const auto spawnWorker = [&]() -> bool {
+    WorkerConfig workerCfg;
+    workerCfg.campaign = spec.name;
+    workerCfg.outDir = opts.outDir;
+    workerCfg.threads = opts.threadsPerWorker;
+    workerCfg.workerId = nextWorkerId++;
+    if (tracingWorkers) {
+      workerCfg.tracePath = opts.traceOut + ".worker" + std::to_string(workerCfg.workerId);
+      workerTracePaths.push_back(workerCfg.tracePath);
+    }
+    const auto childMain = [&cells, workerCfg](int fd) {
+      return campaignWorkerMain(fd, cells, workerCfg);
+    };
     WorkerSlot slot;
     if (!spawnChildWithSocket(childMain, liveFds(), slot.proc, err)) return false;
     std::string fdErr;
@@ -382,6 +399,9 @@ bool runCampaignWorkQueue(const SweepSpec& spec, const WorkQueueOptions& opts,
         const Json* moments = frame.body.find("moments");
         MetricStats stats = moments ? momentsFromJson(*moments) : MetricStats{};
         recordDisplayMeans(rec, stats);
+        const Json* probesJson = frame.body.find("probes");
+        telemetry::ProbeState probes =
+            probesJson ? telemetry::probesFromJson(*probesJson) : telemetry::ProbeState();
         if (storeWriter.isOpen()) {
           MetricMap tm;
           if (const Json* tmJson = frame.body.find("telemetry");
@@ -389,12 +409,12 @@ bool runCampaignWorkQueue(const SweepSpec& spec, const WorkQueueOptions& opts,
             for (const auto& [name, value] : tmJson->members()) tm.set(name, value.asDouble());
           }
           std::string rowErr;
-          if (!appendStoreRow(leafIt->second, rec, stats, tm, rowErr)) {
+          if (!appendStoreRow(leafIt->second, rec, stats, tm, probes, rowErr)) {
             protocolErr = "cell " + std::to_string(cellIndex) + " store row: " + rowErr;
             break;
           }
         }
-        foldLeaf(leafIt->second, std::move(stats));
+        foldLeaf(leafIt->second, std::move(stats), std::move(probes));
         w.leasedCell = -1;
         ++done;
         progress.emit(done, out.cachedCells(), queue.size(), liveWorkers(),
@@ -448,7 +468,41 @@ bool runCampaignWorkQueue(const SweepSpec& spec, const WorkQueueOptions& opts,
 
   if (storeWriter.isOpen() && !storeWriter.finish(err)) return false;
 
+  // Merge the per-worker trace dumps (written at DONE, which the drain
+  // above waited for) into one Chrome trace: events concatenate verbatim —
+  // each worker's events are already rebased within its own pid lane and
+  // ts monotonicity is only checked per (pid, tid).  The coordinator runs
+  // no simulation, so its own ring contributes nothing.
+  if (tracingWorkers) {
+    Json merged = Json::object();
+    merged.set("displayTimeUnit", "ms");
+    Json events = Json::array();
+    for (const std::string& path : workerTracePaths) {
+      Json workerTrace;
+      std::string parseErr;
+      if (!std::filesystem::exists(path) ||
+          !Json::parseFile(path, workerTrace, parseErr)) {
+        continue;  // worker died before dumping: merge what exists
+      }
+      if (const Json* list = workerTrace.find("traceEvents");
+          list != nullptr && list->isArray()) {
+        for (const Json& e : list->items()) events.push_back(e);
+      }
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+    merged.set("traceEvents", std::move(events));
+    std::ofstream f(opts.traceOut);
+    f << merged.dump() << '\n';
+    f.flush();
+    if (!f.good()) {
+      err = "cannot write merged trace \"" + opts.traceOut + "\"";
+      return false;
+    }
+  }
+
   out.reduction = reducer.root();
+  out.probes = reducer.rootProbes();
   out.wallSec = nowSec() - t0;
   return true;
 }

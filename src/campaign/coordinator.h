@@ -68,6 +68,12 @@ struct WorkQueueOptions {
   /// Zero the wall_sec stats in store rows (count survives) — the store
   /// analogue of stripWallTimes, for byte-for-byte comparisons.
   bool storeStripWall = false;
+  /// When non-empty (and tracing is armed), merge every worker's trace
+  /// ring into one Chrome trace at this path, with pid = workerId + 1 and
+  /// a process_name label per worker — one viewer lane per process.
+  /// Workers dump per-process files next to it (`<traceOut>.workerN`); the
+  /// coordinator concatenates them and deletes the intermediates.
+  std::string traceOut;
 };
 
 /// What the coordinator retains per cell: identity plus batch counters —
@@ -99,6 +105,9 @@ struct WorkQueueCampaign {
   std::vector<CellRecord> cells;
   /// Tree-reduced campaign-wide per-metric statistics.
   MetricStats reduction;
+  /// Tree-reduced campaign-wide probe aggregate (empty unless probes were
+  /// armed); byte-equivalent to the in-process runner's merged block.
+  telemetry::ProbeState probes;
   /// Peak reducer frontier observed (memory diagnostics/tests).
   std::size_t peakPendingNodes = 0;
   double wallSec = 0.0;

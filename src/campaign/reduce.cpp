@@ -54,14 +54,14 @@ TreeReducer::TreeReducer(std::size_t leaves) : leaves_(leaves) {
   }
 }
 
-void TreeReducer::addLeaf(std::size_t index, MetricStats stats) {
+void TreeReducer::addLeaf(std::size_t index, MetricStats stats, telemetry::ProbeState probes) {
   assert(index < leaves_);
   sortMetricStats(stats);
   ++received_;
-  place(0, index, std::move(stats));
+  place(0, index, Node{std::move(stats), std::move(probes)});
 }
 
-void TreeReducer::place(std::size_t level, std::size_t idx, MetricStats node) {
+void TreeReducer::place(std::size_t level, std::size_t idx, Node node) {
   for (;;) {
     if (levelSize_[level] <= 1) {
       root_ = std::move(node);
@@ -79,11 +79,18 @@ void TreeReducer::place(std::size_t level, std::size_t idx, MetricStats node) {
       pending_.emplace(nodeKey(level, idx), std::move(node));
       return;
     }
-    MetricStats other = std::move(it->second);
+    Node other = std::move(it->second);
     pending_.erase(it);
     // Children always merge left-into-right regardless of which arrived
     // first — this is the whole determinism argument.
-    node = (idx & 1) ? mergeMetricStats(other, node) : mergeMetricStats(node, other);
+    if (idx & 1) {
+      node.stats = mergeMetricStats(other.stats, node.stats);
+      other.probes.merge(node.probes);
+      node.probes = std::move(other.probes);
+    } else {
+      node.stats = mergeMetricStats(node.stats, other.stats);
+      node.probes.merge(other.probes);
+    }
     ++level;
     idx /= 2;
   }

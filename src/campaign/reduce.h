@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/probes.h"
 #include "util/sketch.h"
 
 /// Streaming tree reduction of per-cell statistics — the campaign
@@ -47,8 +48,13 @@ class TreeReducer {
   /// Folds leaf `index`'s statistics in; call exactly once per leaf, in
   /// any order.  `stats` need not be sorted; metric-name union across
   /// leaves is fine (a metric missing from a leaf simply contributes no
-  /// samples there).
-  void addLeaf(std::size_t index, MetricStats stats);
+  /// samples there).  `probes` (decode-attribution sketches + slot
+  /// series, telemetry/probes.h) rides the same node merges; its folds
+  /// commute outright, so the fixed tree shape is belt-and-braces there,
+  /// but carrying it through the one reduction path keeps the campaign
+  /// aggregate a single pure function of the leaves.
+  void addLeaf(std::size_t index, MetricStats stats,
+               telemetry::ProbeState probes = telemetry::ProbeState());
 
   /// True once every leaf has arrived.
   [[nodiscard]] bool complete() const noexcept { return received_ == leaves_; }
@@ -58,18 +64,30 @@ class TreeReducer {
 
   /// The root aggregate.  Only meaningful when complete(); an incomplete
   /// reduction returns whatever has reached the root (empty until then).
-  [[nodiscard]] const MetricStats& root() const noexcept { return root_; }
+  [[nodiscard]] const MetricStats& root() const noexcept { return root_.stats; }
+
+  /// The root probe aggregate (empty unless leaves carried probes).
+  [[nodiscard]] const telemetry::ProbeState& rootProbes() const noexcept {
+    return root_.probes;
+  }
 
  private:
-  void place(std::size_t level, std::size_t idx, MetricStats node);
+  /// One reduction node: the per-metric statistics plus the probe payload
+  /// riding the same merges.
+  struct Node {
+    MetricStats stats;
+    telemetry::ProbeState probes;
+  };
+
+  void place(std::size_t level, std::size_t idx, Node node);
 
   std::size_t leaves_ = 0;
   std::size_t received_ = 0;
   /// levelSize_[l] = node count at level l (level 0 = leaves); the last
   /// level has exactly one node, the root.
   std::vector<std::size_t> levelSize_;
-  std::unordered_map<std::uint64_t, MetricStats> pending_;
-  MetricStats root_;
+  std::unordered_map<std::uint64_t, Node> pending_;
+  Node root_;
 };
 
 /// Merges two name-sorted MetricStats (left folded into right's values

@@ -79,6 +79,13 @@ bool writeWorkQueueCampaignReport(const WorkQueueCampaign& campaign,
     f << bytes;
   }
   f << ']';
+  // Campaign-wide probe aggregate, between "cells" and "telemetry" like
+  // campaignToJson: the coordinator's tree-reduced root equals the
+  // in-process merge of the per-cell states (probe folds commute), so the
+  // blocks match byte-for-byte.
+  if (!campaign.probes.empty()) {
+    f << ", \"probes\": " << telemetry::probesToJson(campaign.probes).dump();
+  }
   if (telemetry::enabled()) {
     const telemetry::MetricsSnapshot snap = telemetry::snapshotMetrics();
     if (!snap.empty()) f << ", \"telemetry\": " << snap.toJson().dump();

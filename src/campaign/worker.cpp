@@ -6,7 +6,9 @@
 #include "campaign/protocol.h"
 #include "sweep/report.h"
 #include "sweep/runner.h"
+#include "telemetry/probes.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/framing.h"
 #include "util/proc.h"
 
@@ -32,15 +34,28 @@ const SweepCell* findCell(const std::vector<SweepCell>& cells, int index) {
 int campaignWorkerMain(int fd, const std::vector<SweepCell>& cells, const WorkerConfig& cfg) {
   const SigPipeGuard sigpipe;  // a dying coordinator must surface as EPIPE
   static const telemetry::TimerId kCellTimer = telemetry::timerId("sweep.cell");
+  // Trace dump on every exit path (DONE, EOF, protocol error): the
+  // coordinator merges whatever per-worker files exist, so a worker that
+  // died mid-campaign still contributes the events it recorded.
+  const auto dumpTrace = [&cfg] {
+    if (cfg.tracePath.empty() || !telemetry::traceEnabled()) return;
+    std::string traceErr;
+    (void)telemetry::writeTraceFile(cfg.tracePath, traceErr, cfg.workerId + 1,
+                                    "worker " + std::to_string(cfg.workerId));
+  };
   FrameDecoder dec;
   std::string payload, err;
   for (;;) {
     if (!readFrameBlocking(fd, dec, payload, err)) {
+      dumpTrace();
       return err == "eof" ? 0 : 2;  // coordinator gone: quiet exit
     }
     Frame frame;
     if (!decodeFrame(payload, frame, err)) return 2;
-    if (frame.type == FrameType::Done) return 0;
+    if (frame.type == FrameType::Done) {
+      dumpTrace();
+      return 0;
+    }
     if (frame.type != FrameType::Lease) continue;  // ignore unexpected kinds
 
     const int index = static_cast<int>(frame.body.numberAt("cell", -1.0));
@@ -59,6 +74,10 @@ int campaignWorkerMain(int fd, const std::vector<SweepCell>& cells, const Worker
     const bool withTelemetry = telemetry::enabled();
     telemetry::MetricsSnapshot before;
     if (withTelemetry) before = telemetry::snapshotMetrics();
+    // Same reset/snapshot attribution as the in-process runner: this
+    // worker runs cells serially, so the pair brackets exactly one cell.
+    const bool withProbes = telemetry::probesEnabled();
+    if (withProbes) telemetry::resetProbes();
     double cellWall = 0.0;
     {
       const double t0 = nowSec();
@@ -69,6 +88,7 @@ int campaignWorkerMain(int fd, const std::vector<SweepCell>& cells, const Worker
     if (withTelemetry) {
       recordCellTelemetry(telemetry::snapshotMetrics().diff(before), res.telemetry);
     }
+    if (withProbes) res.probes = telemetry::snapshotProbes();
 
     // Atomic cell write *before* RESULT: once the coordinator sees the
     // RESULT, the complete cell file is guaranteed on disk.
@@ -92,6 +112,12 @@ int campaignWorkerMain(int fd, const std::vector<SweepCell>& cells, const Worker
       Json tm = Json::object();
       for (const auto& [name, value] : res.telemetry.entries()) tm.set(name, value);
       result.body.set("telemetry", std::move(tm));
+    }
+    // Probe payload rides the RESULT frame (lossless JSON round-trip), so
+    // the coordinator's store rows and reduction match the in-process
+    // runner's bytes.
+    if (!res.probes.empty()) {
+      result.body.set("probes", telemetry::probesToJson(res.probes));
     }
     if (!writeFrame(fd, encodeFrame(result), err)) return 0;
   }

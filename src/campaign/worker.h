@@ -27,6 +27,13 @@ struct WorkerConfig {
   /// ThreadPool lanes per cell batch (<= 1: sequential seeds).  Workers
   /// default to 1: process-level parallelism replaces lane parallelism.
   int threads = 1;
+  /// Zero-based worker ordinal; tags trace events with pid = workerId + 1
+  /// so merged traces keep one viewer lane per worker process.
+  int workerId = 0;
+  /// When non-empty (tracing armed), the worker dumps its trace ring to
+  /// this file on DONE/EOF; the coordinator merges the per-worker files
+  /// into the single --trace-out trace and deletes them.
+  std::string tracePath;
 };
 
 /// Runs the worker protocol loop over `fd` until DONE or EOF.  Returns

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -32,6 +33,22 @@ ColoringResult runColoring(Simulator& sim, const AggregationStructure& s) {
 
   ColoringResult out;
   out.colorOf.assign(static_cast<std::size_t>(n), -1);
+
+  // Protocol progress probe (telemetry/probes.h): nodes colored so far
+  // over the node total, sampled per slot when probes are armed.  The
+  // guard clears the probe on every exit path so the Simulator never
+  // holds a dangling reference to `out` after this frame returns.
+  struct ProgressProbeGuard {
+    Simulator& sim;
+    ~ProgressProbeGuard() { sim.setProgressProbe({}); }
+  } probeGuard{sim};
+  sim.setProgressProbe([&out, n](std::uint64_t& num, std::uint64_t& den) {
+    std::uint64_t colored = 0;
+    for (const int c : out.colorOf) colored += c >= 0 ? 1 : 0;
+    num = colored;
+    den = static_cast<std::uint64_t>(n);
+    return true;
+  });
 
   // ---- Procedure 1: followers report their IDs to reporters --------------
   std::vector<std::vector<NodeId>> followersOf(static_cast<std::size_t>(n));

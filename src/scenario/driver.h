@@ -99,6 +99,14 @@ class ProtocolDriver {
   /// the per-seed value stream (Rng(seed).fork(kValueStream)); drivers
   /// draw any input data from it so data stays independent of the
   /// simulation randomness.  May throw; the seed runner traps.
+  ///
+  /// Progress-hook contract (telemetry/probes.h): a workload MAY install
+  /// Simulator::setProgressProbe around its run so probes-armed runs get a
+  /// per-slot completion fraction in the SlotSeries (e.g. runColoring
+  /// reports nodes-colored / nodes-total).  The probe must be write-only
+  /// (observe protocol state, never feed back into it) and must be cleared
+  /// before the workload returns — it references stack state the Simulator
+  /// outlives.  Workloads without a natural fraction simply skip it.
   [[nodiscard]] virtual ProtocolOutcome run(Simulator& sim, const ScenarioSpec& spec,
                                             Rng& valueRng) const = 0;
 };

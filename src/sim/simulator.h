@@ -1,15 +1,19 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "mobility/mobility.h"
 #include "sim/message.h"
 #include "sim/network.h"
 #include "sinr/medium.h"
+#include "telemetry/probes.h"
+#include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 #include "util/rng.h"
 
@@ -66,6 +70,13 @@ class Simulator {
         onReception(v, receptions_[static_cast<std::size_t>(v)]);
       }
     }
+    // Optional protocol progress probe (telemetry/probes.h): sampled after
+    // the reception callbacks so the protocol's state reflects this slot.
+    // Write-only — the probe observes, it never feeds back into the run.
+    if (progressProbe_ && telemetry::probesEnabled()) {
+      std::uint64_t num = 0, den = 0;
+      if (progressProbe_(num, den)) telemetry::probeProgress(slots_, num, den);
+    }
     ++slots_;
     if (slots_ > static_cast<std::uint64_t>(net_->tuning().safetyCapSlots)) {
       throw std::runtime_error("Simulator: safety slot cap exceeded (protocol stuck?)");
@@ -95,6 +106,16 @@ class Simulator {
   /// once after the workload finishes, before reading dynamics()->stats().
   void finalizeDynamics();
 
+  /// Installs (or clears, with an empty function) the protocol progress
+  /// probe: called once per slot when probes are armed, after the
+  /// reception callbacks.  The callback fills num/den (e.g. nodes colored
+  /// / nodes total) and returns whether the sample is meaningful; samples
+  /// land in the SlotSeries as a per-window progress fraction.  Workload
+  /// runners install this around their run and clear it before returning.
+  void setProgressProbe(std::function<bool(std::uint64_t&, std::uint64_t&)> probe) {
+    progressProbe_ = std::move(probe);
+  }
+
   /// Per-node deterministic random stream.
   [[nodiscard]] Rng& rng(NodeId v) noexcept { return rngs_[static_cast<std::size_t>(v)]; }
   /// Simulation-wide stream (harness-level choices, e.g. channel hashes).
@@ -109,6 +130,7 @@ class Simulator {
   std::vector<Reception> receptions_;
   std::unique_ptr<TopologyDynamics> dyn_;
   std::vector<Vec2> positions_;  ///< Mutable copy, populated iff dynamic.
+  std::function<bool(std::uint64_t&, std::uint64_t&)> progressProbe_;
   std::uint64_t slots_ = 0;
 };
 

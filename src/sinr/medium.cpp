@@ -5,8 +5,11 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <mutex>
 #include <string>
+#include <type_traits>
 
+#include "telemetry/probes.h"
 #include "telemetry/telemetry.h"
 #include "util/log.h"
 
@@ -32,6 +35,17 @@ struct MediumTelemetry {
   telemetry::CounterId exactPairs = telemetry::counterId("medium.exact_pairs");
   telemetry::CounterId nearPairs = telemetry::counterId("medium.near_pairs_exact");
   telemetry::CounterId farCells = telemetry::counterId("medium.far_cells_batched");
+  // Decode-attribution causes (probes-armed runs only).  Exclusive per
+  // failed listen, so their sum equals listen_intents - decodes exactly —
+  // the partition invariant CI checks on every smoke.
+  telemetry::CounterId causeNoTransmitter = telemetry::counterId("cause.no_transmitter");
+  telemetry::CounterId causeDeadListener = telemetry::counterId("cause.dead_listener");
+  telemetry::CounterId causeNoiseLimited = telemetry::counterId("cause.noise_limited");
+  telemetry::CounterId causeInterferenceLimited =
+      telemetry::counterId("cause.interference_limited");
+  telemetry::CounterId causeNearfarTruncated =
+      telemetry::counterId("cause.nearfar_truncated");
+  telemetry::CounterId causeLostTie = telemetry::counterId("cause.lost_tie");
 };
 
 const MediumTelemetry& mediumTm() {
@@ -178,7 +192,16 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
     telemetry::counterAdd(mediumTm().txIntents, txTotal);
     telemetry::counterAdd(mediumTm().listenIntents, ws_.listeners.size());
   }
-  if (ws_.listeners.empty()) return;
+  if (ws_.listeners.empty()) {
+    if (telemetry::probesEnabled()) {
+      // Listener-free slots still tick the series so the active-transmitter
+      // trace covers every resolved slot, not just contended ones.
+      telemetry::SlotProbeSample sample;
+      sample.txIntents = txTotal;
+      telemetry::probeSlot(stats_.slots - 1, sample);
+    }
+    return;
+  }
 
   const MediumMode mode = params_.mediumMode;
   if (mode == MediumMode::Hierarchical && n < kHierSmallNCrossover) {
@@ -221,7 +244,55 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
   std::atomic<std::uint64_t> tmNearPairs{0};
   std::atomic<std::uint64_t> tmFarCells{0};
   std::array<std::atomic<std::uint64_t>, kHierLevelSlots> tmHierLevels{};
-  const auto processRange = [&](std::size_t rangeBegin, std::size_t rangeEnd) {
+
+  // Decode attribution (telemetry/probes.h): armed runs classify every
+  // failed listen into exactly one cause and sketch SINR margins, through
+  // a separate compile-time instantiation of the sweep below — the
+  // disarmed hot path keeps its exact instruction stream.  Cause tallies
+  // ride the same lane-local/publish-once pattern as the counters above;
+  // lane margin sketches fold into one slot-level sample under a slot-
+  // local mutex (sketch merges commute, so lane arrival order — and hence
+  // thread count — cannot change the result).
+  const bool probesArmed = telemetry::probesEnabled();
+  const std::uint8_t* aliveMask = aliveMask_.empty() ? nullptr : aliveMask_.data();
+  const std::size_t aliveMaskSize = aliveMask_.size();
+  std::atomic<std::uint64_t> causeNoTx{0};
+  std::atomic<std::uint64_t> causeDead{0};
+  std::atomic<std::uint64_t> causeNoise{0};
+  std::atomic<std::uint64_t> causeInterf{0};
+  std::atomic<std::uint64_t> causeTrunc{0};
+  std::atomic<std::uint64_t> causeTie{0};
+  telemetry::SlotProbeSample slotSample;
+  std::mutex slotSampleMu;
+
+  // Exact per-pair re-check of the far field for one failed listener:
+  // the strongest far transmitter's *exact* faded power.  Only reachable
+  // with fading in a gridded mode — without fading, far implies
+  // d > nearR >= R_T, hence rx < beta*noise, so no far transmitter could
+  // have decoded under Exact semantics and the scan is skipped entirely.
+  const auto farBestExact = [&](ChannelId c, Vec2 pv, NodeId v) {
+    const ChannelField& f = fields_[static_cast<std::size_t>(c)];
+    const GridIndex& geom = dynamicPositions_ ? allGrid_ : f.grid;
+    double farBest = -1.0;
+    for (const FarCell& cell : f.cells) {
+      if (geom.cellDist2(cell.cx, cell.cy, pv) <= nearR2) continue;
+      for (const NodeId local : cell.ids) {
+        const NodeId w =
+            ws_.txIds[static_cast<std::size_t>(f.lo) + static_cast<std::size_t>(local)];
+        const Vec2 pw = dynamicPositions_ ? positions[static_cast<std::size_t>(w)]
+                                          : f.grid.point(local);
+        const double d2raw = dist2(pw, pv);
+        double rx = kern(d2raw > 0.0 ? d2raw : kMinD2);
+        rx *= fad.gain(slotIdx, static_cast<std::uint64_t>(w), static_cast<std::uint64_t>(v));
+        if (rx > farBest) farBest = rx;
+      }
+    }
+    return farBest;
+  };
+
+  const auto processRangeImpl = [&](auto probesTag, std::size_t rangeBegin,
+                                    std::size_t rangeEnd) {
+    constexpr bool kProbes = decltype(probesTag)::value;
     // Exact-mode sweep tile: distances and kernel values for up to kTile
     // transmitters are staged in flat buffers so the distance and
     // PowerKernel::batch phases auto-vectorize, while the reduction that
@@ -239,6 +310,11 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
     std::uint64_t localNearPairs = 0;
     std::uint64_t localFarCells = 0;
     std::array<std::uint64_t, kHierLevelSlots> localHierLevels{};
+    // Attribution lane-locals (dead in the disarmed instantiation).
+    [[maybe_unused]] std::uint64_t localCauseNoTx = 0, localCauseDead = 0,
+                                   localCauseNoise = 0, localCauseInterf = 0,
+                                   localCauseTrunc = 0, localCauseTie = 0;
+    QuantileSketch localMargin, localNear, localFar;
     // Hier traversal is timed per worker range, not per listener: a clock
     // read per listener costs more than the traversal it would measure
     // (the per-level admission counters carry the fine-grained breakdown).
@@ -249,12 +325,33 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
       const ChannelId c = intents[static_cast<std::size_t>(v)].channel;
       const std::int32_t lo = ws_.bucketBegin(c);
       const std::int32_t hi = ws_.bucketEnd(c);
-      if (lo == hi) continue;  // silent channel
+      // Liveness is an attribution concern only (see setAliveMask); a dead
+      // listener's Reception is computed exactly like everyone else's.
+      [[maybe_unused]] bool deadListener = false;
+      if constexpr (kProbes) {
+        deadListener = aliveMask != nullptr && static_cast<std::size_t>(v) < aliveMaskSize &&
+                       aliveMask[static_cast<std::size_t>(v)] == 0;
+      }
+      if (lo == hi) {  // silent channel
+        if constexpr (kProbes) {
+          if (deadListener) {
+            ++localCauseDead;
+          } else {
+            ++localCauseNoTx;
+          }
+        }
+        continue;
+      }
       ++localCandidates;
 
       double total = 0.0;
       double best = -1.0;
       NodeId bestTx = kNoNode;
+      // Tie tracking (armed only): how many transmitters share the final
+      // bit-equal `best` — equality compares never perturb best/bestTx, so
+      // receptions stay identical to the disarmed sweep.
+      [[maybe_unused]] std::uint64_t tieCount = 0;
+      [[maybe_unused]] double farTotal = 0.0;
       const Vec2 pv = positions[static_cast<std::size_t>(v)];
 
       // Exact accumulation of one transmitter; shared by the NearFar and
@@ -270,9 +367,19 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
           rx *= fad.gain(slotIdx, static_cast<std::uint64_t>(w), static_cast<std::uint64_t>(v));
         }
         total += rx;
-        if (rx > best) {
-          best = rx;
-          bestTx = w;
+        if constexpr (kProbes) {
+          if (rx > best) {
+            best = rx;
+            bestTx = w;
+            tieCount = 1;
+          } else if (rx == best && bestTx != kNoNode) {
+            ++tieCount;
+          }
+        } else {
+          if (rx > best) {
+            best = rx;
+            bestTx = w;
+          }
         }
       };
 
@@ -298,9 +405,19 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
           for (std::size_t j = 0; j < m; ++j) {
             const double rx = rxTile[j];
             total += rx;
-            if (rx > best) {
-              best = rx;
-              bestTx = ids[base + j];
+            if constexpr (kProbes) {
+              if (rx > best) {
+                best = rx;
+                bestTx = ids[base + j];
+                tieCount = 1;
+              } else if (rx == best && bestTx != kNoNode) {
+                ++tieCount;
+              }
+            } else {
+              if (rx > best) {
+                best = rx;
+                bestTx = ids[base + j];
+              }
             }
           }
         }
@@ -331,6 +448,7 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
               cellRx *= fad.gain(slotIdx, cellId, static_cast<std::uint64_t>(v));
             }
             total += cellRx;
+            if constexpr (kProbes) farTotal += cellRx;
             continue;
           }
           for (const NodeId local : cell.ids) {
@@ -365,6 +483,7 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
                 cellRx *= fad.gain(slotIdx, cellId, static_cast<std::uint64_t>(v));
               }
               total += cellRx;
+              if constexpr (kProbes) farTotal += cellRx;
             },
             [&](std::int32_t ref) {
               const FarCell& cell = f.cells[static_cast<std::size_t>(ref)];
@@ -382,13 +501,59 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
       r.totalPower = total;
       // SINR condition (1) for the strongest transmitter.  With beta >= 1 no
       // weaker transmitter can satisfy it, so checking the strongest suffices.
-      if (bestTx != kNoNode && best >= beta * (noise + (total - best))) {
+      const bool decoded = bestTx != kNoNode && best >= beta * (noise + (total - best));
+      if (decoded) {
         r.received = true;
         r.msg = intents[static_cast<std::size_t>(bestTx)].msg;
         r.sinr = best / (noise + (total - best));
         r.signalPower = best;
         r.senderDistance = params_.distanceFromPower(best);
         ++localDecodes;
+      }
+
+      if constexpr (kProbes) {
+        // SINR margin in dB for every decode candidate (positive decoded,
+        // negative failed), plus the near/far split of this listener's
+        // interference power.
+        if (bestTx != kNoNode) {
+          const double denom = beta * (noise + (total - best));
+          if (best > 0.0 && denom > 0.0) {
+            localMargin.add(10.0 * std::log10(best / denom));
+          }
+          const double nearInterf = total - farTotal - best;
+          if (nearInterf > 0.0) localNear.add(10.0 * std::log10(nearInterf));
+        }
+        if (farTotal > 0.0) localFar.add(10.0 * std::log10(farTotal));
+
+        if (!decoded) {
+          // Exclusive causes, checked in precedence order so every failed
+          // listen lands in exactly one bucket (the partition invariant:
+          // sum(cause.*) == listen_intents - decodes).
+          if (deadListener) {
+            ++localCauseDead;
+          } else {
+            // Would the strongest *far* transmitter have decoded under
+            // Exact per-pair semantics?  Only possible with fading in a
+            // gridded mode (see farBestExact above).
+            const double farBest =
+                (gridded && hasFading) ? farBestExact(c, pv, v) : -1.0;
+            const double eff = best > farBest ? best : farBest;
+            if (eff < beta * noise) {
+              // Even with zero interference the strongest signal is
+              // under beta: the link itself is too weak.
+              ++localCauseNoise;
+            } else if (best < beta * noise) {
+              // A far transmitter cleared beta*noise but the near-field
+              // best did not: the grid approximation truncated a decode
+              // that Exact semantics would have allowed.
+              ++localCauseTrunc;
+            } else if (tieCount >= 2) {
+              ++localCauseTie;
+            } else {
+              ++localCauseInterf;
+            }
+          }
+        }
       }
     }
     decodes.fetch_add(localDecodes, std::memory_order_relaxed);
@@ -405,6 +570,30 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
         }
       }
     }
+    if constexpr (kProbes) {
+      causeNoTx.fetch_add(localCauseNoTx, std::memory_order_relaxed);
+      causeDead.fetch_add(localCauseDead, std::memory_order_relaxed);
+      causeNoise.fetch_add(localCauseNoise, std::memory_order_relaxed);
+      causeInterf.fetch_add(localCauseInterf, std::memory_order_relaxed);
+      causeTrunc.fetch_add(localCauseTrunc, std::memory_order_relaxed);
+      causeTie.fetch_add(localCauseTie, std::memory_order_relaxed);
+      {
+        const std::lock_guard<std::mutex> lock(slotSampleMu);
+        slotSample.marginDb.merge(localMargin);
+        slotSample.nearDb.merge(localNear);
+        slotSample.farDb.merge(localFar);
+      }
+    }
+  };
+  // One compile-time instantiation per arming state: the disarmed sweep
+  // keeps its exact instruction stream, the armed one adds only reads and
+  // compares — receptions are bit-identical either way.
+  const auto processRange = [&](std::size_t rangeBegin, std::size_t rangeEnd) {
+    if (probesArmed) {
+      processRangeImpl(std::true_type{}, rangeBegin, rangeEnd);
+    } else {
+      processRangeImpl(std::false_type{}, rangeBegin, rangeEnd);
+    }
   };
 
   {
@@ -416,6 +605,25 @@ void Medium::resolveSlot(std::span<const Vec2> positions, std::span<const Intent
     }
   }
   stats_.decodes += decodes.load(std::memory_order_relaxed);
+
+  if (probesArmed) {
+    telemetry::counterAdd(mediumTm().causeNoTransmitter,
+                          causeNoTx.load(std::memory_order_relaxed));
+    telemetry::counterAdd(mediumTm().causeDeadListener,
+                          causeDead.load(std::memory_order_relaxed));
+    telemetry::counterAdd(mediumTm().causeNoiseLimited,
+                          causeNoise.load(std::memory_order_relaxed));
+    telemetry::counterAdd(mediumTm().causeInterferenceLimited,
+                          causeInterf.load(std::memory_order_relaxed));
+    telemetry::counterAdd(mediumTm().causeNearfarTruncated,
+                          causeTrunc.load(std::memory_order_relaxed));
+    telemetry::counterAdd(mediumTm().causeLostTie,
+                          causeTie.load(std::memory_order_relaxed));
+    slotSample.listens = ws_.listeners.size();
+    slotSample.decodes = decodes.load(std::memory_order_relaxed);
+    slotSample.txIntents = txTotal;
+    telemetry::probeSlot(stats_.slots - 1, slotSample);
+  }
 
   if (telemetry::enabled()) {
     telemetry::counterAdd(mediumTm().decodes, decodes.load(std::memory_order_relaxed));

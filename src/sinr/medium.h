@@ -136,6 +136,17 @@ class Medium {
   }
   [[nodiscard]] const FadingField& fading() const noexcept { return fading_; }
 
+  /// Attribution hook (decode-attribution probes, telemetry/probes.h):
+  /// marks nodes as dead so a probes-armed resolveSlot classifies their
+  /// failed listens as `cause.dead_listener` instead of a physical cause.
+  /// Engine runs never exercise this — Simulator forces churned-out nodes
+  /// to Idle before the medium sees them, so the counter is structurally
+  /// zero there; hand-wired callers (tests) set the mask and pass Listen
+  /// intents for dead nodes directly.  Empty = everyone alive.  The mask
+  /// is only consulted for cause classification; receptions are computed
+  /// identically with or without it.
+  void setAliveMask(std::vector<std::uint8_t> alive) { aliveMask_ = std::move(alive); }
+
   /// Declares that callers pass *drifting* positions (mobility).  In
   /// NearFar and Hierarchical modes this switches buildFields to the
   /// incremental path: one persistent GridIndex over all node positions,
@@ -193,6 +204,9 @@ class Medium {
   std::vector<ChannelField> fields_;
   std::vector<Vec2> fieldPts_;
   std::vector<HierBaseCell> hierBase_;  // pyramid-build scratch
+
+  /// Attribution-only liveness mask (see setAliveMask); empty = alive.
+  std::vector<std::uint8_t> aliveMask_;
 
   // Incremental NearFar path (setDynamicPositions): a persistent index
   // over ALL node positions, updated in place each slot.

@@ -25,7 +25,7 @@ bool readRaw(const char*& p, const char* end, T& v) {
 
 std::vector<std::uint32_t> columnLayout(std::uint32_t axisCount, std::uint32_t metricCount) {
   std::vector<std::uint32_t> layout;
-  layout.reserve(7 + axisCount + static_cast<std::size_t>(metricCount) * kMetricFields + 2);
+  layout.reserve(7 + axisCount + static_cast<std::size_t>(metricCount) * kMetricFields + 4);
   layout.push_back(4);  // cell_index
   layout.push_back(4);  // label_id
   for (std::uint32_t a = 0; a < axisCount; ++a) layout.push_back(4);
@@ -46,6 +46,8 @@ std::vector<std::uint32_t> columnLayout(std::uint32_t axisCount, std::uint32_t m
   }
   layout.push_back(8);  // tm_off
   layout.push_back(4);  // tm_len
+  layout.push_back(8);  // pb_off
+  layout.push_back(4);  // pb_len
   return layout;
 }
 
@@ -175,6 +177,121 @@ bool parseTelemetryBlob(const char* p, std::size_t len,
     }
     out.emplace_back(nameId, value);
   }
+  return true;
+}
+
+namespace {
+
+void appendSketch(const QuantileSketch& s, std::string& out) {
+  appendRaw<std::uint64_t>(out, s.zeroCount());
+  appendRaw<std::uint32_t>(out, static_cast<std::uint32_t>(s.negativeBuckets().size()));
+  appendRaw<std::uint32_t>(out, static_cast<std::uint32_t>(s.positiveBuckets().size()));
+  for (const QuantileSketch::Bucket& b : s.negativeBuckets()) {
+    appendRaw(out, b.index);
+    appendRaw(out, b.count);
+  }
+  for (const QuantileSketch::Bucket& b : s.positiveBuckets()) {
+    appendRaw(out, b.index);
+    appendRaw(out, b.count);
+  }
+}
+
+bool parseSketch(const char*& p, const char* end, QuantileSketch& out, std::string& err) {
+  std::uint64_t zero = 0;
+  std::uint32_t nneg = 0, npos = 0;
+  if (!readRaw(p, end, zero) || !readRaw(p, end, nneg) || !readRaw(p, end, npos)) {
+    err = "probe blob truncated (sketch counts)";
+    return false;
+  }
+  const auto readSide = [&](std::uint32_t n, std::vector<QuantileSketch::Bucket>& side) {
+    side.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      QuantileSketch::Bucket b;
+      if (!readRaw(p, end, b.index) || !readRaw(p, end, b.count)) return false;
+      side.push_back(b);
+    }
+    return true;
+  };
+  std::vector<QuantileSketch::Bucket> neg, pos;
+  if (!readSide(nneg, neg) || !readSide(npos, pos)) {
+    err = "probe blob truncated (sketch buckets)";
+    return false;
+  }
+  // Probe sketches are always default-alpha (they are built by the probe
+  // registry, never by campaign config), matching the JSON round-trip.
+  out = QuantileSketch::fromState(QuantileSketch::kDefaultAlpha, zero, std::move(neg),
+                                  std::move(pos));
+  return true;
+}
+
+}  // namespace
+
+void appendProbeBlob(const telemetry::ProbeState& state, std::string& out) {
+  if (state.empty()) {
+    appendRaw<std::uint8_t>(out, 0);
+    return;
+  }
+  appendRaw<std::uint8_t>(out, 1);
+  appendSketch(state.marginDb, out);
+  appendSketch(state.nearDb, out);
+  appendSketch(state.farDb, out);
+  appendRaw<std::uint64_t>(out, state.series.span());
+  const std::size_t used = state.series.windowsUsed();
+  appendRaw<std::uint32_t>(out, static_cast<std::uint32_t>(used));
+  for (std::size_t i = 0; i < used; ++i) {
+    const telemetry::SlotSeries::Window& w = state.series.windows()[i];
+    appendRaw<std::uint64_t>(out, w.slots);
+    appendRaw<std::uint64_t>(out, w.listens);
+    appendRaw<std::uint64_t>(out, w.decodes);
+    appendRaw<std::uint64_t>(out, w.txIntents);
+    appendRaw<std::uint64_t>(out, w.progressNum);
+    appendRaw<std::uint64_t>(out, w.progressDen);
+    appendSketch(w.margin, out);
+  }
+}
+
+bool parseProbeBlob(const char* p, std::size_t len, telemetry::ProbeState& out,
+                    std::string& err) {
+  const char* end = p + len;
+  out = telemetry::ProbeState();
+  std::uint8_t flag = 0;
+  if (!readRaw(p, end, flag)) {
+    err = "probe blob truncated (flag)";
+    return false;
+  }
+  if (flag == 0) return true;
+  if (flag != 1) {
+    err = "probe blob has unknown flag " + std::to_string(flag);
+    return false;
+  }
+  if (!parseSketch(p, end, out.marginDb, err) || !parseSketch(p, end, out.nearDb, err) ||
+      !parseSketch(p, end, out.farDb, err)) {
+    return false;
+  }
+  std::uint64_t span = 0;
+  std::uint32_t used = 0;
+  if (!readRaw(p, end, span) || !readRaw(p, end, used)) {
+    err = "probe blob truncated (series header)";
+    return false;
+  }
+  if (used > telemetry::SlotSeries::kWindows) {
+    err = "probe blob series window count " + std::to_string(used) + " exceeds bound";
+    return false;
+  }
+  std::vector<telemetry::SlotSeries::Window> leading;
+  leading.reserve(used);
+  for (std::uint32_t i = 0; i < used; ++i) {
+    telemetry::SlotSeries::Window w;
+    if (!readRaw(p, end, w.slots) || !readRaw(p, end, w.listens) ||
+        !readRaw(p, end, w.decodes) || !readRaw(p, end, w.txIntents) ||
+        !readRaw(p, end, w.progressNum) || !readRaw(p, end, w.progressDen)) {
+      err = "probe blob truncated (series window)";
+      return false;
+    }
+    if (!parseSketch(p, end, w.margin, err)) return false;
+    leading.push_back(std::move(w));
+  }
+  out.series = telemetry::SlotSeries::fromState(span, std::move(leading));
   return true;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/probes.h"
 #include "util/sketch.h"
 
 /// The columnar campaign store's on-disk format — the shared contract
@@ -23,7 +24,8 @@
 ///                              mmap are always aligned
 ///   [blob heap]                per cell, in slot order: one quantile
 ///                              state blob per metric (metric order),
-///                              then the telemetry blob
+///                              then the probe blob, then the telemetry
+///                              blob
 ///
 /// Column order (n = header.cells rows each):
 ///
@@ -31,17 +33,21 @@
 ///   seeds u32 | failures u32 | delivered u32 | valid u32 | invalid u32 |
 ///   per metric: count u64, mean f64, m2 f64, min f64, max f64, sum f64,
 ///               q_off u64, q_len u32 |
-///   tm_off u64 | tm_len u32
+///   tm_off u64 | tm_len u32 | pb_off u64 | pb_len u32
 ///
-/// q_off/q_len and tm_off/tm_len slice the blob heap (offsets relative
-/// to header.blobOff).  Everything a row stores is the *full* per-metric
-/// accumulator state (moments + quantile sketch), so any subset of cells
-/// can be re-aggregated from the store alone, bit-identically to an
-/// in-process merge.
+/// q_off/q_len, tm_off/tm_len and pb_off/pb_len slice the blob heap
+/// (offsets relative to header.blobOff).  Everything a row stores is the
+/// *full* per-metric accumulator state (moments + quantile sketch) plus
+/// the cell's probe state, so any subset of cells can be re-aggregated
+/// from the store alone, bit-identically to an in-process merge.
+///
+/// Version 2 added the probe blob column (decode attribution + slot
+/// series, telemetry/probes.h).  The blob is self-contained — no string
+/// ids — so it needs no remapping at finish time.
 namespace mcs::store {
 
 inline constexpr char kMagic[8] = {'M', 'C', 'S', 'S', 'T', 'O', 'R', '1'};
-inline constexpr std::uint32_t kStoreVersion = 1;
+inline constexpr std::uint32_t kStoreVersion = 2;
 /// Written natively; a reader seeing the bytes reversed knows the file
 /// crossed an endianness boundary and refuses loudly instead of
 /// misreading every column.
@@ -111,6 +117,12 @@ inline constexpr std::size_t kMetricQLen = 7;
 [[nodiscard]] inline std::size_t colTmLen(std::uint32_t axisCount, std::uint32_t metricCount) {
   return colTmOff(axisCount, metricCount) + 1;
 }
+[[nodiscard]] inline std::size_t colPbOff(std::uint32_t axisCount, std::uint32_t metricCount) {
+  return colTmLen(axisCount, metricCount) + 1;
+}
+[[nodiscard]] inline std::size_t colPbLen(std::uint32_t axisCount, std::uint32_t metricCount) {
+  return colPbOff(axisCount, metricCount) + 1;
+}
 
 /// Packed row byte offsets (no padding — rows are memcpy'd field by
 /// field) and the row's total width.
@@ -137,6 +149,19 @@ void appendTelemetryBlob(const std::vector<std::pair<std::uint32_t, double>>& en
 [[nodiscard]] bool parseTelemetryBlob(const char* p, std::size_t len,
                                       std::vector<std::pair<std::uint32_t, double>>& out,
                                       std::string& err);
+
+/// Probe blob: u8 flag (0 = empty, nothing follows; 1 = full state).
+/// Full state is the three attribution sketches (margin_db, near_db,
+/// far_db), then the slot series: u64 span, u32 window count, then per
+/// window six u64 counts (slots, listens, decodes, tx_intents,
+/// progress_num, progress_den) followed by the window's margin sketch.
+/// Each sketch serializes as u64 zeroCount, u32 negCount, u32 posCount,
+/// then (i32 index, u64 count) pairs, negative side then positive side —
+/// the exact bucket state, so parse(append(s)) == s and re-merged
+/// subsets stay bit-identical to in-process merges.
+void appendProbeBlob(const telemetry::ProbeState& state, std::string& out);
+[[nodiscard]] bool parseProbeBlob(const char* p, std::size_t len, telemetry::ProbeState& out,
+                                  std::string& err);
 
 /// 8-byte section alignment.
 [[nodiscard]] inline std::uint64_t alignUp8(std::uint64_t off) { return (off + 7) & ~7ull; }

@@ -35,105 +35,197 @@ struct ColumnFilter {
   }
 };
 
+bool resolveColumn(const StoreReader& reader, const std::string& key,
+                   const std::uint32_t*& col, std::string& err) {
+  if (key == "label") {
+    col = reader.labelCol();
+    return true;
+  }
+  const int a = reader.axisIndex(key);
+  if (a < 0) {
+    err = "axis \"" + key + "\" not in store (has: label, " +
+          namesList(reader.axisNames()) + ")";
+    return false;
+  }
+  col = reader.axisCol(static_cast<std::size_t>(a));
+  return true;
+}
+
+bool resolveFilters(const StoreReader& reader,
+                    const std::vector<std::pair<std::string, std::string>>& where,
+                    std::vector<ColumnFilter>& filters, std::string& err) {
+  filters.clear();
+  filters.reserve(where.size());
+  for (const auto& [key, value] : where) {
+    ColumnFilter f;
+    if (!resolveColumn(reader, key, f.col, err)) return false;
+    f.value = value;
+    filters.push_back(std::move(f));
+  }
+  return true;
+}
+
+constexpr const char* kTmPrefix = "tm.";
+
+bool isTmMetric(const std::string& name) {
+  return name.rfind(kTmPrefix, 0) == 0 && name.size() > 3;
+}
+
 }  // namespace
 
-bool runStoreQuery(const StoreReader& reader, const StoreQuery& query,
-                   std::vector<QueryGroup>& out, std::string& err) {
+bool checkStoreUnion(const std::vector<const StoreReader*>& readers, std::string& err) {
+  std::unordered_map<std::uint32_t, std::size_t> seen;  // cell index -> reader position
+  for (std::size_t i = 0; i < readers.size(); ++i) {
+    const StoreReader& reader = *readers[i];
+    const std::uint32_t* idx = reader.cellIndexCol();
+    for (std::size_t row = 0; row < reader.cells(); ++row) {
+      const auto it = seen.find(idx[row]);
+      if (it != seen.end()) {
+        err = "cell index " + std::to_string(idx[row]) + " appears in store #" +
+              std::to_string(it->second + 1) + " and store #" + std::to_string(i + 1) +
+              " — union requires disjoint shards";
+        return false;
+      }
+      seen.emplace(idx[row], i);
+    }
+  }
+  return true;
+}
+
+bool runStoreQueryUnion(const std::vector<const StoreReader*>& readers,
+                        const StoreQuery& query, std::vector<QueryGroup>& out,
+                        std::string& err) {
   static const telemetry::TimerId kScan = telemetry::timerId("query.scan");
   static const telemetry::CounterId kSketchMerges =
       telemetry::counterId("store.sketch_merges");
   out.clear();
+  if (readers.empty()) {
+    err = "no stores to query";
+    return false;
+  }
+  if (!checkStoreUnion(readers, err)) return false;
 
   std::vector<std::string> metricNames = query.metrics;
-  if (metricNames.empty()) metricNames = reader.metricNames();
-  std::vector<std::size_t> metricIdx;
-  metricIdx.reserve(metricNames.size());
-  for (const std::string& name : metricNames) {
-    const int m = reader.metricIndex(name);
-    if (m < 0) {
-      err = "metric \"" + name + "\" not in store (has: " +
-            namesList(reader.metricNames()) + ")";
-      return false;
-    }
-    metricIdx.push_back(static_cast<std::size_t>(m));
-  }
-
-  const auto resolveColumn = [&](const std::string& key,
-                                 const std::uint32_t*& col) -> bool {
-    if (key == "label") {
-      col = reader.labelCol();
-      return true;
-    }
-    const int a = reader.axisIndex(key);
-    if (a < 0) {
-      err = "axis \"" + key + "\" not in store (has: label, " +
-            namesList(reader.axisNames()) + ")";
-      return false;
-    }
-    col = reader.axisCol(static_cast<std::size_t>(a));
-    return true;
-  };
-
-  std::vector<ColumnFilter> filters;
-  filters.reserve(query.where.size());
-  for (const auto& [key, value] : query.where) {
-    ColumnFilter f;
-    if (!resolveColumn(key, f.col)) return false;
-    f.value = value;
-    filters.push_back(std::move(f));
-  }
-
-  const std::uint32_t* groupCol = nullptr;
-  if (!query.groupBy.empty() && !resolveColumn(query.groupBy, groupCol)) return false;
+  if (metricNames.empty()) metricNames = readers.front()->metricNames();
+  bool anyTm = false;
+  for (const std::string& name : metricNames) anyTm = anyTm || isTmMetric(name);
 
   const telemetry::PhaseTimer scan(kScan);
-  const double alpha = reader.header().sketchAlpha;
-  std::unordered_map<std::uint32_t, std::size_t> groupOf;  // value id -> out index
-  const auto groupFor = [&](std::size_t row) -> QueryGroup& {
-    if (groupCol == nullptr) {
-      if (out.empty()) {
-        QueryGroup g;
-        g.key = "all";
-        out.push_back(std::move(g));
-      }
-      return out.front();
-    }
-    const std::uint32_t id = groupCol[row];
-    const auto it = groupOf.find(id);
+  std::unordered_map<std::string, std::size_t> groupOf;  // group key -> out index
+  const auto groupFor = [&](const std::string& key, double alpha,
+                            std::uint32_t threshold) -> QueryGroup& {
+    const auto it = groupOf.find(key);
     if (it != groupOf.end()) return out[it->second];
     QueryGroup g;
-    g.key = reader.str(id);
-    groupOf.emplace(id, out.size());
+    g.key = key;
+    g.stats.reserve(metricNames.size());
+    for (const std::string& name : metricNames) {
+      g.stats.emplace_back(name, StreamingStats(alpha, threshold));
+    }
+    groupOf.emplace(key, out.size());
     out.push_back(std::move(g));
     return out.back();
   };
 
-  for (std::size_t row = 0; row < reader.cells(); ++row) {
-    bool pass = true;
-    for (ColumnFilter& f : filters) {
-      if (!f.matches(reader, row)) {
-        pass = false;
-        break;
+  for (const StoreReader* rp : readers) {
+    const StoreReader& reader = *rp;
+    // Per-store resolution: metric positions (and axis columns) may
+    // differ between stores even when the names agree.
+    std::vector<int> metricIdx(metricNames.size(), -1);
+    for (std::size_t k = 0; k < metricNames.size(); ++k) {
+      if (isTmMetric(metricNames[k])) continue;
+      metricIdx[k] = reader.metricIndex(metricNames[k]);
+      if (metricIdx[k] < 0) {
+        err = "metric \"" + metricNames[k] + "\" not in store (has: " +
+              namesList(reader.metricNames()) + "; tm.<counter> selects telemetry)";
+        return false;
       }
     }
-    if (!pass) continue;
-    QueryGroup& group = groupFor(row);
-    if (group.stats.empty()) {
-      group.stats.reserve(metricNames.size());
-      for (const std::string& name : metricNames) {
-        group.stats.emplace_back(
-            name, StreamingStats(alpha, reader.header().sketchThreshold));
+    std::vector<ColumnFilter> filters;
+    if (!resolveFilters(reader, query.where, filters, err)) return false;
+    const std::uint32_t* groupCol = nullptr;
+    if (!query.groupBy.empty() && !resolveColumn(reader, query.groupBy, groupCol, err)) {
+      return false;
+    }
+    const double alpha = reader.header().sketchAlpha;
+    const std::uint32_t threshold = reader.header().sketchThreshold;
+
+    for (std::size_t row = 0; row < reader.cells(); ++row) {
+      bool pass = true;
+      for (ColumnFilter& f : filters) {
+        if (!f.matches(reader, row)) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      QueryGroup& group =
+          groupFor(groupCol != nullptr ? reader.str(groupCol[row]) : "all", alpha, threshold);
+      ++group.cells;
+      std::vector<std::pair<std::string, double>> tmEntries;
+      if (anyTm && !reader.telemetryAt(row, tmEntries, err)) return false;
+      for (std::size_t k = 0; k < metricNames.size(); ++k) {
+        StreamingStats& acc = group.stats[k].second;
+        if (metricIdx[k] < 0) {
+          // Telemetry metric: the cell's counter value is one sample
+          // (absent counter = 0.0, e.g. a cause that never fired).  The
+          // blob keys carry the "tm." prefix already, so the selector name
+          // is the lookup key as-is.
+          const std::string& key = metricNames[k];
+          double value = 0.0;
+          for (const auto& [name, v] : tmEntries) {
+            if (name == key) {
+              value = v;
+              break;
+            }
+          }
+          acc.add(value);
+          continue;
+        }
+        StreamingStats rowStats;
+        if (!reader.statsAt(static_cast<std::size_t>(metricIdx[k]), row, rowStats, err)) {
+          return false;
+        }
+        if (acc.quantiles.sketchMode() || rowStats.quantiles.sketchMode()) {
+          telemetry::counterAdd(kSketchMerges);
+        }
+        acc.merge(rowStats);
       }
     }
-    ++group.cells;
-    for (std::size_t k = 0; k < metricIdx.size(); ++k) {
-      StreamingStats rowStats;
-      if (!reader.statsAt(metricIdx[k], row, rowStats, err)) return false;
-      StreamingStats& acc = group.stats[k].second;
-      if (acc.quantiles.sketchMode() || rowStats.quantiles.sketchMode()) {
-        telemetry::counterAdd(kSketchMerges);
+  }
+  return true;
+}
+
+bool runStoreQuery(const StoreReader& reader, const StoreQuery& query,
+                   std::vector<QueryGroup>& out, std::string& err) {
+  return runStoreQueryUnion({&reader}, query, out, err);
+}
+
+bool mergeStoreProbes(const std::vector<const StoreReader*>& readers,
+                      const std::vector<std::pair<std::string, std::string>>& where,
+                      mcs::telemetry::ProbeState& out, std::string& err) {
+  out = mcs::telemetry::ProbeState();
+  if (readers.empty()) {
+    err = "no stores to query";
+    return false;
+  }
+  if (!checkStoreUnion(readers, err)) return false;
+  for (const StoreReader* rp : readers) {
+    const StoreReader& reader = *rp;
+    std::vector<ColumnFilter> filters;
+    if (!resolveFilters(reader, where, filters, err)) return false;
+    for (std::size_t row = 0; row < reader.cells(); ++row) {
+      bool pass = true;
+      for (ColumnFilter& f : filters) {
+        if (!f.matches(reader, row)) {
+          pass = false;
+          break;
+        }
       }
-      acc.merge(rowStats);
+      if (!pass) continue;
+      mcs::telemetry::ProbeState cell;
+      if (!reader.probesAt(row, cell, err)) return false;
+      out.merge(cell);
     }
   }
   return true;

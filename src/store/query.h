@@ -17,7 +17,12 @@
 namespace mcs::store {
 
 struct StoreQuery {
-  /// Metric names to aggregate; empty = every metric in the store.
+  /// Metric names to aggregate; empty = every metric in the store.  A
+  /// name starting with "tm." selects a per-cell telemetry counter
+  /// instead (e.g. "tm.cause.noise_limited"): each matching cell
+  /// contributes its counter value as one sample, absent entries count
+  /// as 0.0 — so mean is the per-cell average and sum the campaign
+  /// total.
   std::vector<std::string> metrics;
   /// Conjunctive equality filters: axis name (or "label") == value.
   std::vector<std::pair<std::string, std::string>> where;
@@ -40,6 +45,30 @@ struct QueryGroup {
 /// store.sketch_merges counter.
 [[nodiscard]] bool runStoreQuery(const StoreReader& reader, const StoreQuery& query,
                                  std::vector<QueryGroup>& out, std::string& err);
+
+/// Union precondition for multi-store queries: every cell index must
+/// appear in at most one store (the intended shape is shards of one
+/// campaign).  An overlap fails with the offending index and stores.
+[[nodiscard]] bool checkStoreUnion(const std::vector<const StoreReader*>& readers,
+                                   std::string& err);
+
+/// Runs the query over several stores as one logical campaign.  Checks
+/// the union precondition first; groups merge by axis-value string
+/// across stores, ordered by first appearance scanning the stores in
+/// argument order.
+[[nodiscard]] bool runStoreQueryUnion(const std::vector<const StoreReader*>& readers,
+                                      const StoreQuery& query, std::vector<QueryGroup>& out,
+                                      std::string& err);
+
+/// Merges the probe states (decode attribution + slot series) of every
+/// cell passing `where`, across all stores — the input for
+/// sweep_query --series.  Probe merges commute, so the result is
+/// independent of store order and bit-identical to an in-process merge
+/// of the same cells.
+[[nodiscard]] bool mergeStoreProbes(
+    const std::vector<const StoreReader*>& readers,
+    const std::vector<std::pair<std::string, std::string>>& where,
+    mcs::telemetry::ProbeState& out, std::string& err);
 
 /// The campaign-summaries view of a store: a campaign JSON tree
 /// ({"name","kind","meta","cells":[{index,label,assignments,seeds,

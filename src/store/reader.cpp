@@ -191,4 +191,18 @@ bool StoreReader::telemetryAt(std::size_t row,
   return true;
 }
 
+bool StoreReader::probesAt(std::size_t row, mcs::telemetry::ProbeState& out,
+                           std::string& err) const {
+  const std::uint64_t* pbOff = reinterpret_cast<const std::uint64_t*>(
+      map_ + columnOff_[colPbOff(header_->axisCount, header_->metricCount)]);
+  const std::uint32_t* pbLen = reinterpret_cast<const std::uint32_t*>(
+      map_ + columnOff_[colPbLen(header_->axisCount, header_->metricCount)]);
+  const char* blob = blobAt(pbOff[row], pbLen[row]);
+  if (blob == nullptr) {
+    err = "row " + std::to_string(row) + " probe blob out of bounds";
+    return false;
+  }
+  return parseProbeBlob(blob, pbLen[row], out, err);
+}
+
 }  // namespace mcs::store

@@ -95,6 +95,12 @@ class StoreReader {
                                  std::vector<std::pair<std::string, double>>& out,
                                  std::string& err) const;
 
+  /// The row's probe state (decode attribution + slot series), rebuilt
+  /// from the probe blob — empty when the cell ran with probes disarmed.
+  /// Merging these across rows is bit-identical to the in-process merge.
+  [[nodiscard]] bool probesAt(std::size_t row, mcs::telemetry::ProbeState& out,
+                              std::string& err) const;
+
  private:
   [[nodiscard]] const std::uint32_t* u32Col(std::size_t field) const;
   [[nodiscard]] const char* blobAt(std::uint64_t off, std::uint32_t len) const;

@@ -277,10 +277,31 @@ bool StoreWriter::appendCell(std::size_t slot, const StoreCellRow& row, std::str
              static_cast<std::uint32_t>(blobs.size() - before));
   }
 
+  // Probe blob sits between the quantile blobs and the telemetry blob:
+  // it carries no string ids (needs no remap at finish), and keeping the
+  // telemetry blob last preserves finish()'s "remap the cell's trailing
+  // tmLen bytes" invariant.
+  {
+    static const telemetry::ProbeState kNoProbes;
+    const std::uint64_t pbOff = blobSize_ + blobs.size();
+    const std::size_t pbBefore = blobs.size();
+    appendProbeBlob(row.probes != nullptr ? *row.probes : kNoProbes, blobs);
+    const auto mc = static_cast<std::uint32_t>(metricNames_.size());
+    putField(rec, fieldOffsets_[colPbOff(axisCount, mc)], pbOff);
+    putField(rec, fieldOffsets_[colPbLen(axisCount, mc)],
+             static_cast<std::uint32_t>(blobs.size() - pbBefore));
+  }
+
   std::vector<std::pair<std::uint32_t, double>> tmEntries;
   if (row.telemetry != nullptr) {
     for (const auto& [name, value] : row.telemetry->entries()) {
-      tmEntries.emplace_back(intern(name), value);
+      // Timer totals (the ".sec" entries) are the only wall-derived
+      // values in the telemetry blob; stripWall zeroes them — entry and
+      // count survive — so armed stores stay byte-identical across runs
+      // and worker counts, same canonicalization as the wall_sec metric.
+      const bool isWall = meta_.stripWall && value != 0.0 && name.size() > 4 &&
+                          name.compare(name.size() - 4, 4, ".sec") == 0;
+      tmEntries.emplace_back(intern(name), isWall ? 0.0 : value);
     }
   }
   const std::uint64_t tmOff = blobSize_ + blobs.size();
@@ -333,6 +354,8 @@ bool StoreWriter::finish(std::string& err) {
   const auto metricCount = static_cast<std::uint32_t>(metricNames_.size());
   const std::size_t tmOffField = colTmOff(axisCount, metricCount);
   const std::size_t tmLenField = colTmLen(axisCount, metricCount);
+  const std::size_t pbOffField = colPbOff(axisCount, metricCount);
+  const std::size_t pbLenField = colPbLen(axisCount, metricCount);
 
   // Canonical string table.  The spool interned strings in appendCell
   // arrival order, which differs between the in-process runner and a
@@ -380,6 +403,7 @@ bool StoreWriter::finish(std::string& err) {
         blobTotal += getField<std::uint32_t>(
             rec, fieldOffsets_[colMetric(axisCount, m, kMetricQLen)]);
       }
+      blobTotal += getField<std::uint32_t>(rec, fieldOffsets_[pbLenField]);
       blobTotal += getField<std::uint32_t>(rec, fieldOffsets_[tmLenField]);
     }
   }
@@ -454,6 +478,7 @@ bool StoreWriter::finish(std::string& err) {
       }
     }
     const bool isTmOff = field == tmOffField;
+    const bool isPbOff = field == pbOffField;
     // Label and axis-value columns hold string ids that must follow the
     // canonical re-pooling.
     const bool isStringId =
@@ -468,15 +493,18 @@ bool StoreWriter::finish(std::string& err) {
       col.resize(rows * elemSize);
       for (std::size_t r = 0; r < rows; ++r) {
         const char* rec = chunk.data() + r * rowBytes_;
-        if (isQOff || isTmOff) {
+        if (isQOff || isTmOff || isPbOff) {
           // Canonical offset: this slot's base plus the lengths of the
           // blobs that precede it within the cell (metric order, then
-          // telemetry) — all readable from the same row.
+          // probes, then telemetry) — all readable from the same row.
           std::uint64_t off = blobBase[at + r];
-          const std::uint32_t upto = isTmOff ? metricCount : qOffMetric;
+          const std::uint32_t upto = isQOff ? qOffMetric : metricCount;
           for (std::uint32_t m = 0; m < upto; ++m) {
             off += getField<std::uint32_t>(
                 rec, fieldOffsets_[colMetric(axisCount, m, kMetricQLen)]);
+          }
+          if (isTmOff) {
+            off += getField<std::uint32_t>(rec, fieldOffsets_[pbLenField]);
           }
           std::memcpy(col.data() + r * elemSize, &off, sizeof off);
         } else if (isStringId) {
@@ -509,16 +537,19 @@ bool StoreWriter::finish(std::string& err) {
     for (std::size_t r = 0; r < rows; ++r) {
       const char* rec = chunk.data() + r * rowBytes_;
       std::uint64_t cellLen = getField<std::uint32_t>(rec, fieldOffsets_[tmLenField]);
+      cellLen += getField<std::uint32_t>(rec, fieldOffsets_[pbLenField]);
       for (std::uint32_t m = 0; m < metricCount; ++m) {
         cellLen += getField<std::uint32_t>(
             rec, fieldOffsets_[colMetric(axisCount, m, kMetricQLen)]);
       }
       if (cellLen == 0) continue;
+      // The cell's first spool blob: metric 0's quantile state, or the
+      // probe blob when there are no metrics (it precedes telemetry).
       const std::uint64_t cellOff =
           metricCount > 0
               ? getField<std::uint64_t>(
                     rec, fieldOffsets_[colMetric(axisCount, 0, kMetricQOff)])
-              : getField<std::uint64_t>(rec, fieldOffsets_[tmOffField]);
+              : getField<std::uint64_t>(rec, fieldOffsets_[pbOffField]);
       blob.resize(static_cast<std::size_t>(cellLen));
       if (!preadAll(blobFd_, blob.data(), blob.size(), cellOff, err)) return fail("");
       // The telemetry blob (the cell's last) embeds string ids: remap

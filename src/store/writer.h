@@ -57,6 +57,10 @@ struct StoreCellRow {
   int invalid = 0;
   const NamedStats* stats = nullptr;
   const MetricMap* telemetry = nullptr;  // optional
+  /// Optional probe state (decode attribution + slot series); null or
+  /// empty writes the canonical empty blob, so armed and unarmed rows
+  /// share one layout.
+  const mcs::telemetry::ProbeState* probes = nullptr;
 };
 
 class StoreWriter {

@@ -145,6 +145,10 @@ Json cellToJson(const CellResult& cell) {
     for (const auto& [name, value] : cell.telemetry.entries()) tm.set(name, value);
     j.set("telemetry", std::move(tm));
   }
+  // Probe block only when probes were armed for this cell (same layout
+  // guarantee): sketches + series round-trip losslessly, so a resumed or
+  // worker-shipped cell reproduces the in-process probe bytes exactly.
+  if (!cell.probes.empty()) j.set("probes", telemetry::probesToJson(cell.probes));
   return j;
 }
 
@@ -167,6 +171,15 @@ Json campaignToJson(const CampaignResult& campaign) {
   Json cells = Json::array();
   for (const CellResult& cell : campaign.cells) cells.push_back(cellToJson(cell));
   j.set("cells", std::move(cells));
+  // Campaign-wide probe aggregate: the merge of every cell's probe state
+  // (merge order cannot matter — sketch and series folds commute), present
+  // only when some cell captured probes.  Sits between "cells" and
+  // "telemetry"; the work-queue report writer replicates this layout.
+  {
+    telemetry::ProbeState merged;
+    for (const CellResult& cell : campaign.cells) merged.merge(cell.probes);
+    if (!merged.empty()) j.set("probes", telemetry::probesToJson(merged));
+  }
   // Campaign-wide counter/timer totals, present only when telemetry is
   // enabled — the default report layout stays byte-identical.
   if (telemetry::enabled()) {
@@ -206,7 +219,7 @@ bool loadCellResult(const std::string& path, CellResult& out, std::string& err) 
     err = path + ": not a JSON object";
     return false;
   }
-  out = CellResult{};
+  out = CellResult();
   out.cell.index = static_cast<int>(j.numberAt("index", -1));
   out.cell.label = j.stringAt("label");
   if (const Json* assigns = j.find("assignments"); assigns != nullptr && assigns->isObject()) {
@@ -234,6 +247,9 @@ bool loadCellResult(const std::string& path, CellResult& out, std::string& err) 
     for (const auto& [name, value] : tm->members()) {
       out.telemetry.set(name, value.asDouble());
     }
+  }
+  if (const Json* probes = j.find("probes"); probes != nullptr) {
+    out.probes = telemetry::probesFromJson(*probes);
   }
   return true;
 }

@@ -156,6 +156,7 @@ bool runCampaign(const SweepSpec& spec, const CampaignOptions& opts, CampaignRes
     row.invalid = res.batch.invalidCount();
     row.stats = &stats;
     row.telemetry = &res.telemetry;
+    row.probes = &res.probes;
     // Slot = position in shard order; out.cells grows in that order.
     return storeWriter.appendCell(out.cells.size() - 1, row, rowErr);
   };
@@ -192,6 +193,12 @@ bool runCampaign(const SweepSpec& spec, const CampaignOptions& opts, CampaignRes
     const bool withTelemetry = telemetry::enabled();
     telemetry::MetricsSnapshot before;
     if (withTelemetry) before = telemetry::snapshotMetrics();
+    // Probes have no snapshot-delta idiom (sketches don't subtract), so
+    // per-cell attribution is a reset/snapshot pair — sound because cells
+    // run serially here; only the seeds within a cell are concurrent, and
+    // probe folds commute.
+    const bool withProbes = telemetry::probesEnabled();
+    if (withProbes) telemetry::resetProbes();
     {
       const telemetry::PhaseTimer cellTimer(kCellTimer);
       res.batch = runScenarioBatch(cell.spec, opts.threads);
@@ -199,6 +206,7 @@ bool runCampaign(const SweepSpec& spec, const CampaignOptions& opts, CampaignRes
     if (withTelemetry) {
       recordCellTelemetry(telemetry::snapshotMetrics().diff(before), res.telemetry);
     }
+    if (withProbes) res.probes = telemetry::snapshotProbes();
     if (opts.writeCellFiles) {
       std::error_code ec;
       std::filesystem::create_directories(std::filesystem::path(path).parent_path(), ec);

@@ -6,6 +6,7 @@
 
 #include "scenario/runner.h"
 #include "sweep/expand.h"
+#include "telemetry/probes.h"
 #include "telemetry/telemetry.h"
 #include "util/sketch.h"
 
@@ -64,6 +65,12 @@ struct CellResult {
   /// empty means the cell JSON/CSV layout is byte-identical to the
   /// pre-telemetry engine.
   MetricMap telemetry;
+  /// Probe aggregate attributed to this cell (margin/interference sketches
+  /// plus the SlotSeries, telemetry/probes.h), captured by a
+  /// resetProbes/snapshotProbes pair around the cell's seed batch when
+  /// probes are armed; empty otherwise — and empty keeps the cell JSON
+  /// byte-identical to the pre-probes layout.
+  telemetry::ProbeState probes;
 
   /// The summary table the reports emit: slots, decode_rate,
   /// structure_slots, wall_sec, then every named protocol metric.

@@ -1,0 +1,149 @@
+#include "telemetry/probes.h"
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace mcs::telemetry {
+
+namespace {
+
+struct ProbeRegistry {
+  std::mutex mu;
+  ProbeState state;
+};
+
+ProbeRegistry& probeReg() {
+  // Leaked like the counter registry: probe sites may fire during static
+  // destruction of late-exiting threads.
+  static ProbeRegistry* r = new ProbeRegistry();
+  return *r;
+}
+
+Json sketchToJson(const QuantileSketch& s) {
+  Json out = Json::object();
+  out.set("z", static_cast<std::size_t>(s.zeroCount()));
+  const auto sideToJson = [](const std::vector<QuantileSketch::Bucket>& side) {
+    Json arr = Json::array();
+    for (const QuantileSketch::Bucket& b : side) {
+      Json pair = Json::array();
+      pair.push_back(b.index);
+      pair.push_back(static_cast<std::size_t>(b.count));
+      arr.push_back(std::move(pair));
+    }
+    return arr;
+  };
+  out.set("neg", sideToJson(s.negativeBuckets()));
+  out.set("pos", sideToJson(s.positiveBuckets()));
+  return out;
+}
+
+QuantileSketch sketchFromJson(const Json* j) {
+  if (j == nullptr || !j->isObject()) return QuantileSketch{};
+  const auto sideFromJson = [](const Json* arr) {
+    std::vector<QuantileSketch::Bucket> side;
+    if (arr == nullptr || !arr->isArray()) return side;
+    side.reserve(arr->size());
+    for (const Json& pair : arr->items()) {
+      if (!pair.isArray() || pair.size() != 2) continue;
+      side.push_back(QuantileSketch::Bucket{
+          static_cast<std::int32_t>(pair.items()[0].asDouble()),
+          static_cast<std::uint64_t>(pair.items()[1].asDouble())});
+    }
+    return side;
+  };
+  return QuantileSketch::fromState(QuantileSketch::kDefaultAlpha,
+                                   static_cast<std::uint64_t>(j->numberAt("z")),
+                                   sideFromJson(j->find("neg")), sideFromJson(j->find("pos")));
+}
+
+std::uint64_t u64At(const Json& j, const char* key) {
+  return static_cast<std::uint64_t>(j.numberAt(key));
+}
+
+}  // namespace
+
+void probeSlot(std::uint64_t slot, const SlotProbeSample& sample) {
+  ProbeRegistry& r = probeReg();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.state.marginDb.merge(sample.marginDb);
+  r.state.nearDb.merge(sample.nearDb);
+  r.state.farDb.merge(sample.farDb);
+  r.state.series.recordSlot(slot, sample.listens, sample.decodes, sample.txIntents,
+                            sample.marginDb);
+}
+
+void probeProgress(std::uint64_t slot, std::uint64_t num, std::uint64_t den) {
+  ProbeRegistry& r = probeReg();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.state.series.recordProgress(slot, num, den);
+}
+
+ProbeState snapshotProbes() {
+  ProbeRegistry& r = probeReg();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return r.state;
+}
+
+void resetProbes() {
+  ProbeRegistry& r = probeReg();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.state = ProbeState();
+}
+
+Json probesToJson(const ProbeState& p) {
+  Json out = Json::object();
+  out.set("margin_db", sketchToJson(p.marginDb));
+  out.set("near_db", sketchToJson(p.nearDb));
+  out.set("far_db", sketchToJson(p.farDb));
+  Json series = Json::object();
+  series.set("span", static_cast<std::size_t>(p.series.span()));
+  Json windows = Json::array();
+  const std::size_t used = p.series.windowsUsed();
+  for (std::size_t i = 0; i < used; ++i) {
+    const SlotSeries::Window& w = p.series.windows()[i];
+    Json jw = Json::object();
+    jw.set("slots", static_cast<std::size_t>(w.slots));
+    jw.set("listens", static_cast<std::size_t>(w.listens));
+    jw.set("decodes", static_cast<std::size_t>(w.decodes));
+    jw.set("tx", static_cast<std::size_t>(w.txIntents));
+    jw.set("pnum", static_cast<std::size_t>(w.progressNum));
+    jw.set("pden", static_cast<std::size_t>(w.progressDen));
+    jw.set("margin", sketchToJson(w.margin));
+    windows.push_back(std::move(jw));
+  }
+  series.set("windows", std::move(windows));
+  out.set("series", std::move(series));
+  return out;
+}
+
+ProbeState probesFromJson(const Json& j) {
+  ProbeState p;
+  if (!j.isObject()) return p;
+  p.marginDb = sketchFromJson(j.find("margin_db"));
+  p.nearDb = sketchFromJson(j.find("near_db"));
+  p.farDb = sketchFromJson(j.find("far_db"));
+  if (const Json* series = j.find("series"); series != nullptr && series->isObject()) {
+    std::vector<SlotSeries::Window> leading;
+    if (const Json* windows = series->find("windows");
+        windows != nullptr && windows->isArray()) {
+      leading.reserve(windows->size());
+      for (const Json& jw : windows->items()) {
+        SlotSeries::Window w;
+        w.slots = u64At(jw, "slots");
+        w.listens = u64At(jw, "listens");
+        w.decodes = u64At(jw, "decodes");
+        w.txIntents = u64At(jw, "tx");
+        w.progressNum = u64At(jw, "pnum");
+        w.progressDen = u64At(jw, "pden");
+        w.margin = sketchFromJson(jw.find("margin"));
+        leading.push_back(std::move(w));
+      }
+    }
+    p.series = SlotSeries::fromState(static_cast<std::uint64_t>(series->numberAt("span", 1.0)),
+                                     std::move(leading));
+  }
+  return p;
+}
+
+}  // namespace mcs::telemetry

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/sketch.h"
+
+/// Bounded per-slot time series: how a run evolved, in O(windows) memory
+/// regardless of slot count.
+///
+/// A SlotSeries bins slot ordinals into kWindows fixed windows of
+/// `span()` slots each.  The span starts at 1 and doubles whenever a
+/// recorded slot falls past the last window, coalescing adjacent window
+/// pairs exactly (windows align at slot 0, so binning at span s and then
+/// pair-coalescing equals binning at span 2s directly:
+/// floor(floor(t/s)/2) == floor(t/2s)).  Every window field is an integer
+/// count or a QuantileSketch (integer bucket counts), so both record and
+/// merge are associative and commutative — a series built from any
+/// interleaving of the same slot records, or merged in any order or tree
+/// shape, is bit-identical (locked by tests/test_probes.cpp).  That is
+/// what lets the series ride RESULT frames and the campaign tree reducer
+/// without wobbling the aggregate, and what makes concurrent seed lanes
+/// recording into one shared series (under the probes mutex) equivalent
+/// to sequential runs.
+///
+/// Semantics per window: `slots` counts slot records landing in the
+/// window (across every seed that recorded), `listens`/`decodes`/
+/// `txIntents` sum the medium's per-slot tallies (delivery rate =
+/// decodes/listens), `margin` folds the slot-level SINR-margin sketches,
+/// and `progressNum`/`progressDen` sum the optional ProtocolDriver
+/// progress samples (fraction = num/den, a per-window mean of the
+/// per-slot fractions).
+namespace mcs::telemetry {
+
+class SlotSeries {
+ public:
+  /// Fixed window count: memory stays O(kWindows) forever; resolution
+  /// degrades by doubling instead.
+  static constexpr std::size_t kWindows = 64;
+
+  struct Window {
+    std::uint64_t slots = 0;
+    std::uint64_t listens = 0;
+    std::uint64_t decodes = 0;
+    std::uint64_t txIntents = 0;
+    std::uint64_t progressNum = 0;
+    std::uint64_t progressDen = 0;
+    QuantileSketch margin;
+
+    [[nodiscard]] bool empty() const noexcept {
+      return slots == 0 && listens == 0 && decodes == 0 && txIntents == 0 &&
+             progressNum == 0 && progressDen == 0 && margin.count() == 0;
+    }
+    void addCounts(const Window& o) {
+      slots += o.slots;
+      listens += o.listens;
+      decodes += o.decodes;
+      txIntents += o.txIntents;
+      progressNum += o.progressNum;
+      progressDen += o.progressDen;
+      margin.merge(o.margin);
+    }
+
+    friend bool operator==(const Window& a, const Window& b) noexcept {
+      return a.slots == b.slots && a.listens == b.listens && a.decodes == b.decodes &&
+             a.txIntents == b.txIntents && a.progressNum == b.progressNum &&
+             a.progressDen == b.progressDen && a.margin == b.margin;
+    }
+  };
+
+  SlotSeries() : windows_(kWindows) {}
+
+  /// Records one resolved slot: the medium's tallies plus the slot-level
+  /// margin sketch (already merged across lanes).
+  void recordSlot(std::uint64_t slot, std::uint64_t listens, std::uint64_t decodes,
+                  std::uint64_t txIntents, const QuantileSketch& margin) {
+    Window& w = windowFor(slot);
+    ++w.slots;
+    w.listens += listens;
+    w.decodes += decodes;
+    w.txIntents += txIntents;
+    w.margin.merge(margin);
+  }
+
+  /// Records one protocol progress sample at `slot` (num/den = fraction
+  /// done, e.g. nodes colored / nodes total).
+  void recordProgress(std::uint64_t slot, std::uint64_t num, std::uint64_t den) {
+    Window& w = windowFor(slot);
+    w.progressNum += num;
+    w.progressDen += den;
+  }
+
+  /// Folds `other` in: the finer series coalesces up to the coarser span,
+  /// then windows add pairwise.
+  void merge(const SlotSeries& other) {
+    if (other.empty()) return;
+    while (span_ < other.span_) coalesce();
+    if (span_ == other.span_) {
+      for (std::size_t i = 0; i < kWindows; ++i) windows_[i].addCounts(other.windows_[i]);
+      return;
+    }
+    SlotSeries tmp = other;
+    while (tmp.span_ < span_) tmp.coalesce();
+    for (std::size_t i = 0; i < kWindows; ++i) windows_[i].addCounts(tmp.windows_[i]);
+  }
+
+  [[nodiscard]] std::uint64_t span() const noexcept { return span_; }
+  [[nodiscard]] const std::vector<Window>& windows() const noexcept { return windows_; }
+
+  /// Index one past the last non-empty window (0 when nothing recorded) —
+  /// what the serializers trim to.
+  [[nodiscard]] std::size_t windowsUsed() const noexcept {
+    std::size_t used = kWindows;
+    while (used > 0 && windows_[used - 1].empty()) --used;
+    return used;
+  }
+  [[nodiscard]] bool empty() const noexcept { return windowsUsed() == 0; }
+
+  /// Rebuilds from serialized state: span plus the leading windows (the
+  /// trimmed tail is empty).
+  [[nodiscard]] static SlotSeries fromState(std::uint64_t span, std::vector<Window> leading) {
+    SlotSeries s;
+    s.span_ = span < 1 ? 1 : span;
+    for (std::size_t i = 0; i < leading.size() && i < kWindows; ++i) {
+      s.windows_[i] = std::move(leading[i]);
+    }
+    return s;
+  }
+
+  friend bool operator==(const SlotSeries& a, const SlotSeries& b) noexcept {
+    return a.span_ == b.span_ && a.windows_ == b.windows_;
+  }
+
+ private:
+  Window& windowFor(std::uint64_t slot) {
+    while (slot / span_ >= kWindows) coalesce();
+    return windows_[static_cast<std::size_t>(slot / span_)];
+  }
+
+  void coalesce() {
+    for (std::size_t i = 0; i < kWindows / 2; ++i) {
+      Window merged = std::move(windows_[2 * i]);
+      merged.addCounts(windows_[2 * i + 1]);
+      windows_[i] = std::move(merged);
+    }
+    for (std::size_t i = kWindows / 2; i < kWindows; ++i) windows_[i] = Window();
+    span_ *= 2;
+  }
+
+  std::uint64_t span_ = 1;
+  std::vector<Window> windows_;
+};
+
+}  // namespace mcs::telemetry

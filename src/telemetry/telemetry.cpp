@@ -112,6 +112,11 @@ void setEnabled(bool on) noexcept {
   detail::g_metricsEnabled.store(on, std::memory_order_relaxed);
 }
 
+void setProbesEnabled(bool on) noexcept {
+  if (on) setEnabled(true);
+  detail::g_probesEnabled.store(on, std::memory_order_relaxed);
+}
+
 CounterId counterId(std::string_view name) {
   Registry& r = reg();
   const std::lock_guard<std::mutex> lock(r.mu);

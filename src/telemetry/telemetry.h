@@ -39,6 +39,7 @@ namespace mcs::telemetry {
 
 namespace detail {
 inline std::atomic<bool> g_metricsEnabled{false};
+inline std::atomic<bool> g_probesEnabled{false};
 }  // namespace detail
 
 /// True when counters/timers are being recorded.
@@ -48,6 +49,19 @@ inline std::atomic<bool> g_metricsEnabled{false};
 
 /// Arms or disarms metric recording (process-global).
 void setEnabled(bool on) noexcept;
+
+/// True when decode-attribution and time-series probes are being recorded
+/// (telemetry/probes.h).  Like enabled(), a disarmed check is one relaxed
+/// load, so probe sites can live on per-slot paths permanently.
+[[nodiscard]] inline bool probesEnabled() noexcept {
+  return detail::g_probesEnabled.load(std::memory_order_relaxed);
+}
+
+/// Arms or disarms probe recording (process-global).  Arming probes also
+/// arms metrics: the attribution cause counters ride the counter registry,
+/// so a probes-armed run always has them.  Disarming probes leaves metrics
+/// in whatever state they were.
+void setProbesEnabled(bool on) noexcept;
 
 using CounterId = std::uint32_t;
 using TimerId = std::uint32_t;

@@ -101,7 +101,7 @@ std::size_t traceEventCount() {
   return r.events.size();
 }
 
-Json traceToJson() {
+Json traceToJson(int pid, const std::string& processName) {
   Ring& r = ring();
   std::vector<TraceEvent> events;
   std::vector<std::string> names;
@@ -117,6 +117,20 @@ Json traceToJson() {
   Json root = Json::object();
   root.set("displayTimeUnit", "ms");
   Json list = Json::array();
+  if (!processName.empty()) {
+    // process_name metadata ("M") labels this pid's lane in the viewer;
+    // trace_check requires one per pid in merged multi-process traces.
+    Json m = Json::object();
+    m.set("name", "process_name");
+    m.set("ph", "M");
+    m.set("ts", 0.0);
+    m.set("pid", pid);
+    m.set("tid", 0.0);
+    Json args = Json::object();
+    args.set("name", processName);
+    m.set("args", std::move(args));
+    list.push_back(std::move(m));
+  }
   for (const TraceEvent& e : events) {
     Json j = Json::object();
     j.set("name", names[e.name]);
@@ -124,7 +138,7 @@ Json traceToJson() {
     j.set("ts", static_cast<double>(e.tsNs - base) * 1e-3);
     if (e.ph == 'X') j.set("dur", static_cast<double>(e.durNs) * 1e-3);
     if (e.ph == 'i') j.set("s", "t");  // instant scope: thread
-    j.set("pid", 1);
+    j.set("pid", pid);
     j.set("tid", static_cast<double>(e.tid));
     if (e.arg >= 0) {
       Json args = Json::object();
@@ -137,9 +151,10 @@ Json traceToJson() {
   return root;
 }
 
-bool writeTraceFile(const std::string& path, std::string& err) {
+bool writeTraceFile(const std::string& path, std::string& err, int pid,
+                    const std::string& processName) {
   std::ofstream f(path);
-  f << traceToJson().dump() << '\n';
+  f << traceToJson(pid, processName).dump() << '\n';
   f.flush();
   if (!f.good()) {
     err = "cannot write trace file \"" + path + "\"";

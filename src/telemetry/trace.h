@@ -79,10 +79,14 @@ class TraceScope {
 /// The Chrome trace object: {"displayTimeUnit": "ms", "traceEvents":
 /// [...]}.  Events are sorted by start time and rebased so the first one
 /// starts at ts = 0; timestamps/durations are microseconds (the
-/// trace_event convention).
-[[nodiscard]] Json traceToJson();
+/// trace_event convention).  `pid` tags every event (campaign workers use
+/// workerId + 1 so merged traces keep one lane per process); a non-empty
+/// `processName` prepends a process_name "M" metadata event so the viewer
+/// labels the lane.
+[[nodiscard]] Json traceToJson(int pid = 1, const std::string& processName = {});
 
 /// Serializes traceToJson() to `path`.  False + `err` on I/O failure.
-bool writeTraceFile(const std::string& path, std::string& err);
+bool writeTraceFile(const std::string& path, std::string& err, int pid = 1,
+                    const std::string& processName = {});
 
 }  // namespace mcs::telemetry

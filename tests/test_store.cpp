@@ -34,13 +34,15 @@ std::string readFile(const std::string& path) {
 /// streams, telemetry on alternating cells.
 struct Fixture {
   std::vector<store::StoreCellRow> rows;
-  std::vector<NamedStats> stats;      // parallel to rows
-  std::vector<MetricMap> telemetry;   // parallel to rows
+  std::vector<NamedStats> stats;                 // parallel to rows
+  std::vector<MetricMap> telemetry;              // parallel to rows
+  std::vector<telemetry::ProbeState> probes;     // parallel to rows
 
   Fixture() {
     Rng rng(424242);
     stats.resize(4);
     telemetry.resize(4);
+    probes.resize(4);
     for (int c = 0; c < 4; ++c) {
       StreamingStats slots, rate;
       for (int i = 0; i < 12; ++i) {
@@ -54,6 +56,16 @@ struct Fixture {
         telemetry[static_cast<std::size_t>(c)].set("tm.medium.collisions",
                                                    10.0 * c + 1.0);
         telemetry[static_cast<std::size_t>(c)].set("tm.sim.slots", 100.0 + c);
+      } else {
+        // Probe state on the other cells: attribution sketches plus a
+        // slot series, exercising the pb blob column alongside tm.
+        telemetry::ProbeState& p = probes[static_cast<std::size_t>(c)];
+        for (int i = 0; i < 20; ++i) p.marginDb.add(rng.uniform(-30.0, 30.0));
+        for (std::uint64_t t = 0; t < 200; ++t) {
+          QuantileSketch m;
+          m.add(rng.uniform(-5.0, 5.0));
+          p.series.recordSlot(t, 8, t % 3, 2, m);
+        }
       }
 
       store::StoreCellRow row;
@@ -67,6 +79,7 @@ struct Fixture {
       row.valid = row.delivered;
       row.stats = &stats[static_cast<std::size_t>(c)];
       row.telemetry = &telemetry[static_cast<std::size_t>(c)];
+      row.probes = &probes[static_cast<std::size_t>(c)];
       rows.push_back(std::move(row));
     }
   }
@@ -146,6 +159,13 @@ TEST(Store, RoundTripsEveryColumnAndBlob) {
       }
       EXPECT_TRUE(found) << name;
     }
+
+    // The probe blob: cells written without probe state read back empty,
+    // the others reproduce the ProbeState bit-for-bit.
+    telemetry::ProbeState pb;
+    ASSERT_TRUE(r.probesAt(row, pb, err)) << err;
+    EXPECT_EQ(pb, fx.probes[row]);
+    EXPECT_EQ(pb.empty(), fx.probes[row].empty());
   }
 }
 
